@@ -1,0 +1,98 @@
+// Command experiments regenerates the paper's evaluation: every table and
+// figure of Section VI, plus the ablation studies listed in DESIGN.md.
+//
+// Usage:
+//
+//	experiments -exp all                 # everything (tables II/III at laptop scale)
+//	experiments -exp fig6 -paper         # Figure 6 at the paper's sizes (cost-only)
+//	experiments -exp tableII -sizes 126,254,510
+//
+// Figure 6 runs in cost-only mode (the analytic device model at the
+// paper's matrix sizes); Figure 2 and Tables II/III execute real
+// arithmetic. See EXPERIMENTS.md for the recorded paper-vs-measured
+// comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/sim"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all|tableI|fig2|fig6|tableII|tableIII|ablation|breakdown|multierror|trace|timeline")
+	nb := flag.Int("nb", 32, "block size")
+	sizesFlag := flag.String("sizes", "", "comma-separated matrix sizes (overrides defaults)")
+	paper := flag.Bool("paper", false, "use the paper's full size grid for fig6 (cost-only, still fast)")
+	seed := flag.Uint64("seed", 158, "workload seed")
+	traceOut := flag.String("traceout", "", "write a Chrome trace JSON of the timeline experiment to this file")
+	flag.Parse()
+
+	params := sim.K40c()
+	out := os.Stdout
+
+	var sizes []int
+	if *sizesFlag != "" {
+		for _, s := range strings.Split(*sizesFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad size %q: %v\n", s, err)
+				os.Exit(2)
+			}
+			sizes = append(sizes, v)
+		}
+	}
+
+	fig6Sizes := sizes
+	if fig6Sizes == nil {
+		if *paper {
+			fig6Sizes = bench.PaperSizes
+		} else {
+			fig6Sizes = []int{1022, 2046, 3070, 4030}
+		}
+	}
+	realSizes := sizes
+	if realSizes == nil {
+		realSizes = bench.RealSizes
+	}
+
+	run := func(name string) {
+		switch name {
+		case "tableI":
+			bench.TableI(out, params)
+		case "fig2":
+			bench.Fig2(out, *seed)
+		case "fig6":
+			bench.Fig6(out, fig6Sizes, *nb, params)
+		case "tableII", "tableIII", "tables":
+			bench.Tables23(out, realSizes, *nb)
+		case "ablation":
+			bench.Ablations(out, fig6Sizes[len(fig6Sizes)-1], params)
+		case "breakdown":
+			bench.Breakdown(out, fig6Sizes[len(fig6Sizes)-1], *nb, params)
+		case "multierror":
+			bench.MultiError(out, 158, *nb, 10, *seed)
+		case "trace":
+			bench.Trace(out, 158, *nb)
+		case "timeline":
+			bench.Timeline(out, 512, *nb, params, *traceOut)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Fprintln(out)
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"tableI", "fig2", "fig6", "tables", "ablation", "breakdown", "multierror", "trace", "timeline"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,25 @@
+// Package repro is a from-scratch, pure-Go reproduction of
+//
+//	"Hessenberg Reduction with Transient Error Resilience on GPU-Based
+//	 Hybrid Architectures", Jia, Luszczek, Dongarra, IEEE IPDPSW 2016.
+//
+// It implements the MAGMA-style hybrid (CPU panel + GPU trailing-update)
+// blocked Hessenberg reduction over a simulated accelerator, and on top
+// of it the paper's fault-tolerant variant combining algorithm-based
+// fault tolerance (row/column checksums maintained through the two-sided
+// updates), diskless checkpointing of the panel, and reverse computation
+// for recovery.
+//
+// Entry points:
+//
+//   - internal/core — the public façade (Reduce, Eigenvalues),
+//   - cmd/fthess — CLI for single runs with fault injection,
+//   - cmd/experiments — regenerates every table and figure of the paper,
+//   - examples/ — runnable walk-throughs,
+//   - bench_test.go (this directory) — testing.B benchmarks, one per
+//     table/figure plus the ablations.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// hardware-substitution rationale, and EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison.
+package repro

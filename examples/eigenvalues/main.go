@@ -1,0 +1,91 @@
+// Eigenvalues of the 1-D discrete Laplacian (diffusion operator),
+// computed through the fault-tolerant Hessenberg reduction followed by
+// the Francis double-shift QR iteration — the workload Hessenberg
+// reduction exists for — while a soft error strikes the trailing matrix
+// mid-run.
+//
+// The operator is tridiagonal Toeplitz tri(-1, 2, -1) with the classical
+// spectrum λ_k = 2 − 2·cos(kπ/(n+1)). A tridiagonal matrix is already
+// Hessenberg (the reduction would be a no-op, and — notably — its
+// trivial reflectors also blind the paper's Sre/Sce detector), so the
+// example hides the structure behind a random orthogonal similarity
+// B = G·A·Gᵀ: same spectrum, dense matrix — exactly what a user with an
+// opaque dense operator faces.
+//
+//	go run ./examples/eigenvalues
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/matrix"
+)
+
+func main() {
+	const n = 126
+
+	// Discrete Laplacian: tri(-1, 2, -1).
+	a := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 2)
+		if i+1 < n {
+			a.Set(i, i+1, -1)
+			a.Set(i+1, i, -1)
+		}
+	}
+
+	// Hide the structure behind an orthogonal similarity (the Q of a
+	// random matrix's reduction serves as a random orthogonal G).
+	gRes, err := core.Reduce(matrix.Random(n, n, 99), core.Options{Algorithm: core.CPUOnly, NB: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := gRes.Q()
+	tmp := matrix.New(n, n)
+	b := matrix.New(n, n)
+	blas.Dgemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, g.Data, g.Stride, a.Data, a.Stride, 0, tmp.Data, tmp.Stride)
+	blas.Dgemm(blas.NoTrans, blas.Trans, n, n, n, 1, tmp.Data, tmp.Stride, g.Data, g.Stride, 0, b.Data, b.Stride)
+
+	// Inject one transient error into the lower trailing matrix (Area 2)
+	// at the start of iteration 2: the fault-tolerant reduction detects,
+	// reverses, corrects and re-executes.
+	in := fault.New(fault.Plan{Area: fault.Area2, TargetIter: 2, Seed: 7})
+	eigs, res, err := core.Eigenvalues(b, core.Options{NB: 16, Hook: in, FinalHCheck: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("1-D discrete Laplacian, n=%d (dense after orthogonal similarity)\n", n)
+	fmt.Printf("injected %d soft error(s); detections=%d recoveries=%d corrections=%d\n",
+		len(in.Log), res.Detections, res.Recoveries, len(res.CorrectedH))
+
+	// Analytic spectrum of tri(-1, 2, -1).
+	want := make([]float64, n)
+	for k := 1; k <= n; k++ {
+		want[k-1] = 2 - 2*math.Cos(float64(k)*math.Pi/float64(n+1))
+	}
+	sort.Float64s(want)
+
+	maxErr := 0.0
+	for i, e := range eigs {
+		if math.Abs(e.Im) > 1e-8 {
+			log.Fatalf("unexpected complex eigenvalue %v+%vi", e.Re, e.Im)
+		}
+		if d := math.Abs(e.Re - want[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	fmt.Printf("max |λ_computed − λ_analytic| = %.3e over %d eigenvalues\n", maxErr, n)
+	fmt.Printf("smallest eigenvalues: %.6f %.6f %.6f  (analytic %.6f %.6f %.6f)\n",
+		eigs[0].Re, eigs[1].Re, eigs[2].Re, want[0], want[1], want[2])
+	if maxErr > 1e-8 {
+		log.Fatal("eigenvalues drifted beyond tolerance despite recovery")
+	}
+	fmt.Println("spectrum intact despite the injected soft error ✓")
+}

@@ -1,0 +1,80 @@
+// The paper's future work, demonstrated: transient-error resilience for
+// the symmetric tridiagonal reduction (DSYTRD), the next two-sided
+// factorization of the family. A dense symmetric operator with a known
+// spectrum is tridiagonalized while a soft error strikes the trailing
+// matrix; the checksum scheme detects it, reverses the block update with
+// the retained factors, corrects the element, re-executes — and the
+// eigenvalues come out exact.
+//
+//	go run ./examples/symmetric
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/blas"
+	"repro/internal/ftsym"
+	"repro/internal/lapack"
+	"repro/internal/matrix"
+)
+
+type pokeHook struct{ fired bool }
+
+func (h *pokeHook) BeforeIteration(iter, panel int, w *matrix.Matrix) {
+	if iter == 2 && !h.fired {
+		h.fired = true
+		w.Add(90, 75, 3.0) // soft error in the trailing symmetric block
+	}
+}
+
+func main() {
+	const n = 126
+
+	// Dense symmetric operator with the Laplacian spectrum: G·T·Gᵀ for a
+	// random orthogonal G.
+	t := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		t.Set(i, i, 2)
+		if i > 0 {
+			t.Set(i, i-1, -1)
+			t.Set(i-1, i, -1)
+		}
+	}
+	packed := matrix.Random(n, n, 31).Clone()
+	tauQ := make([]float64, n-1)
+	lapack.Dgehrd(n, 16, packed.Data, packed.Stride, tauQ)
+	g := lapack.Dorghr(n, packed.Data, packed.Stride, tauQ)
+	tmp := matrix.New(n, n)
+	a := matrix.New(n, n)
+	blas.Dgemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, g.Data, g.Stride, t.Data, t.Stride, 0, tmp.Data, tmp.Stride)
+	blas.Dgemm(blas.NoTrans, blas.Trans, n, n, n, 1, tmp.Data, tmp.Stride, g.Data, g.Stride, 0, a.Data, a.Stride)
+
+	res, err := ftsym.Reduce(a, ftsym.Options{NB: 16, Hook: &pokeHook{}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FT-DSYTRD on a dense symmetric %dx%d operator\n", n, n)
+	fmt.Printf("detections=%d recoveries=%d corrected=%v\n", res.Detections, res.Recoveries, res.Corrected)
+	fmt.Printf("residual ‖A−QTQᵀ‖₁/(N‖A‖₁) = %.3e\n",
+		lapack.FactorizationResidual(a, res.Q(), res.T()))
+
+	d := append([]float64(nil), res.D...)
+	e := append([]float64(nil), res.E...)
+	if err := lapack.Dsterf(n, d, e); err != nil {
+		log.Fatal(err)
+	}
+	maxErr := 0.0
+	for k := 1; k <= n; k++ {
+		want := 2 - 2*math.Cos(float64(k)*math.Pi/float64(n+1))
+		if diff := math.Abs(d[k-1] - want); diff > maxErr {
+			maxErr = diff
+		}
+	}
+	fmt.Printf("max |λ_computed − λ_analytic| = %.3e over %d eigenvalues\n", maxErr, n)
+	if maxErr > 1e-10 {
+		log.Fatal("spectrum corrupted")
+	}
+	fmt.Println("spectrum intact despite the injected soft error ✓")
+}

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTableI(t *testing.T) {
+	var b bytes.Buffer
+	TableI(&b, sim.K40c())
+	out := b.String()
+	for _, want := range []string{"Xeon E5-2670", "Tesla K40c", "PCIe", "Kernel launch"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig2ShapesMatchPaper(t *testing.T) {
+	var b bytes.Buffer
+	res := Fig2(&b, 158)
+	if len(res) != 3 {
+		t.Fatalf("%d cases", len(res))
+	}
+	// Fig 2(b): Area 3 — exactly one polluted element.
+	if res[0].Polluted != 1 {
+		t.Fatalf("Area 3 polluted %d elements, want 1", res[0].Polluted)
+	}
+	// Fig 2(c): Area 1 — pollutes (part of) one row: few rows, many cols.
+	if res[1].Rows > 3 || res[1].Cols < 10 {
+		t.Fatalf("Area 1 footprint %d rows × %d cols, want row-wise spread", res[1].Rows, res[1].Cols)
+	}
+	// Fig 2(d): Area 2 — pollutes a large trailing block.
+	if res[2].Polluted < 50*50 {
+		t.Fatalf("Area 2 polluted only %d elements", res[2].Polluted)
+	}
+	if res[2].Polluted <= res[1].Polluted || res[1].Polluted <= res[0].Polluted {
+		t.Fatalf("pollution ordering A3 < A1 < A2 violated: %d, %d, %d",
+			res[0].Polluted, res[1].Polluted, res[2].Polluted)
+	}
+}
+
+func TestFig6ShapesMatchPaper(t *testing.T) {
+	var b bytes.Buffer
+	sizes := []int{1022, 2046, 4030}
+	panels := Fig6(&b, sizes, 32, sim.K40c())
+	if len(panels) != 3 {
+		t.Fatalf("%d panels", len(panels))
+	}
+	for _, p := range panels {
+		if len(p.Rows) != len(sizes) {
+			t.Fatalf("%v: %d rows", p.Area, len(p.Rows))
+		}
+		for i, r := range p.Rows {
+			if r.BaseGFLOPS <= 0 || r.FTGFLOPS <= 0 {
+				t.Fatalf("%v N=%d: bad GFLOPS", p.Area, r.N)
+			}
+			if r.FTGFLOPS > r.BaseGFLOPS {
+				t.Fatalf("%v N=%d: FT faster than baseline", p.Area, r.N)
+			}
+			if r.OverheadNoFault < 0 || r.OverheadMax < r.OverheadMin {
+				t.Fatalf("%v N=%d: bad overhead band [%v,%v]", p.Area, r.N, r.OverheadMin, r.OverheadMax)
+			}
+			if r.OverheadMin < r.OverheadNoFault-1e-9 {
+				t.Fatalf("%v N=%d: fault overhead below no-fault overhead", p.Area, r.N)
+			}
+			// GFLOPS grow with N (the rising curves of Figure 6).
+			if i > 0 && r.BaseGFLOPS <= p.Rows[i-1].BaseGFLOPS {
+				t.Fatalf("%v: baseline GFLOPS not increasing at N=%d", p.Area, r.N)
+			}
+		}
+		// Overhead decreases with N (the paper's headline trend).
+		first, last := p.Rows[0], p.Rows[len(p.Rows)-1]
+		if last.OverheadNoFault >= first.OverheadNoFault {
+			t.Fatalf("%v: no-fault overhead not decreasing: %v → %v", p.Area, first.OverheadNoFault, last.OverheadNoFault)
+		}
+		if last.OverheadMax > 0.10 {
+			t.Fatalf("%v: overhead at N=%d is %.1f%%, expected small", p.Area, last.N, 100*last.OverheadMax)
+		}
+	}
+	// Area 3 recovery is the cheapest (flat, near the no-fault line).
+	a2 := panels[1].Rows[len(sizes)-1]
+	a3 := panels[2].Rows[len(sizes)-1]
+	if a3.OverheadMax > a2.OverheadMax+1e-9 {
+		t.Fatalf("Area 3 overhead (%v) should not exceed Area 2 (%v)", a3.OverheadMax, a2.OverheadMax)
+	}
+}
+
+func TestTables23ShapesMatchPaper(t *testing.T) {
+	var b bytes.Buffer
+	rows := Tables23(&b, []int{126, 190}, 32)
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		magmaRes := r.Residual[0]
+		for cell := 1; cell <= 6; cell++ {
+			// Areas 1 and 2: residuals on the order of the fault-free run.
+			if r.Residual[cell] > 100*magmaRes {
+				t.Fatalf("N=%d %s: residual %v vs MAGMA %v", r.N, StabilityCells[cell], r.Residual[cell], magmaRes)
+			}
+		}
+		for cell := 0; cell < 8; cell++ {
+			if r.Residual[cell] > 1e-10 {
+				t.Fatalf("N=%d %s: residual %v unacceptable", r.N, StabilityCells[cell], r.Residual[cell])
+			}
+			if r.Orthogonality[cell] > 1e-10 {
+				t.Fatalf("N=%d %s: orthogonality %v unacceptable", r.N, StabilityCells[cell], r.Orthogonality[cell])
+			}
+		}
+	}
+	out := b.String()
+	if !strings.Contains(out, "Table II") || !strings.Contains(out, "Table III") {
+		t.Fatal("missing table headers")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	var b bytes.Buffer
+	Ablations(&b, 1022, sim.K40c())
+	out := b.String()
+	for _, want := range []string{"overlap", "Q checksums", "detection", "nb="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablations missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceRuns(t *testing.T) {
+	var b bytes.Buffer
+	Trace(&b, 158, 32)
+	if !strings.Contains(b.String(), "blocked iterations") {
+		t.Fatalf("trace output:\n%s", b.String())
+	}
+}
+
+func TestBreakdownRuns(t *testing.T) {
+	var b bytes.Buffer
+	Breakdown(&b, 1022, 32, sim.K40c())
+	out := b.String()
+	for _, want := range []string{"gemm", "gemv", "h2d", "d2h", "host", "FT extra"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMultiErrorNoSilentMiscorrection(t *testing.T) {
+	var b bytes.Buffer
+	rows := MultiError(&b, 158, 32, 6, 9)
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.MisCorrected != 0 {
+			t.Fatalf("count=%d: %d silent mis-corrections", r.Count, r.MisCorrected)
+		}
+		if r.Recovered+r.Refused != r.Trials {
+			t.Fatalf("count=%d: outcomes do not add up: %+v", r.Count, r)
+		}
+	}
+	// Single errors always recover.
+	if rows[0].Recovered != rows[0].Trials {
+		t.Fatalf("single errors must always recover: %+v", rows[0])
+	}
+}
+
+func TestTimelineRuns(t *testing.T) {
+	var b bytes.Buffer
+	Timeline(&b, 256, 32, sim.K40c(), "")
+	out := b.String()
+	for _, want := range []string{"gpu-compute", "gpu-copy", "makespan"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}

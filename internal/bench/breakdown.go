@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/ft"
+	"repro/internal/gpu"
+	"repro/internal/hybrid"
+	"repro/internal/matrix"
+	"repro/internal/sim"
+)
+
+// Breakdown attributes the simulated busy time of the baseline and the
+// fault-tolerant reduction to operation families, answering "where does
+// the overhead go" — the quantitative companion of the paper's Section V
+// analysis (the extra work is GEMV-class checksum kernels, small
+// transfers, and host-side bookkeeping, all O(N²)).
+func Breakdown(w io.Writer, n, nb int, params sim.Params) {
+	a := matrix.New(n, n)
+
+	devB := gpu.New(params, gpu.CostOnly)
+	if _, err := hybrid.Reduce(a, hybrid.Options{NB: nb, Device: devB}); err != nil {
+		panic(err)
+	}
+	devF := gpu.New(params, gpu.CostOnly)
+	if _, err := ft.Reduce(a, ft.Options{NB: nb, Device: devF}); err != nil {
+		panic(err)
+	}
+
+	base := devB.TimeBreakdown()
+	ftbd := devF.TimeBreakdown()
+	kinds := map[string]bool{}
+	for k := range base {
+		kinds[k] = true
+	}
+	for k := range ftbd {
+		kinds[k] = true
+	}
+	var order []string
+	for k := range kinds {
+		order = append(order, k)
+	}
+	sort.Strings(order)
+
+	fmt.Fprintf(w, "Busy-time breakdown at N=%d, nb=%d (modeled seconds per operation family)\n", n, nb)
+	fmt.Fprintf(w, "%-8s %12s %12s %12s\n", "kind", "MAGMA-Hess", "FT-Hess", "FT extra")
+	var tb, tf float64
+	for _, k := range order {
+		fmt.Fprintf(w, "%-8s %12.4f %12.4f %+12.4f\n", k, base[k], ftbd[k], ftbd[k]-base[k])
+		tb += base[k]
+		tf += ftbd[k]
+	}
+	fmt.Fprintf(w, "%-8s %12.4f %12.4f %+12.4f  (lanes overlap; totals exceed makespan)\n", "Σ", tb, tf, tf-tb)
+}

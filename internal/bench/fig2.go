@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/fault"
+	"repro/internal/gpu"
+	"repro/internal/hybrid"
+	"repro/internal/matrix"
+	"repro/internal/sim"
+)
+
+// Fig2Case is one panel of the paper's Figure 2: a single error at a
+// fixed position, injected after the first blocked iteration of the
+// baseline (fault-prone) reduction.
+type Fig2Case struct {
+	Name     string
+	Area     fault.Area
+	Row, Col int
+}
+
+// Fig2Cases reproduces the paper's three injection points for N=158,
+// nb=32 (Figure 2 b/c/d).
+var Fig2Cases = []Fig2Case{
+	{Name: "Fig 2(b) error (53,16) Area 3", Area: fault.Area3, Row: 53, Col: 16},
+	{Name: "Fig 2(c) error (31,127) Area 1", Area: fault.Area1, Row: 31, Col: 127},
+	{Name: "Fig 2(d) error (63,127) Area 2", Area: fault.Area2, Row: 63, Col: 127},
+}
+
+// Fig2Result reports the propagation footprint of one case.
+type Fig2Result struct {
+	Case     Fig2Case
+	Polluted int
+	Rows     int
+	Cols     int
+	HeatMap  string
+}
+
+// Fig2 runs the propagation study: a clean baseline reduction at N=158,
+// nb=32 (the paper's setting), then one corrupted run per case, and
+// reports the difference footprint.
+func Fig2(w io.Writer, seed uint64) []Fig2Result {
+	const n, nb = 158, 32
+	a := matrix.Random(n, n, seed)
+	clean, err := hybrid.Reduce(a, hybrid.Options{NB: nb, Device: gpu.New(sim.K40c(), gpu.Real)})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Fprintf(w, "Figure 2 — propagation of a soft error injected after iteration 1 (N=%d, nb=%d)\n\n", n, nb)
+	var out []Fig2Result
+	for _, c := range Fig2Cases {
+		in := fault.New(fault.Plan{
+			Area:       c.Area,
+			TargetIter: 1,
+			Positions:  []fault.Pos{{Row: c.Row, Col: c.Col}},
+			Delta:      1,
+		})
+		dev := gpu.New(sim.K40c(), gpu.Real)
+		dirty, err := hybrid.Reduce(a, hybrid.Options{NB: nb, Device: dev, BeforeIteration: in.HybridHook(dev)})
+		if err != nil {
+			panic(err)
+		}
+		st := matrix.Diff(clean.Packed, dirty.Packed, 1e-10)
+		r := Fig2Result{
+			Case:     c,
+			Polluted: st.Polluted,
+			Rows:     len(st.PollutedRows),
+			Cols:     len(st.PollutedCols),
+			HeatMap:  matrix.HeatMap(clean.Packed, dirty.Packed, 52),
+		}
+		out = append(out, r)
+		fmt.Fprintf(w, "%s: %d polluted elements across %d rows, %d columns\n%s\n",
+			c.Name, r.Polluted, r.Rows, r.Cols, r.HeatMap)
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/fault"
+	"repro/internal/ft"
+	"repro/internal/gpu"
+	"repro/internal/hybrid"
+	"repro/internal/lapack"
+	"repro/internal/matrix"
+	"repro/internal/sim"
+)
+
+// StabilityRow is one matrix size of Tables II and III: the backward-error
+// residual ‖A−QHQᵀ‖₁/(N‖A‖₁) and the orthogonality ‖QQᵀ−I‖₁/N for the
+// baseline and for the fault-tolerant algorithm with one error per
+// area/moment cell.
+type StabilityRow struct {
+	N int
+	// Residual[cell] and Orthogonality[cell], cells ordered as the
+	// paper's columns: MAGMA, A1-B, A1-M, A1-E, A2-B, A2-M, A2-E, A3.
+	Residual      [8]float64
+	Orthogonality [8]float64
+}
+
+// StabilityCells names the columns of Tables II and III.
+var StabilityCells = [8]string{"MAGMA", "A1-B", "A1-M", "A1-E", "A2-B", "A2-M", "A2-E", "A3"}
+
+// Tables23 runs the numerical-stability study (real arithmetic) for the
+// given sizes and prints both Table II (residuals) and Table III
+// (orthogonality of Q).
+func Tables23(w io.Writer, sizes []int, nb int) []StabilityRow {
+	if nb <= 0 {
+		nb = hybrid.DefaultNB
+	}
+	var rows []StabilityRow
+	for _, n := range sizes {
+		a := matrix.Random(n, n, uint64(n))
+		row := StabilityRow{N: n}
+
+		record := func(cell int, packed *matrix.Matrix, tau []float64) {
+			h := lapack.HessFromPacked(n, packed.Data, packed.Stride)
+			q := lapack.Dorghr(n, packed.Data, packed.Stride, tau)
+			row.Residual[cell] = lapack.FactorizationResidual(a, q, h)
+			row.Orthogonality[cell] = lapack.OrthogonalityResidual(q)
+		}
+
+		base, err := hybrid.Reduce(a, hybrid.Options{NB: nb, Device: gpu.New(sim.K40c(), gpu.Real)})
+		if err != nil {
+			panic(err)
+		}
+		record(0, base.Packed, base.Tau)
+
+		cell := 1
+		for _, area := range []fault.Area{fault.Area1, fault.Area2} {
+			for _, m := range []fault.Moment{fault.Beginning, fault.Middle, fault.End} {
+				in := fault.New(fault.Plan{
+					Area:       area,
+					TargetIter: fault.IterForMoment(n, nb, m, area),
+					Seed:       uint64(n)*10 + uint64(cell),
+				})
+				res, err := ft.Reduce(a, ft.Options{NB: nb, Device: gpu.New(sim.K40c(), gpu.Real), Hook: in})
+				if err != nil {
+					panic(fmt.Sprintf("n=%d %v-%v: %v", n, area, m, err))
+				}
+				if res.Detections == 0 {
+					panic(fmt.Sprintf("n=%d %v-%v: fault not detected", n, area, m))
+				}
+				record(cell, res.Packed, res.Tau)
+				cell++
+			}
+		}
+		// Area 3: the paper collapses B/M/E into one column (identical
+		// treatment: a single Q-check at the end).
+		in := fault.New(fault.Plan{
+			Area:       fault.Area3,
+			TargetIter: fault.IterForMoment(n, nb, fault.Middle, fault.Area3),
+			Seed:       uint64(n)*10 + 9,
+		})
+		res, err := ft.Reduce(a, ft.Options{NB: nb, Device: gpu.New(sim.K40c(), gpu.Real), Hook: in})
+		if err != nil {
+			panic(err)
+		}
+		record(7, res.Packed, res.Tau)
+		rows = append(rows, row)
+	}
+
+	printTable := func(title string, pick func(StabilityRow) [8]float64) {
+		fmt.Fprintf(w, "\n%s (nb=%d)\n", title, nb)
+		fmt.Fprintf(w, "%6s", "N")
+		for _, c := range StabilityCells {
+			fmt.Fprintf(w, " %10s", c)
+		}
+		fmt.Fprintln(w)
+		for _, r := range rows {
+			fmt.Fprintf(w, "%6d", r.N)
+			for _, v := range pick(r) {
+				fmt.Fprintf(w, " %10.2e", v)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	printTable("Table II — residual ‖A−QHQᵀ‖₁/(N‖A‖₁), one fault per cell", func(r StabilityRow) [8]float64 { return r.Residual })
+	printTable("Table III — orthogonality ‖QQᵀ−I‖₁/N, one fault per cell", func(r StabilityRow) [8]float64 { return r.Orthogonality })
+	return rows
+}

@@ -1,0 +1,456 @@
+package blas
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// --- naive reference implementations used as oracles ---
+
+func refGemm(tA, tB Transpose, m, n, k int, alpha float64, a *matrix.Matrix, b *matrix.Matrix, beta float64, c *matrix.Matrix) *matrix.Matrix {
+	out := c.Clone()
+	opA := func(i, l int) float64 {
+		if tA == Trans {
+			return a.At(l, i)
+		}
+		return a.At(i, l)
+	}
+	opB := func(l, j int) float64 {
+		if tB == Trans {
+			return b.At(j, l)
+		}
+		return b.At(l, j)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for l := 0; l < k; l++ {
+				sum += opA(i, l) * opB(l, j)
+			}
+			out.Set(i, j, alpha*sum+beta*c.At(i, j))
+		}
+	}
+	return out
+}
+
+// triMat materializes the triangle of a as a full matrix according to
+// uplo/diag so that triangular routines can be checked against refGemm.
+func triMat(a *matrix.Matrix, uplo Uplo, diag Diag) *matrix.Matrix {
+	n := a.Rows
+	t := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			inTri := (uplo == Upper && j >= i) || (uplo == Lower && j <= i)
+			if !inTri {
+				continue
+			}
+			if i == j && diag == Unit {
+				t.Set(i, j, 1)
+			} else {
+				t.Set(i, j, a.At(i, j))
+			}
+		}
+	}
+	return t
+}
+
+func maxDiff(a, b *matrix.Matrix) float64 {
+	return a.Sub(b).MaxAbs()
+}
+
+// --- level 1 ---
+
+func TestDdot(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if got := Ddot(3, x, 1, y, 1); got != 32 {
+		t.Fatalf("Ddot = %v, want 32", got)
+	}
+}
+
+func TestDdotStrided(t *testing.T) {
+	x := []float64{1, 99, 2, 99, 3}
+	y := []float64{4, 5, 6}
+	if got := Ddot(3, x, 2, y, 1); got != 32 {
+		t.Fatalf("strided Ddot = %v, want 32", got)
+	}
+}
+
+func TestDaxpy(t *testing.T) {
+	x := []float64{1, 2}
+	y := []float64{10, 20}
+	Daxpy(2, 3, x, 1, y, 1)
+	if y[0] != 13 || y[1] != 26 {
+		t.Fatalf("Daxpy result %v", y)
+	}
+	// alpha = 0 must be a no-op.
+	Daxpy(2, 0, x, 1, y, 1)
+	if y[0] != 13 || y[1] != 26 {
+		t.Fatalf("Daxpy alpha=0 modified y: %v", y)
+	}
+}
+
+func TestDscalDcopyDswap(t *testing.T) {
+	x := []float64{1, 2, 3}
+	Dscal(3, 2, x, 1)
+	if x[2] != 6 {
+		t.Fatalf("Dscal %v", x)
+	}
+	y := make([]float64, 3)
+	Dcopy(3, x, 1, y, 1)
+	if y[0] != 2 || y[2] != 6 {
+		t.Fatalf("Dcopy %v", y)
+	}
+	z := []float64{9, 9, 9}
+	Dswap(3, y, 1, z, 1)
+	if y[0] != 9 || z[2] != 6 {
+		t.Fatalf("Dswap y=%v z=%v", y, z)
+	}
+}
+
+func TestDnrm2(t *testing.T) {
+	x := []float64{3, 4}
+	if got := Dnrm2(2, x, 1); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("Dnrm2 = %v", got)
+	}
+	// Overflow guard.
+	big := []float64{1e300, 1e300}
+	want := 1e300 * math.Sqrt(2)
+	if got := Dnrm2(2, big, 1); math.Abs(got-want)/want > 1e-14 {
+		t.Fatalf("Dnrm2 overflow: %v", got)
+	}
+	if Dnrm2(0, nil, 1) != 0 {
+		t.Fatal("Dnrm2 empty")
+	}
+	if got := Dnrm2(1, []float64{-7}, 1); got != 7 {
+		t.Fatalf("Dnrm2 single = %v", got)
+	}
+}
+
+func TestDasumDsum(t *testing.T) {
+	x := []float64{1, -2, 3}
+	if Dasum(3, x, 1) != 6 {
+		t.Fatal("Dasum")
+	}
+	if Dsum(3, x, 1) != 2 {
+		t.Fatal("Dsum")
+	}
+}
+
+func TestIdamax(t *testing.T) {
+	x := []float64{1, -5, 3}
+	if got := Idamax(3, x, 1); got != 1 {
+		t.Fatalf("Idamax = %d", got)
+	}
+	if Idamax(0, nil, 1) != -1 {
+		t.Fatal("Idamax empty should be -1")
+	}
+	// Ties resolve to the first occurrence, as in reference BLAS.
+	if got := Idamax(3, []float64{2, -2, 2}, 1); got != 0 {
+		t.Fatalf("Idamax tie = %d", got)
+	}
+}
+
+// --- level 2 ---
+
+func TestDgemvAgainstRef(t *testing.T) {
+	for _, trans := range []Transpose{NoTrans, Trans} {
+		for _, dims := range [][2]int{{5, 3}, {3, 5}, {1, 7}, {7, 1}, {4, 4}} {
+			m, n := dims[0], dims[1]
+			a := matrix.Random(m, n, uint64(m*10+n))
+			lenX, lenY := n, m
+			if trans == Trans {
+				lenX, lenY = m, n
+			}
+			x := matrix.Random(lenX, 1, 3).Col(0)
+			y := matrix.Random(lenY, 1, 4).Col(0)
+			alpha, beta := 1.3, -0.7
+
+			want := make([]float64, lenY)
+			for i := range want {
+				sum := 0.0
+				for l := 0; l < lenX; l++ {
+					if trans == NoTrans {
+						sum += a.At(i, l) * x[l]
+					} else {
+						sum += a.At(l, i) * x[l]
+					}
+				}
+				want[i] = alpha*sum + beta*y[i]
+			}
+			got := append([]float64(nil), y...)
+			Dgemv(trans, m, n, alpha, a.Data, a.Stride, x, 1, beta, got, 1)
+			for i := range want {
+				if math.Abs(want[i]-got[i]) > 1e-12 {
+					t.Fatalf("%v %dx%d: y[%d]=%v want %v", trans, m, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDgemvBetaZeroOverwritesNaN(t *testing.T) {
+	// beta == 0 must overwrite y even if it holds NaN (reference semantics).
+	a := matrix.Identity(2)
+	x := []float64{1, 2}
+	y := []float64{math.NaN(), math.NaN()}
+	Dgemv(NoTrans, 2, 2, 1, a.Data, a.Stride, x, 1, 0, y, 1)
+	if y[0] != 1 || y[1] != 2 {
+		t.Fatalf("beta=0 did not overwrite: %v", y)
+	}
+}
+
+func TestDgemvStridedRowAccess(t *testing.T) {
+	// Use inc = lda to treat a matrix row as a vector, as dlahr2 does.
+	a := matrix.FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	row1 := a.Data[1:] // row 1 with stride a.Stride
+	got := Ddot(3, row1, a.Stride, []float64{1, 1, 1}, 1)
+	if got != 15 {
+		t.Fatalf("row dot = %v, want 15", got)
+	}
+}
+
+func TestDgerAgainstRef(t *testing.T) {
+	m, n := 4, 3
+	a := matrix.Random(m, n, 1)
+	x := matrix.Random(m, 1, 2).Col(0)
+	y := matrix.Random(n, 1, 3).Col(0)
+	want := a.Clone()
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			want.Add(i, j, 2.5*x[i]*y[j])
+		}
+	}
+	Dger(m, n, 2.5, x, 1, y, 1, a.Data, a.Stride)
+	if maxDiff(want, a) > 1e-13 {
+		t.Fatalf("Dger mismatch %v", maxDiff(want, a))
+	}
+}
+
+func TestDtrmvAllVariants(t *testing.T) {
+	n := 6
+	for _, uplo := range []Uplo{Upper, Lower} {
+		for _, trans := range []Transpose{NoTrans, Trans} {
+			for _, diag := range []Diag{NonUnit, Unit} {
+				a := matrix.Random(n, n, 11)
+				tm := triMat(a, uplo, diag)
+				x := matrix.Random(n, 1, 12).Col(0)
+				want := make([]float64, n)
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						if trans == NoTrans {
+							want[i] += tm.At(i, j) * x[j]
+						} else {
+							want[i] += tm.At(j, i) * x[j]
+						}
+					}
+				}
+				got := append([]float64(nil), x...)
+				Dtrmv(uplo, trans, diag, n, a.Data, a.Stride, got, 1)
+				for i := range want {
+					if math.Abs(want[i]-got[i]) > 1e-12 {
+						t.Fatalf("Dtrmv %v %v %v: x[%d]=%v want %v", uplo, trans, diag, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDtrsvInvertsDtrmv(t *testing.T) {
+	n := 8
+	for _, uplo := range []Uplo{Upper, Lower} {
+		for _, trans := range []Transpose{NoTrans, Trans} {
+			for _, diag := range []Diag{NonUnit, Unit} {
+				a := matrix.Random(n, n, 21)
+				for i := 0; i < n; i++ {
+					a.Add(i, i, 4) // keep well conditioned
+				}
+				x0 := matrix.Random(n, 1, 22).Col(0)
+				x := append([]float64(nil), x0...)
+				Dtrmv(uplo, trans, diag, n, a.Data, a.Stride, x, 1)
+				Dtrsv(uplo, trans, diag, n, a.Data, a.Stride, x, 1)
+				for i := range x0 {
+					if math.Abs(x[i]-x0[i]) > 1e-10 {
+						t.Fatalf("Dtrsv∘Dtrmv ≠ id (%v %v %v): %v vs %v", uplo, trans, diag, x[i], x0[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// --- level 3 ---
+
+func TestDgemmAllVariants(t *testing.T) {
+	dims := [][3]int{{4, 5, 3}, {1, 1, 1}, {7, 2, 9}, {3, 8, 1}, {6, 6, 6}}
+	for _, tA := range []Transpose{NoTrans, Trans} {
+		for _, tB := range []Transpose{NoTrans, Trans} {
+			for _, d := range dims {
+				m, n, k := d[0], d[1], d[2]
+				ar, ac := m, k
+				if tA == Trans {
+					ar, ac = k, m
+				}
+				br, bc := k, n
+				if tB == Trans {
+					br, bc = n, k
+				}
+				a := matrix.Random(ar, ac, uint64(m+n+k))
+				b := matrix.Random(br, bc, uint64(m*n+k))
+				c := matrix.Random(m, n, 77)
+				want := refGemm(tA, tB, m, n, k, 1.5, a, b, -0.5, c)
+				Dgemm(tA, tB, m, n, k, 1.5, a.Data, a.Stride, b.Data, b.Stride, -0.5, c.Data, c.Stride)
+				if md := maxDiff(want, c); md > 1e-12 {
+					t.Fatalf("Dgemm %v %v %v: maxdiff %v", tA, tB, d, md)
+				}
+			}
+		}
+	}
+}
+
+func TestDgemmQuickReturns(t *testing.T) {
+	c := matrix.Random(3, 3, 5)
+	orig := c.Clone()
+	// alpha = 0, beta = 1: C unchanged.
+	Dgemm(NoTrans, NoTrans, 3, 3, 3, 0, orig.Data, 3, orig.Data, 3, 1, c.Data, c.Stride)
+	if !c.Equal(orig) {
+		t.Fatal("alpha=0 beta=1 must not modify C")
+	}
+	// k = 0, beta = 0: C zeroed.
+	Dgemm(NoTrans, NoTrans, 3, 3, 0, 1, nil, 3, nil, 3, 0, c.Data, c.Stride)
+	if c.MaxAbs() != 0 {
+		t.Fatal("k=0 beta=0 must zero C")
+	}
+}
+
+func TestDgemmParallelMatchesSerial(t *testing.T) {
+	m, n, k := 150, 160, 140 // above the parallel threshold
+	a := matrix.Random(m, k, 1)
+	b := matrix.Random(k, n, 2)
+	c0 := matrix.Random(m, n, 3)
+
+	serial := c0.Clone()
+	prev := SetMaxProcs(1)
+	Dgemm(NoTrans, NoTrans, m, n, k, 1, a.Data, a.Stride, b.Data, b.Stride, 1, serial.Data, serial.Stride)
+	SetMaxProcs(8)
+	par := c0.Clone()
+	Dgemm(NoTrans, NoTrans, m, n, k, 1, a.Data, a.Stride, b.Data, b.Stride, 1, par.Data, par.Stride)
+	SetMaxProcs(prev)
+
+	if !serial.Equal(par) {
+		t.Fatalf("parallel Dgemm differs from serial: maxdiff %v", maxDiff(serial, par))
+	}
+}
+
+func TestDgemmSubmatrixStride(t *testing.T) {
+	// Operate on views with stride > rows to catch lda handling bugs.
+	big := matrix.Random(10, 10, 9)
+	a := big.View(1, 1, 4, 3)
+	b := big.View(5, 2, 3, 2)
+	c := matrix.New(4, 2)
+	want := refGemm(NoTrans, NoTrans, 4, 2, 3, 1, a.Clone(), b.Clone(), 0, c.Clone())
+	Dgemm(NoTrans, NoTrans, 4, 2, 3, 1, a.Data, a.Stride, b.Data, b.Stride, 0, c.Data, c.Stride)
+	if maxDiff(want, c) > 1e-13 {
+		t.Fatal("Dgemm with non-tight stride wrong")
+	}
+}
+
+func TestDtrmmAllVariants(t *testing.T) {
+	m, n := 5, 4
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []Uplo{Upper, Lower} {
+			for _, trans := range []Transpose{NoTrans, Trans} {
+				for _, diag := range []Diag{NonUnit, Unit} {
+					na := m
+					if side == Right {
+						na = n
+					}
+					a := matrix.Random(na, na, uint64(na))
+					b := matrix.Random(m, n, 33)
+					tm := triMat(a, uplo, diag)
+					var want *matrix.Matrix
+					if side == Left {
+						want = refGemm(trans, NoTrans, m, n, m, 2.0, tm, b, 0, matrix.New(m, n))
+					} else {
+						want = refGemm(NoTrans, trans, m, n, n, 2.0, b, tm, 0, matrix.New(m, n))
+					}
+					Dtrmm(side, uplo, trans, diag, m, n, 2.0, a.Data, a.Stride, b.Data, b.Stride)
+					if md := maxDiff(want, b); md > 1e-12 {
+						t.Fatalf("Dtrmm %v %v %v %v: maxdiff %v", side, uplo, trans, diag, md)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDtrsmInvertsDtrmm(t *testing.T) {
+	m, n := 6, 5
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []Uplo{Upper, Lower} {
+			for _, trans := range []Transpose{NoTrans, Trans} {
+				for _, diag := range []Diag{NonUnit, Unit} {
+					na := m
+					if side == Right {
+						na = n
+					}
+					a := matrix.Random(na, na, uint64(7*na))
+					for i := 0; i < na; i++ {
+						a.Add(i, i, 3)
+					}
+					b0 := matrix.Random(m, n, 44)
+					b := b0.Clone()
+					Dtrmm(side, uplo, trans, diag, m, n, 1, a.Data, a.Stride, b.Data, b.Stride)
+					Dtrsm(side, uplo, trans, diag, m, n, 1, a.Data, a.Stride, b.Data, b.Stride)
+					if md := maxDiff(b0, b); md > 1e-10 {
+						t.Fatalf("Dtrsm∘Dtrmm ≠ id (%v %v %v %v): %v", side, uplo, trans, diag, md)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDtrsmAlpha(t *testing.T) {
+	// X solving A*X = alpha*B should equal alpha * (A^{-1} B).
+	n := 4
+	a := matrix.Random(n, n, 3)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, 5)
+	}
+	b := matrix.Random(n, n, 4)
+	one := b.Clone()
+	Dtrsm(Left, Upper, NoTrans, NonUnit, n, n, 1, a.Data, a.Stride, one.Data, one.Stride)
+	two := b.Clone()
+	Dtrsm(Left, Upper, NoTrans, NonUnit, n, n, 2, a.Data, a.Stride, two.Data, two.Stride)
+	one.Scale(2)
+	if maxDiff(one, two) > 1e-11 {
+		t.Fatal("Dtrsm alpha scaling wrong")
+	}
+}
+
+func TestVectorArgChecks(t *testing.T) {
+	for name, f := range map[string]func(){
+		"negative n":   func() { Ddot(-1, nil, 1, nil, 1) },
+		"zero inc":     func() { Dscal(2, 1, []float64{1, 2}, 0) },
+		"short vector": func() { Dasum(5, []float64{1}, 1) },
+		"short matrix": func() {
+			Dgemm(NoTrans, NoTrans, 4, 4, 4, 1, make([]float64, 4), 4, make([]float64, 16), 4, 0, make([]float64, 16), 4)
+		},
+		"bad lda": func() {
+			Dgemv(NoTrans, 4, 2, 1, make([]float64, 8), 2, make([]float64, 2), 1, 0, make([]float64, 4), 1)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

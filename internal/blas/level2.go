@@ -1,0 +1,218 @@
+package blas
+
+// Level-2 BLAS: matrix-vector operations over column-major storage.
+
+// Dgemv computes y := alpha*op(A)*x + beta*y where A is m×n.
+func Dgemv(trans Transpose, m, n int, alpha float64, a []float64, lda int, x []float64, incX int, beta float64, y []float64, incY int) {
+	checkMatrix("Dgemv", m, n, lda, a)
+	lenX, lenY := n, m
+	if trans == Trans {
+		lenX, lenY = m, n
+	}
+	checkVector("Dgemv", lenX, x, incX)
+	checkVector("Dgemv", lenY, y, incY)
+	if m == 0 || n == 0 {
+		return
+	}
+	// y := beta*y
+	if beta != 1 {
+		if beta == 0 {
+			for i, iy := 0, 0; i < lenY; i, iy = i+1, iy+incY {
+				y[iy] = 0
+			}
+		} else {
+			Dscal(lenY, beta, y, incY)
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	if trans == NoTrans {
+		// y += alpha * A * x, one axpy per column of A.
+		for j, jx := 0, 0; j < n; j, jx = j+1, jx+incX {
+			t := alpha * x[jx]
+			if t == 0 {
+				continue
+			}
+			col := a[j*lda : j*lda+m]
+			if incY == 1 {
+				for i := 0; i < m; i++ {
+					y[i] += t * col[i]
+				}
+			} else {
+				for i, iy := 0, 0; i < m; i, iy = i+1, iy+incY {
+					y[iy] += t * col[i]
+				}
+			}
+		}
+		return
+	}
+	// y += alpha * Aᵀ * x, one dot per column of A.
+	for j, jy := 0, 0; j < n; j, jy = j+1, jy+incY {
+		col := a[j*lda : j*lda+m]
+		sum := 0.0
+		if incX == 1 {
+			for i := 0; i < m; i++ {
+				sum += col[i] * x[i]
+			}
+		} else {
+			for i, ix := 0, 0; i < m; i, ix = i+1, ix+incX {
+				sum += col[i] * x[ix]
+			}
+		}
+		y[jy] += alpha * sum
+	}
+}
+
+// Dger computes the rank-1 update A := alpha*x*yᵀ + A where A is m×n.
+func Dger(m, n int, alpha float64, x []float64, incX int, y []float64, incY int, a []float64, lda int) {
+	checkMatrix("Dger", m, n, lda, a)
+	checkVector("Dger", m, x, incX)
+	checkVector("Dger", n, y, incY)
+	if m == 0 || n == 0 || alpha == 0 {
+		return
+	}
+	for j, jy := 0, 0; j < n; j, jy = j+1, jy+incY {
+		t := alpha * y[jy]
+		if t == 0 {
+			continue
+		}
+		col := a[j*lda : j*lda+m]
+		for i, ix := 0, 0; i < m; i, ix = i+1, ix+incX {
+			col[i] += t * x[ix]
+		}
+	}
+}
+
+// Dtrmv computes x := op(A)*x where A is an n×n triangular matrix.
+func Dtrmv(uplo Uplo, trans Transpose, diag Diag, n int, a []float64, lda int, x []float64, incX int) {
+	checkMatrix("Dtrmv", n, n, lda, a)
+	checkVector("Dtrmv", n, x, incX)
+	if n == 0 {
+		return
+	}
+	nonUnit := diag == NonUnit
+	switch {
+	case trans == NoTrans && uplo == Upper:
+		// x := U*x, forward over columns.
+		for j, jx := 0, 0; j < n; j, jx = j+1, jx+incX {
+			t := x[jx]
+			if t != 0 {
+				col := a[j*lda:]
+				for i, ix := 0, 0; i < j; i, ix = i+1, ix+incX {
+					x[ix] += t * col[i]
+				}
+				if nonUnit {
+					x[jx] = t * col[j]
+				}
+			} else if nonUnit {
+				x[jx] = 0
+			}
+		}
+	case trans == NoTrans && uplo == Lower:
+		// x := L*x, backward over columns.
+		for j, jx := n-1, (n-1)*incX; j >= 0; j, jx = j-1, jx-incX {
+			t := x[jx]
+			col := a[j*lda:]
+			if t != 0 {
+				for i, ix := n-1, (n-1)*incX; i > j; i, ix = i-1, ix-incX {
+					x[ix] += t * col[i]
+				}
+				if nonUnit {
+					x[jx] = t * col[j]
+				}
+			} else if nonUnit {
+				x[jx] = 0
+			}
+		}
+	case trans == Trans && uplo == Upper:
+		// x := Uᵀ*x, backward.
+		for j, jx := n-1, (n-1)*incX; j >= 0; j, jx = j-1, jx-incX {
+			col := a[j*lda:]
+			t := 0.0
+			if nonUnit {
+				t = x[jx] * col[j]
+			} else {
+				t = x[jx]
+			}
+			for i, ix := 0, 0; i < j; i, ix = i+1, ix+incX {
+				t += col[i] * x[ix]
+			}
+			x[jx] = t
+		}
+	default: // trans == Trans && uplo == Lower
+		// x := Lᵀ*x, forward.
+		for j, jx := 0, 0; j < n; j, jx = j+1, jx+incX {
+			col := a[j*lda:]
+			t := 0.0
+			if nonUnit {
+				t = x[jx] * col[j]
+			} else {
+				t = x[jx]
+			}
+			for i, ix := j+1, (j+1)*incX; i < n; i, ix = i+1, ix+incX {
+				t += col[i] * x[ix]
+			}
+			x[jx] = t
+		}
+	}
+}
+
+// Dtrsv solves op(A)*x = b for x in place, where A is n×n triangular and x
+// holds b on entry.
+func Dtrsv(uplo Uplo, trans Transpose, diag Diag, n int, a []float64, lda int, x []float64, incX int) {
+	checkMatrix("Dtrsv", n, n, lda, a)
+	checkVector("Dtrsv", n, x, incX)
+	if n == 0 {
+		return
+	}
+	nonUnit := diag == NonUnit
+	switch {
+	case trans == NoTrans && uplo == Upper:
+		for j, jx := n-1, (n-1)*incX; j >= 0; j, jx = j-1, jx-incX {
+			col := a[j*lda:]
+			if nonUnit {
+				x[jx] /= col[j]
+			}
+			t := x[jx]
+			for i, ix := 0, 0; i < j; i, ix = i+1, ix+incX {
+				x[ix] -= t * col[i]
+			}
+		}
+	case trans == NoTrans && uplo == Lower:
+		for j, jx := 0, 0; j < n; j, jx = j+1, jx+incX {
+			col := a[j*lda:]
+			if nonUnit {
+				x[jx] /= col[j]
+			}
+			t := x[jx]
+			for i, ix := j+1, (j+1)*incX; i < n; i, ix = i+1, ix+incX {
+				x[ix] -= t * col[i]
+			}
+		}
+	case trans == Trans && uplo == Upper:
+		for j, jx := 0, 0; j < n; j, jx = j+1, jx+incX {
+			col := a[j*lda:]
+			t := x[jx]
+			for i, ix := 0, 0; i < j; i, ix = i+1, ix+incX {
+				t -= col[i] * x[ix]
+			}
+			if nonUnit {
+				t /= col[j]
+			}
+			x[jx] = t
+		}
+	default: // trans == Trans && uplo == Lower
+		for j, jx := n-1, (n-1)*incX; j >= 0; j, jx = j-1, jx-incX {
+			col := a[j*lda:]
+			t := x[jx]
+			for i, ix := j+1, (j+1)*incX; i < n; i, ix = i+1, ix+incX {
+				t -= col[i] * x[ix]
+			}
+			if nonUnit {
+				t /= col[j]
+			}
+			x[jx] = t
+		}
+	}
+}

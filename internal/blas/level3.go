@@ -1,0 +1,543 @@
+package blas
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxProcs bounds the number of goroutines Dgemm fans out to. It is a
+// variable rather than a constant so the simulated-GPU package can pin the
+// "device" kernels to a chosen width and tests can force serial execution.
+var (
+	maxProcsMu sync.RWMutex
+	maxProcs   = runtime.GOMAXPROCS(0)
+)
+
+// SetMaxProcs sets the parallelism ceiling for Dgemm and returns the
+// previous value. n < 1 is treated as 1.
+func SetMaxProcs(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	maxProcsMu.Lock()
+	prev := maxProcs
+	maxProcs = n
+	maxProcsMu.Unlock()
+	return prev
+}
+
+func procs() int {
+	maxProcsMu.RLock()
+	defer maxProcsMu.RUnlock()
+	return maxProcs
+}
+
+// parallelGemmThreshold is the flop count (2mnk) above which Dgemm shards
+// columns of C across goroutines. Below it the goroutine overhead dominates.
+const parallelGemmThreshold = 1 << 21
+
+// Dgemm computes C := alpha*op(A)*op(B) + beta*C where op(A) is m×k and
+// op(B) is k×n.
+func Dgemm(tA, tB Transpose, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	ar, ac := m, k
+	if tA == Trans {
+		ar, ac = k, m
+	}
+	br, bc := k, n
+	if tB == Trans {
+		br, bc = n, k
+	}
+	checkMatrix("Dgemm", ar, ac, lda, a)
+	checkMatrix("Dgemm", br, bc, ldb, b)
+	checkMatrix("Dgemm", m, n, ldc, c)
+	if m == 0 || n == 0 {
+		return
+	}
+	if alpha == 0 || k == 0 {
+		scaleCols(m, n, beta, c, ldc, 0, n)
+		return
+	}
+	p := procs()
+	if p > 1 && 2*m*n*k >= parallelGemmThreshold && n > 1 {
+		chunks := p
+		if chunks > n {
+			chunks = n
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < chunks; w++ {
+			j0 := w * n / chunks
+			j1 := (w + 1) * n / chunks
+			if j0 == j1 {
+				continue
+			}
+			wg.Add(1)
+			go func(j0, j1 int) {
+				defer wg.Done()
+				gemmCols(tA, tB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, j0, j1)
+			}(j0, j1)
+		}
+		wg.Wait()
+		return
+	}
+	gemmCols(tA, tB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, 0, n)
+}
+
+// gemmCols computes columns [j0, j1) of the Dgemm update.
+func gemmCols(tA, tB Transpose, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int, j0, j1 int) {
+	scaleCols(m, n, beta, c, ldc, j0, j1)
+	switch {
+	case tA == NoTrans && tB == NoTrans:
+		// C(:,j) += alpha * Σ_l B(l,j) * A(:,l)
+		for j := j0; j < j1; j++ {
+			cc := c[j*ldc : j*ldc+m]
+			for l := 0; l < k; l++ {
+				t := alpha * b[j*ldb+l]
+				if t == 0 {
+					continue
+				}
+				ac := a[l*lda : l*lda+m]
+				for i := range cc {
+					cc[i] += t * ac[i]
+				}
+			}
+		}
+	case tA == NoTrans && tB == Trans:
+		// C(:,j) += alpha * Σ_l B(j,l) * A(:,l)
+		for j := j0; j < j1; j++ {
+			cc := c[j*ldc : j*ldc+m]
+			for l := 0; l < k; l++ {
+				t := alpha * b[l*ldb+j]
+				if t == 0 {
+					continue
+				}
+				ac := a[l*lda : l*lda+m]
+				for i := range cc {
+					cc[i] += t * ac[i]
+				}
+			}
+		}
+	case tA == Trans && tB == NoTrans:
+		// C(i,j) += alpha * dot(A(:,i), B(:,j))
+		for j := j0; j < j1; j++ {
+			bc := b[j*ldb : j*ldb+k]
+			cc := c[j*ldc : j*ldc+m]
+			for i := 0; i < m; i++ {
+				ac := a[i*lda : i*lda+k]
+				sum := 0.0
+				for l := range bc {
+					sum += ac[l] * bc[l]
+				}
+				cc[i] += alpha * sum
+			}
+		}
+	default: // Trans, Trans
+		// C(i,j) += alpha * Σ_l A(l,i) * B(j,l)
+		for j := j0; j < j1; j++ {
+			cc := c[j*ldc : j*ldc+m]
+			for i := 0; i < m; i++ {
+				ac := a[i*lda : i*lda+k]
+				sum := 0.0
+				for l := 0; l < k; l++ {
+					sum += ac[l] * b[l*ldb+j]
+				}
+				cc[i] += alpha * sum
+			}
+		}
+	}
+}
+
+func scaleCols(m, n int, beta float64, c []float64, ldc, j0, j1 int) {
+	if beta == 1 {
+		return
+	}
+	for j := j0; j < j1; j++ {
+		cc := c[j*ldc : j*ldc+m]
+		if beta == 0 {
+			for i := range cc {
+				cc[i] = 0
+			}
+		} else {
+			for i := range cc {
+				cc[i] *= beta
+			}
+		}
+	}
+}
+
+// Dtrmm computes B := alpha*op(A)*B (Left) or B := alpha*B*op(A) (Right)
+// where A is triangular and B is m×n.
+func Dtrmm(side Side, uplo Uplo, trans Transpose, diag Diag, m, n int, alpha float64, a []float64, lda int, b []float64, ldb int) {
+	na := m
+	if side == Right {
+		na = n
+	}
+	checkMatrix("Dtrmm", na, na, lda, a)
+	checkMatrix("Dtrmm", m, n, ldb, b)
+	if m == 0 || n == 0 {
+		return
+	}
+	if alpha == 0 {
+		scaleCols(m, n, 0, b, ldb, 0, n)
+		return
+	}
+	nonUnit := diag == NonUnit
+	switch {
+	case side == Left && trans == NoTrans && uplo == Upper:
+		for j := 0; j < n; j++ {
+			bc := b[j*ldb:]
+			for k := 0; k < m; k++ {
+				if bc[k] == 0 {
+					continue
+				}
+				t := alpha * bc[k]
+				ac := a[k*lda:]
+				for i := 0; i < k; i++ {
+					bc[i] += t * ac[i]
+				}
+				if nonUnit {
+					t *= ac[k]
+				}
+				bc[k] = t
+			}
+		}
+	case side == Left && trans == NoTrans && uplo == Lower:
+		for j := 0; j < n; j++ {
+			bc := b[j*ldb:]
+			for k := m - 1; k >= 0; k-- {
+				if bc[k] == 0 {
+					continue
+				}
+				t := alpha * bc[k]
+				ac := a[k*lda:]
+				bc[k] = t
+				if nonUnit {
+					bc[k] *= ac[k]
+				}
+				for i := k + 1; i < m; i++ {
+					bc[i] += t * ac[i]
+				}
+			}
+		}
+	case side == Left && trans == Trans && uplo == Upper:
+		for j := 0; j < n; j++ {
+			bc := b[j*ldb:]
+			for i := m - 1; i >= 0; i-- {
+				ac := a[i*lda:]
+				t := bc[i]
+				if nonUnit {
+					t *= ac[i]
+				}
+				for k := 0; k < i; k++ {
+					t += ac[k] * bc[k]
+				}
+				bc[i] = alpha * t
+			}
+		}
+	case side == Left && trans == Trans && uplo == Lower:
+		for j := 0; j < n; j++ {
+			bc := b[j*ldb:]
+			for i := 0; i < m; i++ {
+				ac := a[i*lda:]
+				t := bc[i]
+				if nonUnit {
+					t *= ac[i]
+				}
+				for k := i + 1; k < m; k++ {
+					t += ac[k] * bc[k]
+				}
+				bc[i] = alpha * t
+			}
+		}
+	case side == Right && trans == NoTrans && uplo == Upper:
+		for j := n - 1; j >= 0; j-- {
+			t := alpha
+			if nonUnit {
+				t *= a[j*lda+j]
+			}
+			bj := b[j*ldb : j*ldb+m]
+			if t != 1 {
+				for i := range bj {
+					bj[i] *= t
+				}
+			}
+			for k := 0; k < j; k++ {
+				if a[j*lda+k] == 0 {
+					continue
+				}
+				t = alpha * a[j*lda+k]
+				bk := b[k*ldb : k*ldb+m]
+				for i := range bj {
+					bj[i] += t * bk[i]
+				}
+			}
+		}
+	case side == Right && trans == NoTrans && uplo == Lower:
+		for j := 0; j < n; j++ {
+			t := alpha
+			if nonUnit {
+				t *= a[j*lda+j]
+			}
+			bj := b[j*ldb : j*ldb+m]
+			if t != 1 {
+				for i := range bj {
+					bj[i] *= t
+				}
+			}
+			for k := j + 1; k < n; k++ {
+				if a[j*lda+k] == 0 {
+					continue
+				}
+				t = alpha * a[j*lda+k]
+				bk := b[k*ldb : k*ldb+m]
+				for i := range bj {
+					bj[i] += t * bk[i]
+				}
+			}
+		}
+	case side == Right && trans == Trans && uplo == Upper:
+		for k := 0; k < n; k++ {
+			ak := a[k*lda:]
+			bk := b[k*ldb : k*ldb+m]
+			for j := 0; j < k; j++ {
+				if ak[j] == 0 {
+					continue
+				}
+				t := alpha * ak[j]
+				bj := b[j*ldb : j*ldb+m]
+				for i := range bj {
+					bj[i] += t * bk[i]
+				}
+			}
+			t := alpha
+			if nonUnit {
+				t *= ak[k]
+			}
+			if t != 1 {
+				for i := range bk {
+					bk[i] *= t
+				}
+			}
+		}
+	default: // Right, Trans, Lower
+		for k := n - 1; k >= 0; k-- {
+			ak := a[k*lda:]
+			bk := b[k*ldb : k*ldb+m]
+			for j := k + 1; j < n; j++ {
+				if ak[j] == 0 {
+					continue
+				}
+				t := alpha * ak[j]
+				bj := b[j*ldb : j*ldb+m]
+				for i := range bj {
+					bj[i] += t * bk[i]
+				}
+			}
+			t := alpha
+			if nonUnit {
+				t *= ak[k]
+			}
+			if t != 1 {
+				for i := range bk {
+					bk[i] *= t
+				}
+			}
+		}
+	}
+}
+
+// Dtrsm solves op(A)*X = alpha*B (Left) or X*op(A) = alpha*B (Right) for X,
+// overwriting B with the solution. A is triangular, B is m×n.
+func Dtrsm(side Side, uplo Uplo, trans Transpose, diag Diag, m, n int, alpha float64, a []float64, lda int, b []float64, ldb int) {
+	na := m
+	if side == Right {
+		na = n
+	}
+	checkMatrix("Dtrsm", na, na, lda, a)
+	checkMatrix("Dtrsm", m, n, ldb, b)
+	if m == 0 || n == 0 {
+		return
+	}
+	if alpha == 0 {
+		scaleCols(m, n, 0, b, ldb, 0, n)
+		return
+	}
+	nonUnit := diag == NonUnit
+	switch {
+	case side == Left && trans == NoTrans && uplo == Upper:
+		for j := 0; j < n; j++ {
+			bc := b[j*ldb:]
+			if alpha != 1 {
+				for i := 0; i < m; i++ {
+					bc[i] *= alpha
+				}
+			}
+			for k := m - 1; k >= 0; k-- {
+				if bc[k] == 0 {
+					continue
+				}
+				ac := a[k*lda:]
+				if nonUnit {
+					bc[k] /= ac[k]
+				}
+				t := bc[k]
+				for i := 0; i < k; i++ {
+					bc[i] -= t * ac[i]
+				}
+			}
+		}
+	case side == Left && trans == NoTrans && uplo == Lower:
+		for j := 0; j < n; j++ {
+			bc := b[j*ldb:]
+			if alpha != 1 {
+				for i := 0; i < m; i++ {
+					bc[i] *= alpha
+				}
+			}
+			for k := 0; k < m; k++ {
+				if bc[k] == 0 {
+					continue
+				}
+				ac := a[k*lda:]
+				if nonUnit {
+					bc[k] /= ac[k]
+				}
+				t := bc[k]
+				for i := k + 1; i < m; i++ {
+					bc[i] -= t * ac[i]
+				}
+			}
+		}
+	case side == Left && trans == Trans && uplo == Upper:
+		for j := 0; j < n; j++ {
+			bc := b[j*ldb:]
+			for i := 0; i < m; i++ {
+				ac := a[i*lda:]
+				t := alpha * bc[i]
+				for k := 0; k < i; k++ {
+					t -= ac[k] * bc[k]
+				}
+				if nonUnit {
+					t /= ac[i]
+				}
+				bc[i] = t
+			}
+		}
+	case side == Left && trans == Trans && uplo == Lower:
+		for j := 0; j < n; j++ {
+			bc := b[j*ldb:]
+			for i := m - 1; i >= 0; i-- {
+				ac := a[i*lda:]
+				t := alpha * bc[i]
+				for k := i + 1; k < m; k++ {
+					t -= ac[k] * bc[k]
+				}
+				if nonUnit {
+					t /= ac[i]
+				}
+				bc[i] = t
+			}
+		}
+	case side == Right && trans == NoTrans && uplo == Upper:
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+m]
+			if alpha != 1 {
+				for i := range bj {
+					bj[i] *= alpha
+				}
+			}
+			for k := 0; k < j; k++ {
+				if a[j*lda+k] == 0 {
+					continue
+				}
+				t := a[j*lda+k]
+				bk := b[k*ldb : k*ldb+m]
+				for i := range bj {
+					bj[i] -= t * bk[i]
+				}
+			}
+			if nonUnit {
+				t := 1 / a[j*lda+j]
+				for i := range bj {
+					bj[i] *= t
+				}
+			}
+		}
+	case side == Right && trans == NoTrans && uplo == Lower:
+		for j := n - 1; j >= 0; j-- {
+			bj := b[j*ldb : j*ldb+m]
+			if alpha != 1 {
+				for i := range bj {
+					bj[i] *= alpha
+				}
+			}
+			for k := j + 1; k < n; k++ {
+				if a[j*lda+k] == 0 {
+					continue
+				}
+				t := a[j*lda+k]
+				bk := b[k*ldb : k*ldb+m]
+				for i := range bj {
+					bj[i] -= t * bk[i]
+				}
+			}
+			if nonUnit {
+				t := 1 / a[j*lda+j]
+				for i := range bj {
+					bj[i] *= t
+				}
+			}
+		}
+	case side == Right && trans == Trans && uplo == Upper:
+		for k := n - 1; k >= 0; k-- {
+			ak := a[k*lda:]
+			bk := b[k*ldb : k*ldb+m]
+			if nonUnit {
+				t := 1 / ak[k]
+				for i := range bk {
+					bk[i] *= t
+				}
+			}
+			for j := 0; j < k; j++ {
+				if ak[j] == 0 {
+					continue
+				}
+				t := ak[j]
+				bj := b[j*ldb : j*ldb+m]
+				for i := range bj {
+					bj[i] -= t * bk[i]
+				}
+			}
+			if alpha != 1 {
+				for i := range bk {
+					bk[i] *= alpha
+				}
+			}
+		}
+	default: // Right, Trans, Lower
+		for k := 0; k < n; k++ {
+			ak := a[k*lda:]
+			bk := b[k*ldb : k*ldb+m]
+			if nonUnit {
+				t := 1 / ak[k]
+				for i := range bk {
+					bk[i] *= t
+				}
+			}
+			for j := k + 1; j < n; j++ {
+				if ak[j] == 0 {
+					continue
+				}
+				t := ak[j]
+				bj := b[j*ldb : j*ldb+m]
+				for i := range bj {
+					bj[i] -= t * bk[i]
+				}
+			}
+			if alpha != 1 {
+				for i := range bk {
+					bk[i] *= alpha
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package blas
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// symFull materializes a full symmetric matrix from the uplo triangle of a.
+func symFull(a *matrix.Matrix, uplo Uplo) *matrix.Matrix {
+	n := a.Rows
+	s := matrix.New(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			inTri := (uplo == Upper && i <= j) || (uplo == Lower && i >= j)
+			if inTri {
+				s.Set(i, j, a.At(i, j))
+				s.Set(j, i, a.At(i, j))
+			}
+		}
+	}
+	return s
+}
+
+func TestDsymvAgainstRef(t *testing.T) {
+	n := 7
+	for _, uplo := range []Uplo{Upper, Lower} {
+		a := matrix.Random(n, n, 3)
+		s := symFull(a, uplo)
+		x := matrix.Random(n, 1, 4).Col(0)
+		y0 := matrix.Random(n, 1, 5).Col(0)
+		alpha, beta := 1.7, -0.3
+
+		want := make([]float64, n)
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				sum += s.At(i, j) * x[j]
+			}
+			want[i] = alpha*sum + beta*y0[i]
+		}
+		got := append([]float64(nil), y0...)
+		Dsymv(uplo, n, alpha, a.Data, a.Stride, x, 1, beta, got, 1)
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-12 {
+				t.Fatalf("%v: y[%d] = %v, want %v", uplo, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDsymvOnlyReadsTriangle(t *testing.T) {
+	// Poison the unreferenced triangle with NaN: the result must be clean.
+	n := 5
+	a := matrix.Random(n, n, 6)
+	for j := 0; j < n; j++ {
+		for i := 0; i < j; i++ {
+			a.Set(i, j, math.NaN()) // upper garbage; use Lower
+		}
+	}
+	x := matrix.Random(n, 1, 7).Col(0)
+	y := make([]float64, n)
+	Dsymv(Lower, n, 1, a.Data, a.Stride, x, 1, 0, y, 1)
+	for i, v := range y {
+		if math.IsNaN(v) {
+			t.Fatalf("Dsymv read the unreferenced triangle (y[%d] is NaN)", i)
+		}
+	}
+}
+
+func TestDsyr2AgainstRef(t *testing.T) {
+	n := 6
+	for _, uplo := range []Uplo{Upper, Lower} {
+		a := matrix.Random(n, n, 8)
+		orig := a.Clone()
+		x := matrix.Random(n, 1, 9).Col(0)
+		y := matrix.Random(n, 1, 10).Col(0)
+		alpha := 1.3
+		Dsyr2(uplo, n, alpha, x, 1, y, 1, a.Data, a.Stride)
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				inTri := (uplo == Upper && i <= j) || (uplo == Lower && i >= j)
+				want := orig.At(i, j)
+				if inTri {
+					want += alpha * (x[i]*y[j] + y[i]*x[j])
+				}
+				if math.Abs(a.At(i, j)-want) > 1e-13 {
+					t.Fatalf("%v: (%d,%d) = %v, want %v", uplo, i, j, a.At(i, j), want)
+				}
+			}
+		}
+	}
+}
+
+func TestDsyr2kAgainstRef(t *testing.T) {
+	n, k := 6, 3
+	for _, uplo := range []Uplo{Upper, Lower} {
+		a := matrix.Random(n, k, 11)
+		b := matrix.Random(n, k, 12)
+		c := matrix.Random(n, n, 13)
+		orig := c.Clone()
+		alpha, beta := -1.0, 0.5
+		Dsyr2k(uplo, NoTrans, n, k, alpha, a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride)
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				inTri := (uplo == Upper && i <= j) || (uplo == Lower && i >= j)
+				if !inTri {
+					if c.At(i, j) != orig.At(i, j) {
+						t.Fatalf("%v: untouched triangle modified at (%d,%d)", uplo, i, j)
+					}
+					continue
+				}
+				sum := 0.0
+				for l := 0; l < k; l++ {
+					sum += a.At(i, l)*b.At(j, l) + b.At(i, l)*a.At(j, l)
+				}
+				want := alpha*sum + beta*orig.At(i, j)
+				if math.Abs(c.At(i, j)-want) > 1e-12 {
+					t.Fatalf("%v: (%d,%d) = %v, want %v", uplo, i, j, c.At(i, j), want)
+				}
+			}
+		}
+	}
+}
+
+func TestDsyr2kRejectsTrans(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dsyr2k must reject Trans")
+		}
+	}()
+	Dsyr2k(Lower, Trans, 2, 2, 1, make([]float64, 4), 2, make([]float64, 4), 2, 0, make([]float64, 4), 2)
+}
+
+func TestDsymvSymmetryProperty(t *testing.T) {
+	// For a symmetric operator, xᵀ(A·y) == yᵀ(A·x).
+	n := 9
+	a := matrix.Random(n, n, 20)
+	x := matrix.Random(n, 1, 21).Col(0)
+	y := matrix.Random(n, 1, 22).Col(0)
+	ay := make([]float64, n)
+	ax := make([]float64, n)
+	Dsymv(Lower, n, 1, a.Data, a.Stride, y, 1, 0, ay, 1)
+	Dsymv(Lower, n, 1, a.Data, a.Stride, x, 1, 0, ax, 1)
+	if d := math.Abs(Ddot(n, x, 1, ay, 1) - Ddot(n, y, 1, ax, 1)); d > 1e-12 {
+		t.Fatalf("symmetry violated by %v", d)
+	}
+}

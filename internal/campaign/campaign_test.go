@@ -1,0 +1,105 @@
+package campaign
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestPoissonMean(t *testing.T) {
+	rng := matrix.NewRNG(1)
+	const lambda = 2.5
+	const samples = 5000
+	sum := 0
+	for i := 0; i < samples; i++ {
+		sum += poisson(rng, lambda)
+	}
+	mean := float64(sum) / samples
+	if math.Abs(mean-lambda) > 0.15 {
+		t.Fatalf("Poisson mean %v, want ≈%v", mean, lambda)
+	}
+}
+
+func TestPoissonZeroish(t *testing.T) {
+	rng := matrix.NewRNG(2)
+	zero := 0
+	for i := 0; i < 1000; i++ {
+		if poisson(rng, 0.01) == 0 {
+			zero++
+		}
+	}
+	if zero < 950 {
+		t.Fatalf("λ=0.01 should almost always yield 0, got %d/1000 zeros", zero)
+	}
+}
+
+func TestSamplePlansShape(t *testing.T) {
+	rng := matrix.NewRNG(3)
+	cfg := Config{N: 254, NB: 32, Lambda: 3, MinBit: 20, MaxBit: 62}
+	total := 0
+	for i := 0; i < 200; i++ {
+		for _, p := range samplePlans(rng, cfg, 6) {
+			total++
+			if p.TargetIter < 0 || p.TargetIter >= 6 {
+				t.Fatalf("iteration out of range: %+v", p)
+			}
+			if !p.BitFlip || p.Bit < 20 || p.Bit > 62 {
+				t.Fatalf("bad bit plan: %+v", p)
+			}
+		}
+	}
+	if total < 400 || total > 800 {
+		t.Fatalf("λ=3 over 200 runs gave %d plans, expected ≈600", total)
+	}
+}
+
+func TestRunCampaignSmall(t *testing.T) {
+	rep, err := Run(Config{N: 126, NB: 16, Trials: 12, Lambda: 1.0, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Trials) != 12 {
+		t.Fatalf("%d trials", len(rep.Trials))
+	}
+	// The scheme's purpose: no silent corruption.
+	if rep.ByOutcome[SilentCorrupt] != 0 {
+		for _, tr := range rep.Trials {
+			if tr.Outcome == SilentCorrupt {
+				t.Fatalf("silent corruption: injections %+v residual %v", tr.Injections, tr.Residual)
+			}
+		}
+	}
+	// With λ=1 over 12 trials, some errors must have been injected and
+	// handled.
+	if rep.Injections == 0 {
+		t.Fatal("campaign injected nothing")
+	}
+	if rep.ByOutcome[Recovered]+rep.ByOutcome[SilentBenign]+rep.ByOutcome[Uncorrectable] == 0 {
+		t.Fatalf("no faulted trial completed: %+v", rep.ByOutcome)
+	}
+	var b bytes.Buffer
+	rep.Print(&b)
+	if !strings.Contains(b.String(), "recovered") {
+		t.Fatalf("report output:\n%s", b.String())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o, want := range map[Outcome]string{
+		CleanPass: "clean-pass", Recovered: "recovered", SilentBenign: "silent-benign",
+		SilentCorrupt: "silent-corrupt", Uncorrectable: "uncorrectable",
+	} {
+		if o.String() != want {
+			t.Fatalf("%d prints %q", o, o.String())
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package core is the public façade of the reproduction: one entry point
+// for reducing a general square matrix to upper Hessenberg form on the
+// simulated hybrid CPU+GPU platform, with or without the paper's
+// transient-error resilience, plus the end-to-end eigenvalue path that
+// motivates the reduction.
+//
+// Downstream users pick an Algorithm, optionally attach a fault-injection
+// hook, and get back the factorization (packed, H, Q), eigenvalues if
+// requested, the simulated performance, and the resilience statistics.
+//
+//	res, err := core.Reduce(a, core.Options{Algorithm: core.FaultTolerant})
+//	H, Q := res.H(), res.Q()
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ft"
+	"repro/internal/gpu"
+	"repro/internal/hybrid"
+	"repro/internal/lapack"
+	"repro/internal/matrix"
+	"repro/internal/sim"
+)
+
+// Algorithm selects which reduction to run.
+type Algorithm int
+
+const (
+	// FaultTolerant runs the paper's FT_DGEHRD (Algorithm 3): ABFT
+	// checksums, diskless checkpointing, reverse computation.
+	FaultTolerant Algorithm = iota
+	// Baseline runs the fault-prone MAGMA-style hybrid reduction
+	// (Algorithm 2), the paper's comparison point.
+	Baseline
+	// CPUOnly runs LAPACK's blocked DGEHRD entirely on the host —
+	// the reference implementation, useful for validation.
+	CPUOnly
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case FaultTolerant:
+		return "FT-Hess"
+	case Baseline:
+		return "MAGMA-Hess"
+	case CPUOnly:
+		return "LAPACK-DGEHRD"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Options configures a reduction.
+type Options struct {
+	// Algorithm defaults to FaultTolerant.
+	Algorithm Algorithm
+	// NB is the block size (32, the paper's choice, if zero).
+	NB int
+	// Params calibrates the simulated platform (sim.K40c() if zero).
+	Params sim.Params
+	// CostOnly skips kernel arithmetic and only models time; use for
+	// large-N performance sweeps.
+	CostOnly bool
+	// ThresholdFactor, FinalHCheck, DisableQProtection, DisableOverlap
+	// and Hook pass through to the fault-tolerant algorithm.
+	ThresholdFactor    float64
+	FinalHCheck        bool
+	DisableQProtection bool
+	DisableOverlap     bool
+	Hook               ft.Hook
+}
+
+// Result is the unified outcome of any algorithm choice.
+type Result struct {
+	Algorithm Algorithm
+	N, NB     int
+	// Packed is the factorization in LAPACK layout; Tau the reflector
+	// scalars.
+	Packed *matrix.Matrix
+	Tau    []float64
+	// SimSeconds / ModelGFLOPS report simulated performance (zero for
+	// CPUOnly, which has no device timeline).
+	SimSeconds  float64
+	ModelGFLOPS float64
+	// Resilience statistics (FaultTolerant only).
+	Detections   int
+	Recoveries   int
+	CorrectedH   []ft.Injection
+	QCorrections int
+}
+
+// H extracts the upper Hessenberg factor.
+func (r *Result) H() *matrix.Matrix {
+	return lapack.HessFromPacked(r.N, r.Packed.Data, r.Packed.Stride)
+}
+
+// Q forms the orthogonal factor explicitly.
+func (r *Result) Q() *matrix.Matrix {
+	return lapack.Dorghr(r.N, r.Packed.Data, r.Packed.Stride, r.Tau)
+}
+
+// Residual returns ‖A−QHQᵀ‖₁/(N‖A‖₁) against the original matrix.
+func (r *Result) Residual(a *matrix.Matrix) float64 {
+	return lapack.FactorizationResidual(a, r.Q(), r.H())
+}
+
+// Orthogonality returns ‖QQᵀ−I‖₁/N.
+func (r *Result) Orthogonality() float64 {
+	return lapack.OrthogonalityResidual(r.Q())
+}
+
+func (o *Options) device() *gpu.Device {
+	p := o.Params
+	if p == (sim.Params{}) {
+		p = sim.K40c()
+	}
+	mode := gpu.Real
+	if o.CostOnly {
+		mode = gpu.CostOnly
+	}
+	return gpu.New(p, mode)
+}
+
+// Reduce reduces the square matrix a (not modified) to upper Hessenberg
+// form with the selected algorithm.
+func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
+	nb := opt.NB
+	if nb <= 0 {
+		nb = hybrid.DefaultNB
+	}
+	switch opt.Algorithm {
+	case CPUOnly:
+		n := a.Rows
+		if n != a.Cols {
+			return nil, errors.New("core: matrix must be square")
+		}
+		packed := a.Clone()
+		tau := make([]float64, max(n-1, 1))
+		lapack.Dgehrd(n, nb, packed.Data, packed.Stride, tau)
+		return &Result{Algorithm: CPUOnly, N: n, NB: nb, Packed: packed, Tau: tau}, nil
+	case Baseline:
+		res, err := hybrid.Reduce(a, hybrid.Options{
+			NB: nb, Device: opt.device(), DisableOverlap: opt.DisableOverlap,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Algorithm: Baseline, N: res.N, NB: res.NB,
+			Packed: res.Packed, Tau: res.Tau,
+			SimSeconds: res.SimSeconds, ModelGFLOPS: res.ModelGFLOPS,
+		}, nil
+	default:
+		res, err := ft.Reduce(a, ft.Options{
+			NB: nb, Device: opt.device(),
+			ThresholdFactor:    opt.ThresholdFactor,
+			FinalHCheck:        opt.FinalHCheck,
+			DisableQProtection: opt.DisableQProtection,
+			DisableOverlap:     opt.DisableOverlap,
+			Hook:               opt.Hook,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Algorithm: FaultTolerant, N: res.N, NB: res.NB,
+			Packed: res.Packed, Tau: res.Tau,
+			SimSeconds: res.SimSeconds, ModelGFLOPS: res.ModelGFLOPS,
+			Detections: res.Detections, Recoveries: res.Recoveries,
+			CorrectedH: res.CorrectedH, QCorrections: res.QCorrections,
+		}, nil
+	}
+}
+
+// Eigenvalues runs the full pipeline the Hessenberg reduction exists for:
+// reduce (resiliently, by default) and then apply the Francis double-shift
+// QR iteration to the Hessenberg factor.
+func Eigenvalues(a *matrix.Matrix, opt Options) ([]lapack.Eig, *Result, error) {
+	if opt.CostOnly {
+		return nil, nil, errors.New("core: Eigenvalues requires real execution")
+	}
+	res, err := Reduce(a, opt)
+	if err != nil {
+		return nil, res, err
+	}
+	h := res.H()
+	n := h.Rows
+	wr := make([]float64, n)
+	wi := make([]float64, n)
+	if err := lapack.Dhseqr(n, h.Data, h.Stride, wr, wi); err != nil {
+		return nil, res, err
+	}
+	eigs := make([]lapack.Eig, n)
+	for i := range eigs {
+		eigs[i] = lapack.Eig{Re: wr[i], Im: wi[i]}
+	}
+	lapack.SortEigs(eigs)
+	return eigs, res, nil
+}

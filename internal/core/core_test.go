@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/matrix"
+)
+
+func TestReduceAllAlgorithmsAgree(t *testing.T) {
+	n := 100
+	a := matrix.Random(n, n, 1)
+	var packed []*matrix.Matrix
+	for _, alg := range []Algorithm{FaultTolerant, Baseline, CPUOnly} {
+		res, err := Reduce(a, Options{Algorithm: alg, NB: 16})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if res.Algorithm != alg {
+			t.Fatalf("algorithm tag %v", res.Algorithm)
+		}
+		if !res.H().IsUpperHessenberg(0) {
+			t.Fatalf("%v: not Hessenberg", alg)
+		}
+		if r := res.Residual(a); r > 1e-14 {
+			t.Fatalf("%v: residual %v", alg, r)
+		}
+		if r := res.Orthogonality(); r > 1e-13 {
+			t.Fatalf("%v: orthogonality %v", alg, r)
+		}
+		packed = append(packed, res.Packed)
+	}
+	if d := packed[0].Sub(packed[2]).MaxAbs(); d > 1e-11 {
+		t.Fatalf("FT vs CPU packed differ by %v", d)
+	}
+	if d := packed[1].Sub(packed[2]).MaxAbs(); d > 1e-11 {
+		t.Fatalf("hybrid vs CPU packed differ by %v", d)
+	}
+}
+
+func TestReduceDefaultsToFT(t *testing.T) {
+	a := matrix.Random(64, 64, 2)
+	res, err := Reduce(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != FaultTolerant {
+		t.Fatalf("default algorithm %v", res.Algorithm)
+	}
+	if res.NB != 32 {
+		t.Fatalf("default NB %d", res.NB)
+	}
+}
+
+func TestReduceWithInjection(t *testing.T) {
+	n := 158
+	a := matrix.Random(n, n, 3)
+	in := fault.New(fault.Plan{Area: fault.Area2, TargetIter: 1, Seed: 4})
+	res, err := Reduce(a, Options{Hook: in, NB: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detections == 0 || res.Recoveries == 0 {
+		t.Fatalf("injection not handled: %+v", res)
+	}
+	if r := res.Residual(a); r > 1e-13 {
+		t.Fatalf("residual %v", r)
+	}
+}
+
+func TestEigenvaluesPipeline(t *testing.T) {
+	n := 24
+	a := matrix.New(n, n)
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = float64(i + 1)
+		a.Set(i, i, want[i])
+		if i > 0 {
+			a.Set(i, i-1, 0.5) // non-normal but triangular-ish: eigenvalues stay the diagonal
+		}
+	}
+	eigs, res, err := Eigenvalues(a, Options{NB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Algorithm != FaultTolerant {
+		t.Fatal("missing reduction result")
+	}
+	for i, e := range eigs {
+		if math.Abs(e.Re-want[i]) > 1e-8 || math.Abs(e.Im) > 1e-8 {
+			t.Fatalf("eig %d = %v+%vi, want %v", i, e.Re, e.Im, want[i])
+		}
+	}
+}
+
+func TestEigenvaluesUnderInjection(t *testing.T) {
+	// The end-to-end story: eigenvalues survive an injected soft error.
+	n := 126
+	a := matrix.RandomNormal(n, n, 5)
+	clean, _, err := Eigenvalues(a, Options{NB: 16, Algorithm: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := fault.New(fault.Plan{Area: fault.Area2, TargetIter: 2, Seed: 6})
+	dirty, res, err := Eigenvalues(a, Options{NB: 16, Hook: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recoveries == 0 {
+		t.Fatal("no recovery")
+	}
+	for i := range clean {
+		if math.Abs(clean[i].Re-dirty[i].Re) > 1e-6 || math.Abs(clean[i].Im-dirty[i].Im) > 1e-6 {
+			t.Fatalf("eig %d drifted: %v vs %v", i, clean[i], dirty[i])
+		}
+	}
+}
+
+func TestEigenvaluesRejectsCostOnly(t *testing.T) {
+	if _, _, err := Eigenvalues(matrix.New(4, 4), Options{CostOnly: true}); err == nil {
+		t.Fatal("cost-only eigenvalues must error")
+	}
+}
+
+func TestCostOnlyReduce(t *testing.T) {
+	res, err := Reduce(matrix.New(512, 512), Options{CostOnly: true, NB: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimSeconds <= 0 || res.ModelGFLOPS <= 0 {
+		t.Fatalf("cost-only stats: %v s %v GFLOPS", res.SimSeconds, res.ModelGFLOPS)
+	}
+}
+
+func TestNonSquareRejected(t *testing.T) {
+	for _, alg := range []Algorithm{FaultTolerant, Baseline, CPUOnly} {
+		if _, err := Reduce(matrix.New(3, 4), Options{Algorithm: alg}); err == nil {
+			t.Fatalf("%v accepted non-square", alg)
+		}
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if FaultTolerant.String() != "FT-Hess" || Baseline.String() != "MAGMA-Hess" || CPUOnly.String() != "LAPACK-DGEHRD" {
+		t.Fatal("algorithm names changed")
+	}
+	if Algorithm(9).String() == "" {
+		t.Fatal("unknown algorithm must still print")
+	}
+}
+
+func TestReduceSymBothPaths(t *testing.T) {
+	n := 100
+	a := matrix.Random(n, n, 6)
+	for j := 0; j < n; j++ {
+		for i := 0; i < j; i++ {
+			a.Set(i, j, a.At(j, i))
+		}
+	}
+	hyb, err := ReduceSym(a, SymOptions{NB: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftr, err := ReduceSym(a, SymOptions{NB: 16, FaultTolerant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(hyb.D[i]-ftr.D[i]) > 1e-10 {
+			t.Fatalf("d[%d]: hybrid %v vs FT %v", i, hyb.D[i], ftr.D[i])
+		}
+	}
+	e1, err := hyb.Eigenvalues()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := ftr.Eigenvalues()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range e1 {
+		if math.Abs(e1[i]-e2[i]) > 1e-9 {
+			t.Fatalf("λ_%d: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+	if hyb.SimSeconds <= 0 {
+		t.Fatal("hybrid path must report simulated time")
+	}
+}
+
+func TestReduceSymCostOnlyRules(t *testing.T) {
+	a := matrix.New(64, 64)
+	if _, err := ReduceSym(a, SymOptions{CostOnly: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReduceSym(a, SymOptions{CostOnly: true, FaultTolerant: true}); err == nil {
+		t.Fatal("FT+CostOnly must be rejected")
+	}
+}
+
+func TestRealEigenvectorsFacade(t *testing.T) {
+	n := 20
+	a := matrix.Random(n, n, 7)
+	for j := 0; j < n; j++ {
+		for i := 0; i < j; i++ {
+			a.Set(i, j, a.At(j, i))
+		}
+	}
+	pairs, complexCount, err := RealEigenvectors(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if complexCount != 0 || len(pairs) != n {
+		t.Fatalf("pairs=%d complex=%d", len(pairs), complexCount)
+	}
+}
+
+func TestEigenFacade(t *testing.T) {
+	a := matrix.FromRows([][]float64{{0, -1}, {1, 0}})
+	e, err := Eigen(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		if r := e.EigResidual(a, j); r > 1e-12 {
+			t.Fatalf("eig %d residual %v", j, r)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/ftsym"
+	"repro/internal/hybrid"
+	"repro/internal/lapack"
+	"repro/internal/matrix"
+)
+
+// SymOptions configures the symmetric (tridiagonalization) path — the
+// paper's future-work factorization family.
+type SymOptions struct {
+	// NB is the block size (32 if zero).
+	NB int
+	// FaultTolerant selects the resilient host algorithm (internal/ftsym);
+	// otherwise the hybrid device baseline runs (internal/hybrid).
+	FaultTolerant bool
+	// CostOnly models time only (baseline path only).
+	CostOnly bool
+	// Hook passes through to the fault-tolerant algorithm.
+	Hook ftsym.Hook
+}
+
+// SymResult carries the tridiagonal factorization T = QᵀAQ.
+type SymResult struct {
+	N, NB int
+	// D, E: diagonal and subdiagonal of T.
+	D, E []float64
+	// Packed/Tau hold the reflectors.
+	Packed *matrix.Matrix
+	Tau    []float64
+	// Resilience statistics (fault-tolerant path).
+	Detections, Recoveries, Corrections int
+	// Simulated performance (hybrid baseline path).
+	SimSeconds, ModelGFLOPS float64
+}
+
+// Q forms the orthogonal factor explicitly.
+func (r *SymResult) Q() *matrix.Matrix {
+	return lapack.Dorghr(r.N, r.Packed.Data, r.Packed.Stride, r.Tau)
+}
+
+// Eigenvalues runs the QL iteration on the tridiagonal factor.
+func (r *SymResult) Eigenvalues() ([]float64, error) {
+	d := append([]float64(nil), r.D...)
+	e := append([]float64(nil), r.E...)
+	if err := lapack.Dsterf(r.N, d, e); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ReduceSym tridiagonalizes a symmetric matrix (lower triangle referenced,
+// not modified).
+func ReduceSym(a *matrix.Matrix, opt SymOptions) (*SymResult, error) {
+	nb := opt.NB
+	if nb <= 0 {
+		nb = hybrid.DefaultNB
+	}
+	if opt.FaultTolerant {
+		if opt.CostOnly {
+			return nil, errors.New("core: the fault-tolerant symmetric path is host-side (no cost-only mode)")
+		}
+		res, err := ftsym.Reduce(a, ftsym.Options{NB: nb, Hook: opt.Hook})
+		if err != nil {
+			return nil, err
+		}
+		return &SymResult{
+			N: res.N, NB: res.NB, D: res.D, E: res.E,
+			Packed: res.Packed, Tau: res.Tau,
+			Detections: res.Detections, Recoveries: res.Recoveries,
+			Corrections: len(res.Corrected),
+		}, nil
+	}
+	base := Options{NB: nb, CostOnly: opt.CostOnly}
+	res, err := hybrid.ReduceSym(a, hybrid.Options{NB: nb, Device: base.device()})
+	if err != nil {
+		return nil, err
+	}
+	return &SymResult{
+		N: res.N, NB: res.NB, D: res.D, E: res.E,
+		Packed: res.Packed, Tau: res.Tau,
+		SimSeconds: res.SimSeconds, ModelGFLOPS: res.ModelGFLOPS,
+	}, nil
+}
+
+// RealEigenvectors is the full decomposition entry point: eigenvalues and
+// unit right eigenvectors for the real part of the spectrum (every
+// eigenpair for symmetric inputs), computed through the reduction the
+// paper protects.
+func RealEigenvectors(a *matrix.Matrix, nb int) ([]lapack.EigenPair, int, error) {
+	if nb <= 0 {
+		nb = hybrid.DefaultNB
+	}
+	return lapack.RealEigenvectors(a, nb)
+}
+
+// Eigen computes the complete eigendecomposition (all eigenvalues with
+// right eigenvectors, complex pairs included) through the Hessenberg +
+// HQR2 path.
+func Eigen(a *matrix.Matrix, nb int) (*lapack.SchurEigen, error) {
+	if nb <= 0 {
+		nb = hybrid.DefaultNB
+	}
+	return lapack.Eigen(a, nb)
+}

@@ -1,0 +1,293 @@
+// Package fault implements the paper's failure model (Section IV-A) and
+// the injection methodology of its evaluation (Section VI): transient
+// single- or multi-element corruptions injected at blocked-iteration
+// boundaries ("the error is injected when iteration i has finished, and
+// iteration i+1 has not yet started"), aimed at the three areas of
+// Figure 2(a):
+//
+//	Area 1 — the upper part of the trailing matrix (intermediate data
+//	         above the panel rows); the error propagates row-wise.
+//	Area 2 — the lower part of the trailing matrix; the error propagates
+//	         into almost the whole trailing block.
+//	Area 3 — the finished part on the host (the Householder vectors of
+//	         Q); the error does not propagate.
+//
+// The Injector type implements ft.Hook for the fault-tolerant reduction
+// and also adapts to the baseline hybrid reduction's BeforeIteration hook
+// for the Figure 2 propagation study.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/ft"
+	"repro/internal/gpu"
+	"repro/internal/hybrid"
+	"repro/internal/matrix"
+)
+
+// Area selects an injection region of Figure 2(a).
+type Area int
+
+const (
+	// Area1 is the upper part of the trailing matrix.
+	Area1 Area = 1
+	// Area2 is the lower (G) part of the trailing matrix.
+	Area2 Area = 2
+	// Area3 is the finished Householder-vector region on the host.
+	Area3 Area = 3
+)
+
+func (a Area) String() string {
+	switch a {
+	case Area1:
+		return "Area1"
+	case Area2:
+		return "Area2"
+	case Area3:
+		return "Area3"
+	}
+	return fmt.Sprintf("Area(%d)", int(a))
+}
+
+// Moment names when during the factorization the error strikes, matching
+// the B/M/E columns of the paper's Tables II and III.
+type Moment int
+
+const (
+	// Beginning injects at the earliest iteration that can host the area.
+	Beginning Moment = iota
+	// Middle injects halfway through the blocked iterations.
+	Middle
+	// End injects at the last blocked iteration.
+	End
+)
+
+func (m Moment) String() string {
+	switch m {
+	case Beginning:
+		return "B"
+	case Middle:
+		return "M"
+	case End:
+		return "E"
+	}
+	return "?"
+}
+
+// BlockedIterations returns the number of blocked iterations the hybrid
+// algorithm performs for order n and block size nb (mirroring the loop
+// bound in hybrid.Reduce).
+func BlockedIterations(n, nb int) int {
+	nx := nb
+	if nx < 2 {
+		nx = 2
+	}
+	iters := 0
+	for p := 0; n-1-p > nx; p += nb {
+		iters++
+	}
+	return iters
+}
+
+// IterForMoment maps a Moment to a concrete blocked-iteration index.
+// Area 3 needs at least one finished panel, so its Beginning is
+// iteration 1.
+func IterForMoment(n, nb int, m Moment, area Area) int {
+	total := BlockedIterations(n, nb)
+	if total == 0 {
+		return 0
+	}
+	switch m {
+	case Beginning:
+		if area == Area3 {
+			return min(1, total-1)
+		}
+		return 0
+	case Middle:
+		return total / 2
+	default:
+		return total - 1
+	}
+}
+
+// Pos is an explicit injection position (global matrix indices).
+type Pos struct {
+	Row, Col int
+}
+
+// Plan describes a deterministic injection campaign.
+type Plan struct {
+	// Area selects the target region (ignored when Positions is set).
+	Area Area
+	// TargetIter is the blocked iteration at whose start the injection
+	// happens.
+	TargetIter int
+	// Positions optionally pins exact elements (e.g. the paper's
+	// Figure 2 coordinates). When empty, Count positions are drawn
+	// deterministically from Area using Seed.
+	Positions []Pos
+	// Count is the number of simultaneous errors (default 1).
+	Count int
+	// Delta is the additive perturbation magnitude (default 1.0).
+	// Ignored when BitFlip is set.
+	Delta float64
+	// BitFlip, when true, flips Bit of the IEEE-754 representation
+	// instead of adding Delta.
+	BitFlip bool
+	Bit     uint
+	// Seed drives the deterministic position sampling.
+	Seed uint64
+}
+
+// Injector performs the injections of one or more Plans (one per target
+// iteration — the paper's "more than one consecutive error" scenario:
+// after correcting the errors of one iteration, the algorithm must keep
+// detecting and correcting subsequent ones). It implements ft.Hook.
+type Injector struct {
+	plans    []Plan
+	pendingH int
+	pendingQ int
+	// Log records every injection actually performed.
+	Log []ft.Injection
+}
+
+// New returns an Injector for the given plan.
+func New(plan Plan) *Injector {
+	return NewSchedule(plan)
+}
+
+// NewSchedule returns an Injector firing each plan at its own target
+// iteration.
+func NewSchedule(plans ...Plan) *Injector {
+	norm := make([]Plan, len(plans))
+	for i, p := range plans {
+		if p.Count <= 0 {
+			p.Count = 1
+		}
+		if p.Delta == 0 && !p.BitFlip {
+			p.Delta = 1.0
+		}
+		norm[i] = p
+	}
+	return &Injector{plans: norm}
+}
+
+// positions resolves a plan's concrete injection coordinates for the
+// iteration at panel p (k = p+1) of an n×n matrix.
+func positions(plan Plan, n, p, nb int) []Pos {
+	if len(plan.Positions) > 0 {
+		return plan.Positions
+	}
+	rng := matrix.NewRNG(plan.Seed + 0x9e37)
+	k := p + 1
+	var out []Pos
+	seenRow := map[int]bool{}
+	seenCol := map[int]bool{}
+	for len(out) < plan.Count {
+		var pos Pos
+		switch plan.Area {
+		case Area1:
+			// Upper trailing part: rows above the panel, columns at or
+			// right of the panel.
+			pos = Pos{Row: rng.Intn(k), Col: p + rng.Intn(n-p)}
+		case Area2:
+			// Lower trailing part.
+			pos = Pos{Row: k + rng.Intn(n-k), Col: p + rng.Intn(n-p)}
+		default: // Area3
+			// Finished Householder storage: column c < p, row ≥ c+2.
+			if p == 0 {
+				return nil
+			}
+			c := rng.Intn(p)
+			if c+2 >= n {
+				continue
+			}
+			pos = Pos{Row: c + 2 + rng.Intn(n-c-2), Col: c}
+		}
+		// Keep positions in distinct rows and columns (and off the
+		// diagonal): the Sre/Sce comparison is blind to A(i,i) errors and
+		// rectangle patterns are uncorrectable by construction.
+		if pos.Row == pos.Col || seenRow[pos.Row] || seenCol[pos.Col] {
+			continue
+		}
+		seenRow[pos.Row] = true
+		seenCol[pos.Col] = true
+		out = append(out, pos)
+	}
+	return out
+}
+
+// BeforeIteration implements ft.Hook: on the target iteration it corrupts
+// the planned elements in device memory (Areas 1-2) or host memory
+// (Area 3).
+func (in *Injector) BeforeIteration(ctx *ft.IterCtx) {
+	for _, plan := range in.plans {
+		if ctx.Iter != plan.TargetIter {
+			continue
+		}
+		for i, pos := range positions(plan, ctx.N, ctx.Panel, ctx.NB) {
+			in.inject(ctx.Dev, ctx.DA, ctx.Host, plan, pos, ctx.Iter, i)
+		}
+	}
+}
+
+// HybridHook adapts the injector to the baseline (non-fault-tolerant)
+// reduction for the Figure 2 propagation study.
+func (in *Injector) HybridHook(dev *gpu.Device) func(hybrid.IterInfo, *gpu.Matrix, *matrix.Matrix) {
+	return func(info hybrid.IterInfo, dA *gpu.Matrix, host *matrix.Matrix) {
+		for _, plan := range in.plans {
+			if info.Iter != plan.TargetIter {
+				continue
+			}
+			for i, pos := range positions(plan, info.N, info.Panel, info.NB) {
+				in.inject(dev, dA, host, plan, pos, info.Iter, i)
+			}
+		}
+	}
+}
+
+func (in *Injector) inject(dev *gpu.Device, dA *gpu.Matrix, host *matrix.Matrix, plan Plan, pos Pos, iter, idx int) {
+	// Area-3 injections hit the host-resident Householder storage when a
+	// host matrix is available (the FT path); the baseline hybrid study
+	// of Figure 2 passes host == nil and corrupts the device copy, which
+	// holds the same stale values in that region.
+	target := ft.TargetH
+	if plan.Area == Area3 && host != nil {
+		target = ft.TargetQ
+	}
+	// Simultaneous errors get distinct magnitudes (idx-scaled): equal
+	// residual values make the row/column matching genuinely ambiguous —
+	// the same information-theoretic limit as the paper's rectangle
+	// pattern — and real upsets virtually never coincide in magnitude.
+	delta := plan.Delta * float64(1+idx)
+	switch {
+	case target == ft.TargetQ:
+		if dev.Mode == gpu.Real {
+			host.Add(pos.Row, pos.Col, delta)
+		}
+		in.pendingQ++
+	case plan.BitFlip:
+		old := dev.FlipBit(dA, pos.Row, pos.Col, plan.Bit)
+		if dev.Mode == gpu.Real {
+			delta = dA.At(pos.Row, pos.Col) - old
+		}
+		in.pendingH++
+	default:
+		dev.Poke(dA, pos.Row, pos.Col, delta)
+		in.pendingH++
+	}
+	in.Log = append(in.Log, ft.Injection{Row: pos.Row, Col: pos.Col, Delta: delta, Target: target, Iter: iter})
+}
+
+// ConsumePendingH implements ft.Hook.
+func (in *Injector) ConsumePendingH() int {
+	c := in.pendingH
+	in.pendingH = 0
+	return c
+}
+
+// PendingQ implements ft.Hook.
+func (in *Injector) PendingQ() int { return in.pendingQ }
+
+var _ ft.Hook = (*Injector)(nil)

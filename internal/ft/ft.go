@@ -1,0 +1,655 @@
+// Package ft implements the paper's contribution: the soft-error-resilient
+// hybrid Hessenberg reduction (Algorithm 3, FT_DGEHRD).
+//
+// The input matrix on the device is encoded with a checksum column
+// (A·e, appended as column n) and a checksum row (eᵀ·A, appended as row n).
+// Every iteration maintains both checksums *through* the two-sided updates:
+//
+//   - the right update is applied to the checksum column by extending Vᵀ
+//     with its column-sum vector (Vᵀe), and to the checksum row by treating
+//     it as an extra matrix row updated with Yce = eᵀY = (eᵀA)·V·T
+//     (computed from the maintained checksum row itself, the paper's
+//     line 6);
+//   - the left update is applied to the checksum column by including it as
+//     an extra matrix column, and to the checksum row with the extended
+//     reflector Vce = [V; eᵀV] (the paper's line 11). The intermediate
+//     S = (CᵀV)·T is kept in device memory — the "panel worth of work
+//     space" of the paper's storage analysis — which makes the reverse
+//     computation a sign flip of the same GEMMs.
+//
+// At the end of every iteration the algorithm compares the total of the
+// checksum column against the total of the checksum row (|Sre−Sce| > τ).
+// On detection it reverses the left and right updates with the retained
+// intermediates, restores the panel from the diskless checkpoint, locates
+// the error(s) by comparing freshly computed checksums against the
+// maintained ones, corrects them, and re-executes the iteration.
+//
+// The Householder vectors accumulating on the host (the Q matrix) are
+// protected separately with host-side row/column checksums generated on
+// the otherwise idle CPU and verified once after the last iteration
+// (the paper's Section IV-E/F).
+package ft
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/blas"
+	"repro/internal/gpu"
+	"repro/internal/hybrid"
+	"repro/internal/lapack"
+	"repro/internal/matrix"
+	"repro/internal/sim"
+)
+
+// macheps is the double-precision unit roundoff.
+const macheps = 2.220446049250313e-16
+
+// ErrUncorrectable reports an error pattern the checksums cannot resolve
+// (e.g. positions forming a rectangle, the case the paper excludes).
+var ErrUncorrectable = errors.New("ft: detected errors are not correctable")
+
+// ErrDetectionStorm reports that detection kept firing after the maximum
+// number of recovery attempts for one iteration.
+var ErrDetectionStorm = errors.New("ft: recovery retries exhausted")
+
+// Target identifies which memory a fault was injected into.
+type Target int
+
+const (
+	// TargetH is the device-resident data matrix (trailing matrix / H).
+	TargetH Target = iota
+	// TargetQ is the host-resident Householder-vector storage.
+	TargetQ
+)
+
+// Injection describes one injected fault (used by hooks and reports).
+type Injection struct {
+	Row, Col int
+	Delta    float64
+	Target   Target
+	Iter     int
+}
+
+// IterCtx gives an injection hook access to the live state at an
+// iteration boundary.
+type IterCtx struct {
+	Dev *gpu.Device
+	// DA is the extended (n+1)×(n+1) device matrix (data + checksums).
+	DA *gpu.Matrix
+	// Host is the packed host matrix accumulating V and H.
+	Host *matrix.Matrix
+	// Iter, Panel, NB, N describe the upcoming iteration.
+	Iter, Panel, NB, N int
+	// reducer backs the process-level snapshot capture (snapshot.go).
+	reducer *reducer
+}
+
+// Hook lets a fault campaign inject errors at iteration boundaries, the
+// paper's failure model ("the error is injected when iteration i has
+// finished and iteration i+1 has not yet started").
+type Hook interface {
+	// BeforeIteration may inject faults into ctx.DA (device) or ctx.Host.
+	BeforeIteration(ctx *IterCtx)
+	// ConsumePendingH returns and clears the count of H-target injections
+	// since the last call. In cost-only mode this drives the detection
+	// branch (the data does not exist to be compared); in real mode the
+	// data-driven detector is authoritative and this is used only to keep
+	// the hook's state consistent.
+	ConsumePendingH() int
+	// PendingQ returns the count of Q-target injections not yet repaired.
+	PendingQ() int
+}
+
+// Options configures the fault-tolerant reduction.
+type Options struct {
+	// NB is the block size (hybrid.DefaultNB if zero).
+	NB int
+	// Device is the simulated accelerator. Required.
+	Device *gpu.Device
+	// ThresholdFactor scales the detection threshold
+	// τ = ThresholdFactor·ε·N·‖A‖₁ (paper: "2 to 3 orders of magnitude
+	// above machine epsilon"). Default 200.
+	ThresholdFactor float64
+	// MaxRecoveries bounds recovery attempts per iteration (default 3).
+	MaxRecoveries int
+	// DisableOverlap serializes the finished-block transfer with the
+	// trailing update (ablation).
+	DisableOverlap bool
+	// DisableQProtection turns off the host-side Q checksums (ablation).
+	DisableQProtection bool
+	// FinalHCheck adds a whole-matrix fresh-vs-maintained checksum sweep
+	// after the last blocked iteration, catching errors that struck
+	// already-finished H data (an extension beyond the paper).
+	FinalHCheck bool
+	// PostProcess switches to the post-processing detection scheme of the
+	// prior work the paper compares against (Du et al.): checksums are
+	// still maintained, but the Sre/Sce comparison runs only once, after
+	// the last iteration. By then the error has propagated through every
+	// subsequent update, so the only recovery is re-executing the whole
+	// factorization. Implemented as a comparator for the ablation studies.
+	PostProcess bool
+	// Hook receives iteration-boundary callbacks for fault injection.
+	Hook Hook
+}
+
+// Result extends the hybrid result with resilience statistics.
+type Result struct {
+	N  int
+	NB int
+	// Packed, Tau: the factorization in LAPACK layout, as in hybrid.
+	Packed *matrix.Matrix
+	Tau    []float64
+	// BlockedIters counts blocked iterations (excluding re-executions).
+	BlockedIters int
+	// Detections counts iteration-end checksum mismatches.
+	Detections int
+	// Recoveries counts successful reverse+correct+re-execute cycles.
+	Recoveries int
+	// CorrectedH lists the corrected device-matrix positions.
+	CorrectedH []Injection
+	// QCorrections counts elements repaired by the Q checksum check.
+	QCorrections int
+	// SimSeconds and ModelGFLOPS report the simulated performance.
+	SimSeconds  float64
+	ModelGFLOPS float64
+}
+
+// H extracts the upper Hessenberg factor.
+func (r *Result) H() *matrix.Matrix {
+	return lapack.HessFromPacked(r.N, r.Packed.Data, r.Packed.Stride)
+}
+
+// Q forms the orthogonal factor explicitly.
+func (r *Result) Q() *matrix.Matrix {
+	return lapack.Dorghr(r.N, r.Packed.Data, r.Packed.Stride, r.Tau)
+}
+
+// reducer carries the state of one fault-tolerant reduction.
+type reducer struct {
+	opt   Options
+	dev   *gpu.Device
+	n, nb int
+	// host state
+	hostA *matrix.Matrix
+	tau   []float64
+	yHost *matrix.Matrix
+	tHost *matrix.Matrix
+	// device state: dA is (n+1)×(n+1) — data plus checksum column (col n)
+	// and checksum row (row n). dY is (n+1)×nb with row n = Yce. dS keeps
+	// the left-update intermediate for reverse computation.
+	dA, dT, dY, dS, dW *gpu.Matrix
+	dVcol, dYcol       *gpu.Matrix
+	dVsum              *gpu.Matrix
+	dFresh             *gpu.Matrix
+	// diskless checkpoint (host memory): pristine panel columns and their
+	// checksum-row segment.
+	ckPanel  *matrix.Matrix
+	ckChkRow *matrix.Matrix
+	// thresholds
+	normA1 float64
+	tauDet float64
+	// Q protection
+	qprot *qChecksums
+	res   *Result
+}
+
+// Reduce runs the fault-tolerant hybrid Hessenberg reduction of a
+// (not modified).
+func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
+	return reduceFrom(a, nil, opt)
+}
+
+// reduceFrom is the shared body of Reduce and Resume: with a nil snapshot
+// it starts from scratch (transfer + encode); with a snapshot it reloads
+// the saved state and continues from the recorded iteration.
+func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) {
+	n := a.Rows
+	if n != a.Cols {
+		return nil, errors.New("ft: matrix must be square")
+	}
+	if opt.Device == nil {
+		return nil, errors.New("ft: Options.Device is required")
+	}
+	nb := opt.NB
+	if nb <= 0 {
+		nb = hybrid.DefaultNB
+	}
+	if opt.ThresholdFactor <= 0 {
+		opt.ThresholdFactor = 200
+	}
+	if opt.MaxRecoveries <= 0 {
+		opt.MaxRecoveries = 3
+	}
+	dev := opt.Device
+
+	r := &reducer{
+		opt:   opt,
+		dev:   dev,
+		n:     n,
+		nb:    nb,
+		hostA: a.Clone(),
+		tau:   make([]float64, max(n-1, 1)),
+		res:   &Result{N: n, NB: nb},
+	}
+	r.res.Packed = r.hostA
+	r.res.Tau = r.tau
+	if n <= 1 {
+		return r.res, nil
+	}
+
+	pp := dev.Params
+	// ‖A‖₁ anchors the detection threshold (one host pass over the data).
+	dev.HostOp(pp.GemvHost(n, n), func() {
+		r.normA1 = a.Norm1()
+	})
+	r.tauDet = opt.ThresholdFactor * macheps * float64(n) * math.Max(r.normA1, 1)
+
+	// Allocate the extended device matrix and workspaces.
+	r.dA = dev.Alloc(n+1, n+1)
+	r.dT = dev.Alloc(nb, nb)
+	r.dY = dev.Alloc(n+1, nb)
+	r.dS = dev.Alloc(n+1, nb)
+	r.dW = dev.Alloc(n+1, nb)
+	r.dVcol = dev.Alloc(n, 1)
+	r.dYcol = dev.Alloc(n, 1)
+	r.dVsum = dev.Alloc(nb, 1)
+	r.dFresh = dev.Alloc(n+1, 2)
+	defer func() {
+		for _, m := range []*gpu.Matrix{r.dA, r.dT, r.dY, r.dS, r.dW, r.dVcol, r.dYcol, r.dVsum, r.dFresh} {
+			dev.Free(m)
+		}
+	}()
+	r.yHost = matrix.New(n, nb)
+	r.tHost = matrix.New(nb, nb)
+	r.ckPanel = matrix.New(n, nb)
+	r.ckChkRow = matrix.New(1, nb)
+	r.qprot = newQChecksums(n)
+
+	if snap == nil {
+		// Algorithm 3, lines 1-2: transfer and encode.
+		dev.H2D(r.dA, 0, 0, r.hostA)
+		r.encode()
+	} else {
+		// Diskless restart: reload the extended device matrix (data +
+		// valid checksums), the reflector factors, and the Q checksums.
+		hostDA := matrix.FromColMajor(n+1, n+1, n+1, snap.DA)
+		dev.H2D(r.dA, 0, 0, hostDA)
+		copy(r.tau, snap.Tau)
+		if snap.QRowChk != nil {
+			copy(r.qprot.rowChk, snap.QRowChk)
+			copy(r.qprot.colChk, snap.QColChk)
+			r.qprot.absorbedCols = snap.QCols
+		}
+	}
+
+	nx := nb
+	if nx < 2 {
+		nx = 2
+	}
+	var prevLeft sim.Event
+	p := 0
+	iter := 0
+	if snap != nil {
+		p = snap.Panel
+		iter = snap.Iter
+	}
+	for ; n-1-p > nx; p += nb {
+		ib := min(nb, n-1-p)
+
+		if opt.Hook != nil {
+			opt.Hook.BeforeIteration(&IterCtx{
+				Dev: dev, DA: r.dA, Host: r.hostA,
+				Iter: iter, Panel: p, NB: ib, N: n,
+				reducer: r,
+			})
+		}
+
+		recovered := 0
+		for attempt := 0; ; attempt++ {
+			var err error
+			prevLeft, err = r.iteration(iter, p, ib, prevLeft, attempt > 0)
+			if err != nil {
+				return r.res, err
+			}
+			if opt.PostProcess {
+				// Comparator mode: no per-iteration check; errors keep
+				// propagating until the single end-of-run detection.
+				break
+			}
+			if !r.detect() {
+				break
+			}
+			r.res.Detections++
+			if attempt >= opt.MaxRecoveries {
+				return r.res, fmt.Errorf("%w (iteration %d)", ErrDetectionStorm, iter)
+			}
+			if err := r.recover(iter, p, ib); err != nil {
+				return r.res, err
+			}
+			recovered++
+		}
+		r.res.Recoveries += recovered
+		iter++
+	}
+	r.res.BlockedIters = iter
+
+	// Post-processing comparator: one detection at the end; a propagated
+	// error cannot be located and corrected anymore, so recovery means
+	// re-executing the entire factorization with per-iteration checks.
+	if opt.PostProcess && iter > 0 && r.detect() {
+		r.res.Detections++
+		retryOpt := opt
+		retryOpt.PostProcess = false
+		retryOpt.Hook = nil // transient errors do not re-occur on redo
+		retry, err := Reduce(a, retryOpt)
+		if err != nil {
+			return r.res, err
+		}
+		retry.Detections += r.res.Detections
+		retry.Recoveries = r.res.Recoveries + 1
+		return retry, nil
+	}
+
+	// Optional whole-matrix verification of the device-resident H data.
+	if opt.FinalHCheck {
+		if err := r.finalHCheck(p); err != nil {
+			return r.res, err
+		}
+	}
+
+	// Bring the remaining trailing columns home and finish on the host.
+	if p < n {
+		rem := r.hostA.View(0, p, n, n-p)
+		dev.Sync(dev.D2HAsync(rem, r.dA, 0, p, prevLeft))
+	}
+	work := make([]float64, n)
+	dev.HostOp(cleanupCost(pp, n, p), func() {
+		lapack.Dgehd2(n, p, r.hostA.Data, r.hostA.Stride, r.tau, work)
+	})
+
+	// Section IV-E/F: verify and repair the Householder vectors once, at
+	// the end of the factorization.
+	if !opt.DisableQProtection {
+		fixes, err := r.qprot.verifyAndCorrect(dev, r.hostA, p, r.tauDet)
+		if err != nil {
+			return r.res, err
+		}
+		r.res.QCorrections += fixes
+	}
+	dev.DeviceSynchronize()
+
+	r.res.SimSeconds = dev.Elapsed()
+	if r.res.SimSeconds > 0 {
+		r.res.ModelGFLOPS = sim.HessenbergFlops(n) / r.res.SimSeconds / 1e9
+	}
+	return r.res, nil
+}
+
+// cleanupCost mirrors hybrid's unblocked-remainder cost model.
+func cleanupCost(pp sim.Params, n, p int) float64 {
+	cost := 0.0
+	for c := p; c < n-1; c++ {
+		m1 := n - 1 - c
+		cost += 2 * pp.VecHost(m1)
+		cost += 2 * pp.GemvHost(n, m1)
+		cost += 2 * pp.GemvHost(m1, n-c-1)
+	}
+	return cost
+}
+
+// encode computes the initial checksum column and row on the device
+// (Algorithm 3, line 2: two DGEMV-class kernels).
+func (r *reducer) encode() {
+	n := r.n
+	r.dev.RowSums(r.dA, 0, 0, n, n, r.dA, 0, n)
+	r.dev.ColSums(r.dA, 0, 0, n, n, r.dA, n, 0)
+}
+
+// iteration executes one blocked iteration (Algorithm 3, lines 4-11) for
+// the panel starting at column p, returning the left-update completion
+// event. redo marks a re-execution after recovery (the panel is taken
+// from the checkpoint instead of the device).
+func (r *reducer) iteration(iter, p, ib int, prevLeft sim.Event, redo bool) (sim.Event, error) {
+	dev := r.dev
+	n := r.n
+	k := p + 1
+	pp := dev.Params
+
+	if redo {
+		// Retrieve the pre-factorized panel from the diskless checkpoint
+		// (host memory), as the paper's recovery procedure does.
+		dev.HostOp(pp.VecHost((n-k)*ib), func() {
+			r.hostA.View(k, p, n-k, ib).CopyFrom(r.ckPanel.View(k, 0, n-k, ib))
+		})
+	} else {
+		// Line 4: send the panel to the host. The fault-tolerant variant
+		// transfers the full column height: the extra top rows are the
+		// diskless checkpoint of the data the device-side right update
+		// will overwrite.
+		panel := r.hostA.View(0, p, n, ib)
+		dev.Sync(dev.D2HAsync(panel, r.dA, 0, p, prevLeft))
+		dev.HostOp(pp.VecHost(n*ib), func() {
+			r.ckPanel.View(0, 0, n, ib).CopyFrom(panel)
+		})
+		// Checkpoint the checksum-row segment of the panel columns, which
+		// the end-of-iteration refresh overwrites.
+		ckSeg := r.ckChkRow.View(0, 0, 1, ib)
+		dev.Sync(dev.D2HAsync(ckSeg, r.dA, n, p, prevLeft))
+	}
+
+	// Line 5: hybrid panel factorization (CPU + device GEMV), identical to
+	// the non-fault-tolerant algorithm.
+	hybrid.PanelFactor(dev, r.hostA, r.yHost, r.tHost, r.tau, r.dataView(), r.dVcol, r.dYcol, n, p, k, ib)
+
+	// Maintain the Q checksums on the otherwise idle CPU (Section IV-E,
+	// Figure 5) — overlapped with the device work below.
+	if !r.opt.DisableQProtection {
+		r.qprot.absorbPanel(dev, r.hostA, p, ib)
+	}
+
+	// Upload the factored panel, Y's lower rows, and T.
+	dev.H2D(r.dA, k, p, r.hostA.View(k, p, n-k, ib))
+	dev.H2D(r.dY, k, 0, r.yHost.View(k, 0, n-k, ib))
+	dev.H2D(r.dT, 0, 0, r.tHost.View(0, 0, ib, ib))
+
+	// Line 7: column sums of V (unit-diagonal aware), Vce's extension row.
+	vsumDone := r.kernVsum(p, ib)
+	// Line 6: Yce = eᵀY = (eᵀA)·V·T computed from the maintained checksum
+	// row (must read the checksum row before it is refreshed below).
+	ychkDone := r.kernYce(p, ib, vsumDone)
+
+	// Y's top rows on the device, as in the baseline.
+	e := dev.CopyBlock(r.dY, 0, 0, r.dA, 0, p+1, k, ib)
+	e = dev.Trmm(blas.Right, blas.Lower, blas.NoTrans, blas.Unit, k, ib, 1, r.dA, k, p, r.dY, 0, 0, e)
+	if n > k+ib {
+		e = dev.Gemm(blas.NoTrans, blas.NoTrans, k, ib, n-k-ib, 1, r.dA, 0, p+ib+1, r.dA, k+ib, p, 1, r.dY, 0, 0, e)
+	}
+	ytopDone := dev.Trmm(blas.Right, blas.Upper, blas.NoTrans, blas.NonUnit, k, ib, 1, r.dT, 0, 0, r.dY, 0, 0, e)
+
+	// Right update of the panel columns' top rows.
+	aDone := ytopDone
+	if ib > 1 {
+		aDone = dev.CopyBlock(r.dW, 0, 0, r.dY, 0, 0, k, ib-1, ytopDone)
+		aDone = dev.Trmm(blas.Right, blas.Lower, blas.Trans, blas.Unit, k, ib-1, 1, r.dA, k, p, r.dW, 0, 0, aDone)
+		aDone = dev.SubBlock(r.dA, 0, p+1, r.dW, 0, 0, k, ib-1, aDone)
+	}
+	// Refresh the checksum-row entries of the now-final panel columns
+	// directly from the Hessenberg data (their mathematical column sums).
+	chkSegDone := r.kernPanelColSums(p, ib, aDone, ychkDone)
+
+	// Line 9: asynchronous transfer of the finished block, overlapped with
+	// the remaining device updates (or serialized after them under the
+	// DisableOverlap ablation).
+	finished := r.hostA.View(0, p, k, ib)
+	if !r.opt.DisableOverlap {
+		dev.D2HAsync(finished, r.dA, 0, p, aDone)
+	}
+
+	// Lines 8 and 10: right update of Mre (top rows + checksum handling)
+	// and Gfe (lower rows + checksum row), with the EI corner trick.
+	ei := r.hostA.At(p+ib, p+ib-1)
+	e1 := dev.Set(r.dA, p+ib, p+ib-1, 1, ytopDone, ychkDone)
+	eM := dev.Gemm(blas.NoTrans, blas.Trans, k, n-p-ib, ib, -1, r.dY, 0, 0, r.dA, p+ib, p, 1, r.dA, 0, p+ib, e1)
+	// G rows k..n-1 plus the checksum row n in one GEMM (dY row n = Yce).
+	eG := dev.Gemm(blas.NoTrans, blas.Trans, n+1-k, n-p-ib, ib, -1, r.dY, k, 0, r.dA, p+ib, p, 1, r.dA, k, p+ib, eM, chkSegDone)
+	// Checksum column under the right update: Ace −= Y·(Vᵀe).
+	eCk := dev.Gemv(blas.NoTrans, n, ib, -1, r.dY, 0, 0, r.dVsum, 0, 0, 1, r.dA, 0, n, eG)
+	eC := dev.Set(r.dA, p+ib, p+ib-1, ei, eCk)
+
+	// Line 11: left update of trail(A)fe — data columns p+ib..n-1 plus the
+	// checksum column (col n), with the checksum row updated through the
+	// retained intermediate S.
+	left := r.leftUpdate(p, ib, eC)
+	if r.opt.DisableOverlap {
+		dev.Sync(dev.D2HAsync(finished, r.dA, 0, p, aDone, left))
+	}
+	return left, nil
+}
+
+// dataView returns the n×n data region of the extended device matrix.
+func (r *reducer) dataView() *gpu.Matrix {
+	// The panel-factorization device GEMV only needs the data region;
+	// dA's extra row/column are outside every (k, p+ib) block it reads.
+	return r.dA
+}
+
+// kernVsum computes vsum = Vᵀe (unit-diagonal-aware column sums of the
+// stored Householder panel) into dVsum.
+func (r *reducer) kernVsum(p, ib int) sim.Event {
+	dev := r.dev
+	n, k := r.n, p+1
+	cost := dev.Params.GemvDevice(n-k, ib)
+	dA, dVsum := r.dA, r.dVsum
+	return dev.Custom(cost, func() {
+		for j := 0; j < ib; j++ {
+			s := 1.0 // implicit unit diagonal of V
+			for row := k + j + 1; row < n; row++ {
+				s += dA.At(row, p+j)
+			}
+			dVsum.Data[j] = s
+		}
+	})
+}
+
+// kernYce computes Yce = (eᵀA)·V·T from the maintained checksum row into
+// row n of dY (the paper's line 6: the checksums of Y derived from the
+// checksums of the trailing matrix).
+func (r *reducer) kernYce(p, ib int, deps ...sim.Event) sim.Event {
+	dev := r.dev
+	n, k := r.n, p+1
+	cost := dev.Params.GemvDevice(n-k, ib) + dev.Params.VecDevice(ib*ib/2)
+	dA, dY, dT := r.dA, r.dY, r.dT
+	return dev.Custom(cost, func() {
+		w := make([]float64, ib)
+		for j := 0; j < ib; j++ {
+			// chkrow index k+j pairs with V's implicit unit diagonal.
+			s := dA.At(n, k+j)
+			for row := k + j + 1; row < n; row++ {
+				s += dA.At(n, row) * dA.At(row, p+j)
+			}
+			w[j] = s
+		}
+		// w := Tᵀ·w  (row vector times T).
+		blas.Dtrmv(blas.Upper, blas.Trans, blas.NonUnit, ib, dT.Data, dT.Stride, w, 1)
+		for j := 0; j < ib; j++ {
+			dY.Data[j*dY.Stride+n] = w[j]
+		}
+	}, deps...)
+}
+
+// kernPanelColSums refreshes the checksum-row entries of the finished
+// panel columns from their final Hessenberg values (sum of rows 0..c+1,
+// the rest being implicit zeros).
+func (r *reducer) kernPanelColSums(p, ib int, deps ...sim.Event) sim.Event {
+	dev := r.dev
+	n := r.n
+	cost := dev.Params.GemvDevice(p+ib+1, ib)
+	dA := r.dA
+	return dev.Custom(cost, func() {
+		for j := 0; j < ib; j++ {
+			c := p + j
+			top := min(c+1, n-1)
+			s := 0.0
+			for i := 0; i <= top; i++ {
+				s += dA.At(i, c)
+			}
+			dA.Data[c*dA.Stride+n] = s
+		}
+	}, deps...)
+}
+
+// leftUpdate applies trail(A)fe := trail(A)fe − Vce·Tᵀ·Vᵀ·trail(A)fe:
+// the data columns and checksum column get the orthogonal left update,
+// the checksum row gets the Vce extension. The intermediate S = (CᵀV)·T
+// is retained in dS for reverse computation.
+func (r *reducer) leftUpdate(p, ib int, dep sim.Event) sim.Event {
+	dev := r.dev
+	n, k := r.n, p+1
+	nc := n - p - ib + 1 // trailing data columns plus the checksum column
+
+	// S := C1ᵀ·V1 + C2ᵀ·V2  (nc×ib), C = dA(k:n-1, p+ib..n).
+	e := dev.Custom(dev.Params.KernelLaunchSec+16*float64(nc)*float64(ib)/(dev.Params.GPUBandwidthGBps*1e9), func() {
+		for j := 0; j < ib; j++ {
+			blas.Dcopy(nc, r.dA.Data[(p+ib)*r.dA.Stride+k+j:], r.dA.Stride, r.dS.Data[j*r.dS.Stride:], 1)
+		}
+	}, dep)
+	e = dev.Trmm(blas.Right, blas.Lower, blas.NoTrans, blas.Unit, nc, ib, 1, r.dA, k, p, r.dS, 0, 0, e)
+	if n-k > ib {
+		e = dev.Gemm(blas.Trans, blas.NoTrans, nc, ib, n-k-ib, 1, r.dA, k+ib, p+ib, r.dA, k+ib, p, 1, r.dS, 0, 0, e)
+	}
+	// S := S·T  (Hᵀ uses T here; see lapack.Dlarfb's TRANST convention).
+	e = dev.Trmm(blas.Right, blas.Upper, blas.NoTrans, blas.NonUnit, nc, ib, 1, r.dT, 0, 0, r.dS, 0, 0, e)
+	// C := C sign·V·Sᵀ, split as in DLARFB because V's stored upper
+	// triangle holds H data, not zeros.
+	e = r.applyVS(p, ib, -1, e)
+	// Checksum row: chkrow(j) −= S[j,:]·vsum for the data columns.
+	e = r.kernChkRowLeft(p, ib, -1, e)
+	return e
+}
+
+// applyVS computes C := C + sign·V·Sᵀ over C = dA(k:n-1, p+ib..n) using
+// the retained S, honoring V's implicit unit lower-triangular leading
+// block. sign=-1 is the forward left update; sign=+1 reverses it.
+func (r *reducer) applyVS(p, ib int, sign float64, dep sim.Event) sim.Event {
+	dev := r.dev
+	n, k := r.n, p+1
+	nc := n - p - ib + 1
+	// C2 (rows ib..) gets the dense part: C2 += sign·V2·Sᵀ.
+	e := dep
+	if n-k > ib {
+		e = dev.Gemm(blas.NoTrans, blas.Trans, n-k-ib, nc, ib, sign, r.dA, k+ib, p, r.dS, 0, 0, 1, r.dA, k+ib, p+ib, e)
+	}
+	// C1 (rows 0..ib-1): W := S·V1ᵀ (unit lower), then C1 += sign·Wᵀ.
+	e = dev.CopyBlock(r.dW, 0, 0, r.dS, 0, 0, nc, ib, e)
+	e = dev.Trmm(blas.Right, blas.Lower, blas.Trans, blas.Unit, nc, ib, 1, r.dA, k, p, r.dW, 0, 0, e)
+	cost := dev.Params.KernelLaunchSec + 24*float64(nc)*float64(ib)/(dev.Params.GPUBandwidthGBps*1e9)
+	dA, dW := r.dA, r.dW
+	return dev.Custom(cost, func() {
+		for j := 0; j < ib; j++ {
+			for i := 0; i < nc; i++ {
+				dA.Data[(p+ib+i)*dA.Stride+k+j] += sign * dW.Data[j*dW.Stride+i]
+			}
+		}
+	}, e)
+}
+
+// kernChkRowLeft applies sign·(eᵀV)·Tᵀ·Vᵀ·C to the checksum-row entries of
+// the trailing data columns, using the retained intermediate S.
+func (r *reducer) kernChkRowLeft(p, ib int, sign float64, deps ...sim.Event) sim.Event {
+	dev := r.dev
+	n := r.n
+	ndata := n - p - ib // data columns only (exclude the checksum column)
+	cost := dev.Params.GemvDevice(ndata, ib)
+	dA, dS, dVsum := r.dA, r.dS, r.dVsum
+	return dev.Custom(cost, func() {
+		for j := 0; j < ndata; j++ {
+			s := 0.0
+			for l := 0; l < ib; l++ {
+				s += dS.Data[l*dS.Stride+j] * dVsum.Data[l]
+			}
+			dA.Data[(p+ib+j)*dA.Stride+n] += sign * s
+		}
+	}, deps...)
+}

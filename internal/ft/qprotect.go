@@ -1,0 +1,168 @@
+package ft
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gpu"
+	"repro/internal/matrix"
+)
+
+// qChecksums protects the Householder vectors accumulating on the host
+// (the Q matrix, Section IV-E of the paper). A column of row checksums
+// (Qr_chk) is accumulated panel by panel, and a row of column checksums
+// (Qc_chk) is generated one segment per panel and never changes — the
+// solid/dashed lines of the paper's Figure 5. Generation runs on the CPU
+// while the device updates the trailing matrix, so its cost hides in the
+// otherwise idle host time.
+//
+// The protected region is the strictly-below-first-subdiagonal storage of
+// the packed factorization (rows ≥ c+2 of column c).
+type qChecksums struct {
+	n      int
+	rowChk []float64 // Qr_chk: per-row sums over all absorbed panels
+	colChk []float64 // Qc_chk: per-column sums, one segment per panel
+	// lastPanel and lastRowContrib allow a panel's contribution to be
+	// re-absorbed after a recovery re-executes it with corrected data.
+	lastPanel      int
+	lastRowContrib []float64
+	absorbedCols   int // first column not yet covered
+}
+
+func newQChecksums(n int) *qChecksums {
+	return &qChecksums{
+		n:              n,
+		rowChk:         make([]float64, n),
+		colChk:         make([]float64, n),
+		lastPanel:      -1,
+		lastRowContrib: make([]float64, n),
+	}
+}
+
+// absorbPanel folds the Householder vectors of panel columns p..p+ib-1
+// into the checksums. Calling it again for the same panel (after a
+// recovery re-execution) first retracts the previous contribution.
+func (q *qChecksums) absorbPanel(dev *gpu.Device, hostA *matrix.Matrix, p, ib int) {
+	n := q.n
+	cost := dev.Params.GemvHost(n-p, ib)
+	dev.HostOp(cost, func() {
+		if q.lastPanel == p {
+			// Re-absorption after recovery: retract the stale sums.
+			for i := 0; i < n; i++ {
+				q.rowChk[i] -= q.lastRowContrib[i]
+				q.lastRowContrib[i] = 0
+			}
+		} else {
+			q.lastPanel = p
+			for i := range q.lastRowContrib {
+				q.lastRowContrib[i] = 0
+			}
+		}
+		for j := 0; j < ib; j++ {
+			c := p + j
+			s := 0.0
+			for i := c + 2; i < n; i++ {
+				v := hostA.At(i, c)
+				s += v
+				q.rowChk[i] += v
+				q.lastRowContrib[i] += v
+			}
+			q.colChk[c] = s
+		}
+		q.absorbedCols = p + ib
+	})
+}
+
+// verifyAndCorrect recomputes fresh checksums over the protected region
+// (columns 0..limit-1) and repairs any mismatching element in hostA,
+// returning the number of corrections. Ambiguous patterns (rectangles)
+// return ErrUncorrectable. Run once at the end of the factorization, as
+// the paper prescribes — an error in Q never propagates, so per-iteration
+// checks are unnecessary.
+func (q *qChecksums) verifyAndCorrect(dev *gpu.Device, hostA *matrix.Matrix, limit int, tol float64) (int, error) {
+	if limit > q.absorbedCols {
+		limit = q.absorbedCols
+	}
+	n := q.n
+	fixes := 0
+	var vErr error
+	dev.HostOp(dev.Params.GemvHost(n, max(limit, 1)), func() {
+		freshRow := make([]float64, n)
+		freshCol := make([]float64, n)
+		for c := 0; c < limit; c++ {
+			for i := c + 2; i < n; i++ {
+				v := hostA.At(i, c)
+				freshRow[i] += v
+				freshCol[c] += v
+			}
+		}
+		var rows, cols []int
+		rRes := make([]float64, n)
+		cRes := make([]float64, n)
+		for i := 0; i < n; i++ {
+			rRes[i] = freshRow[i] - q.rowChk[i]
+			if math.Abs(rRes[i]) > tol {
+				rows = append(rows, i)
+			}
+		}
+		for c := 0; c < limit; c++ {
+			cRes[c] = freshCol[c] - q.colChk[c]
+			if math.Abs(cRes[c]) > tol {
+				cols = append(cols, c)
+			}
+		}
+		correct := func(i, c int, delta float64) {
+			hostA.Add(i, c, -delta)
+			fixes++
+		}
+		switch {
+		case len(rows) == 0 && len(cols) == 0:
+			return
+		case len(rows) == 0 || len(cols) == 0:
+			// The checksum vectors themselves took the hit; refresh them.
+			for _, i := range rows {
+				q.rowChk[i] = freshRow[i]
+			}
+			for _, c := range cols {
+				q.colChk[c] = freshCol[c]
+			}
+			return
+		case len(rows) == 1:
+			for _, c := range cols {
+				correct(rows[0], c, cRes[c])
+			}
+		case len(cols) == 1:
+			for _, i := range rows {
+				correct(i, cols[0], rRes[i])
+			}
+		default:
+			if len(rows) != len(cols) {
+				vErr = fmt.Errorf("%w: Q check flagged %d rows vs %d columns", ErrUncorrectable, len(rows), len(cols))
+				return
+			}
+			usedCol := make([]bool, len(cols))
+			for _, i := range rows {
+				match := -1
+				for cj, c := range cols {
+					if usedCol[cj] {
+						continue
+					}
+					if math.Abs(rRes[i]-cRes[c]) <= tol {
+						if match >= 0 {
+							vErr = fmt.Errorf("%w: ambiguous Q residual match", ErrUncorrectable)
+							return
+						}
+						match = cj
+					}
+				}
+				if match < 0 {
+					vErr = fmt.Errorf("%w: unmatched Q row residual", ErrUncorrectable)
+					return
+				}
+				usedCol[match] = true
+				correct(i, cols[match], rRes[i])
+			}
+		}
+	})
+	return fixes, vErr
+}

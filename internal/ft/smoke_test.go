@@ -1,0 +1,29 @@
+package ft
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/hybrid"
+	"repro/internal/matrix"
+	"repro/internal/sim"
+)
+
+func TestSmokeFaultFree(t *testing.T) {
+	n := 100
+	a := matrix.Random(n, n, 1)
+	res, err := Reduce(a, Options{NB: 16, Device: gpu.New(sim.K40c(), gpu.Real)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detections != 0 {
+		t.Fatalf("false detections: %d", res.Detections)
+	}
+	ref, err := hybrid.Reduce(a, hybrid.Options{NB: 16, Device: gpu.New(sim.K40c(), gpu.Real)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Packed.Sub(ref.Packed).MaxAbs(); d > 1e-11 {
+		t.Fatalf("FT result differs from baseline by %v", d)
+	}
+}

@@ -1,0 +1,168 @@
+package ft
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/matrix"
+)
+
+// Process-level diskless checkpointing (Plank et al. [21] of the paper,
+// surveyed in its §II): in addition to the per-iteration panel checkpoint
+// that drives soft-error recovery, the reduction can periodically
+// serialize its complete state to host memory. If the process (or the
+// device) is lost mid-factorization — a fail-stop error rather than a
+// silent one — a new run resumes from the last snapshot instead of
+// starting over. Snapshots serialize with encoding/gob, so a caller may
+// also ship them to a peer node's memory, which is exactly the diskless
+// checkpointing setting of the original paper.
+
+// Snapshot is a resumable factorization state.
+type Snapshot struct {
+	// N, NB identify the problem; Iter/Panel the completed progress.
+	N, NB int
+	Iter  int
+	Panel int
+	// DA is the extended device matrix (data + checksums) at the end of
+	// iteration Iter; HostA/Tau the host-side packed progress; the Q
+	// checksums ride along so protection survives the restart.
+	DA      []float64
+	HostA   []float64
+	Tau     []float64
+	QRowChk []float64
+	QColChk []float64
+	QCols   int
+}
+
+// Encode serializes the snapshot (gob).
+func (s *Snapshot) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSnapshot deserializes a snapshot produced by Encode.
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// snapshotHook captures the state every `every` completed iterations.
+// It runs on the host timeline (the serialization cost is charged) and
+// keeps only the most recent snapshot, as diskless checkpointing does.
+type snapshotHook struct {
+	every int
+	last  *Snapshot
+}
+
+// CheckpointOptions extends Options with process-level snapshots.
+// Snapshots are only available in Real mode (the state must exist).
+type CheckpointOptions struct {
+	Options
+	// Every takes a snapshot after each `Every` completed blocked
+	// iterations (≥1).
+	Every int
+}
+
+// ReduceWithSnapshots runs the fault-tolerant reduction, returning the
+// result and the last snapshot taken (nil if the run finished before the
+// first snapshot point). The snapshot can later resume via Resume.
+func ReduceWithSnapshots(a *matrix.Matrix, opt CheckpointOptions) (*Result, *Snapshot, error) {
+	if opt.Every < 1 {
+		return nil, nil, errors.New("ft: CheckpointOptions.Every must be ≥ 1")
+	}
+	if opt.Device == nil || opt.Device.Mode != gpu.Real {
+		return nil, nil, errors.New("ft: snapshots require a Real-mode device")
+	}
+	hk := &snapshotHook{every: opt.Every}
+	inner := opt.Options
+	userHook := inner.Hook
+	inner.Hook = &chainedHook{user: userHook, snap: hk}
+	res, err := Reduce(a, inner)
+	return res, hk.last, err
+}
+
+// chainedHook lets the snapshot observer coexist with a user fault hook.
+type chainedHook struct {
+	user Hook
+	snap *snapshotHook
+}
+
+func (c *chainedHook) BeforeIteration(ctx *IterCtx) {
+	// Snapshot first: the state observed is the end of iteration
+	// ctx.Iter-1, before any new fault is injected by the user hook.
+	if ctx.Iter > 0 && ctx.Iter%c.snap.every == 0 {
+		c.snap.capture(ctx)
+	}
+	if c.user != nil {
+		c.user.BeforeIteration(ctx)
+	}
+}
+
+func (c *chainedHook) ConsumePendingH() int {
+	if c.user != nil {
+		return c.user.ConsumePendingH()
+	}
+	return 0
+}
+
+func (c *chainedHook) PendingQ() int {
+	if c.user != nil {
+		return c.user.PendingQ()
+	}
+	return 0
+}
+
+func (s *snapshotHook) capture(ctx *IterCtx) {
+	n := ctx.N
+	snap := &Snapshot{
+		N: n, NB: ctx.NB, Iter: ctx.Iter, Panel: ctx.Panel,
+		DA:    make([]float64, (n+1)*(n+1)),
+		HostA: make([]float64, n*n),
+		Tau:   make([]float64, max(n-1, 1)),
+	}
+	// The device matrix (with checksums) comes home as one D2H; its cost
+	// is what the paper's §II attributes to checkpointing schemes.
+	hostDA := matrix.FromColMajor(n+1, n+1, n+1, snap.DA)
+	ctx.Dev.D2H(hostDA, ctx.DA, 0, 0)
+	host := matrix.FromColMajor(n, n, n, snap.HostA)
+	ctx.Dev.HostOp(ctx.Dev.Params.GemvHost(n, n), func() {
+		host.CopyFrom(ctx.Host)
+	})
+	if r := ctx.reducer; r != nil {
+		copy(snap.Tau, r.tau)
+		if r.qprot != nil {
+			snap.QRowChk = append([]float64(nil), r.qprot.rowChk...)
+			snap.QColChk = append([]float64(nil), r.qprot.colChk...)
+			snap.QCols = r.qprot.absorbedCols
+		}
+	}
+	s.last = snap
+}
+
+// Resume continues a factorization from a snapshot on a fresh device,
+// returning the completed result. The original input matrix is not
+// needed — the snapshot is self-contained, as a diskless checkpoint
+// must be.
+func Resume(snap *Snapshot, opt Options) (*Result, error) {
+	if opt.Device == nil || opt.Device.Mode != gpu.Real {
+		return nil, errors.New("ft: Resume requires a Real-mode device")
+	}
+	if snap == nil {
+		return nil, errors.New("ft: nil snapshot")
+	}
+	if opt.NB != 0 && opt.NB != snap.NB {
+		return nil, fmt.Errorf("ft: snapshot block size %d differs from requested %d", snap.NB, opt.NB)
+	}
+	opt.NB = snap.NB
+	host := matrix.FromColMajor(snap.N, snap.N, snap.N, snap.HostA)
+	return reduceFrom(host, snap, opt)
+}

@@ -1,0 +1,126 @@
+package ft
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/matrix"
+	"repro/internal/sim"
+)
+
+func TestSnapshotResumeMatchesUninterrupted(t *testing.T) {
+	n, nb := 190, 32
+	a := matrix.Random(n, n, 77)
+	full, err := Reduce(a, Options{NB: nb, Device: newDev()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, snap, err := ReduceWithSnapshots(a, CheckpointOptions{
+		Options: Options{NB: nb, Device: newDev()},
+		Every:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("no snapshot taken")
+	}
+	if d := res.Packed.Sub(full.Packed).MaxAbs(); d > 1e-12 {
+		t.Fatalf("snapshotting changed the result by %v", d)
+	}
+
+	// Round-trip through serialization (the diskless "remote memory").
+	blob, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Iter != snap.Iter || snap2.Panel != snap.Panel {
+		t.Fatalf("snapshot metadata lost: %d/%d vs %d/%d", snap2.Iter, snap2.Panel, snap.Iter, snap.Panel)
+	}
+
+	// "Process failure": resume on a fresh device from the snapshot alone.
+	resumed, err := Resume(snap2, Options{NB: nb, Device: newDev()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := resumed.Packed.Sub(full.Packed).MaxAbs(); d > 1e-11 {
+		t.Fatalf("resumed result differs from uninterrupted run by %v", d)
+	}
+	if resumed.Detections != 0 {
+		t.Fatalf("resume triggered %d phantom detections", resumed.Detections)
+	}
+}
+
+func TestSnapshotResumeSurvivesLaterFault(t *testing.T) {
+	// Resume, then hit the continued run with a soft error: both
+	// resilience layers compose.
+	n, nb := 190, 32
+	a := matrix.Random(n, n, 5)
+	clean, err := Reduce(a, Options{NB: nb, Device: newDev()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, snap, err := ReduceWithSnapshots(a, CheckpointOptions{
+		Options: Options{NB: nb, Device: newDev()},
+		Every:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject at the first resumed iteration (the last snapshot may be at
+	// the final blocked iteration, so +1 could be out of range).
+	hook := &pokeHook{iter: snap.Iter, pokes: []Injection{{Row: n - 10, Col: n - 20, Delta: 2}}}
+	resumed, err := Resume(snap, Options{NB: nb, Device: newDev(), Hook: hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Detections == 0 || resumed.Recoveries == 0 {
+		t.Fatalf("post-resume fault not handled: %+v", resumed)
+	}
+	if d := resumed.Packed.Sub(clean.Packed).MaxAbs(); d > 1e-9 {
+		t.Fatalf("post-resume recovery wrong by %v", d)
+	}
+}
+
+func TestSnapshotValidation(t *testing.T) {
+	a := matrix.Random(64, 64, 1)
+	if _, _, err := ReduceWithSnapshots(a, CheckpointOptions{Options: Options{NB: 16, Device: newDev()}}); err == nil {
+		t.Fatal("Every=0 accepted")
+	}
+	if _, _, err := ReduceWithSnapshots(a, CheckpointOptions{
+		Options: Options{NB: 16, Device: gpu.New(sim.K40c(), gpu.CostOnly)}, Every: 1,
+	}); err == nil {
+		t.Fatal("cost-only snapshots accepted")
+	}
+	if _, err := Resume(nil, Options{Device: newDev()}); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+	snap := &Snapshot{N: 8, NB: 4}
+	if _, err := Resume(snap, Options{NB: 8, Device: newDev()}); err == nil {
+		t.Fatal("block-size mismatch accepted")
+	}
+}
+
+func TestSnapshotCostCharged(t *testing.T) {
+	// Snapshots must cost simulated time (the D2H of the full state).
+	n, nb := 190, 32
+	a := matrix.Random(n, n, 9)
+	plain, err := Reduce(a, Options{NB: nb, Device: newDev()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapped, _, err := ReduceWithSnapshots(a, CheckpointOptions{
+		Options: Options{NB: nb, Device: newDev()}, Every: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(snapped.SimSeconds > plain.SimSeconds) {
+		t.Fatalf("snapshot cost not charged: %v vs %v", snapped.SimSeconds, plain.SimSeconds)
+	}
+}

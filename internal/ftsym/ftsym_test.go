@@ -1,0 +1,244 @@
+package ftsym
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lapack"
+	"repro/internal/matrix"
+)
+
+func randomSymmetric(n int, seed uint64) *matrix.Matrix {
+	a := matrix.Random(n, n, seed)
+	for j := 0; j < n; j++ {
+		for i := 0; i < j; i++ {
+			a.Set(i, j, a.At(j, i))
+		}
+	}
+	return a
+}
+
+// residual returns ‖A − Q·T·Qᵀ‖₁/(N‖A‖₁).
+func residual(a *matrix.Matrix, r *Result) float64 {
+	return lapack.FactorizationResidual(a, r.Q(), r.T())
+}
+
+func TestFaultFreeMatchesDsytrd(t *testing.T) {
+	for _, tc := range []struct{ n, nb int }{{64, 8}, {100, 16}, {150, 32}} {
+		a := randomSymmetric(tc.n, uint64(tc.n))
+		res, err := Reduce(a, Options{NB: tc.nb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Detections != 0 {
+			t.Fatalf("n=%d: phantom detections %d", tc.n, res.Detections)
+		}
+		// Reference: plain blocked DSYTRD.
+		wref := a.Clone()
+		d := make([]float64, tc.n)
+		e := make([]float64, tc.n-1)
+		tau := make([]float64, tc.n-1)
+		lapack.Dsytrd(tc.n, tc.nb, wref.Data, wref.Stride, d, e, tau)
+		for i := 0; i < tc.n; i++ {
+			if math.Abs(res.D[i]-d[i]) > 1e-11 {
+				t.Fatalf("n=%d: d[%d] %v vs %v", tc.n, i, res.D[i], d[i])
+			}
+		}
+		for i := 0; i < tc.n-1; i++ {
+			if math.Abs(res.E[i]-e[i]) > 1e-11 {
+				t.Fatalf("n=%d: e[%d] %v vs %v", tc.n, i, res.E[i], e[i])
+			}
+		}
+		if r := residual(a, res); r > 1e-14 {
+			t.Fatalf("n=%d: residual %v", tc.n, r)
+		}
+	}
+}
+
+// symPokeHook corrupts one stored element at an iteration boundary.
+type symPokeHook struct {
+	iter     int
+	row, col int
+	delta    float64
+	fired    bool
+}
+
+func (h *symPokeHook) BeforeIteration(iter, panel int, w *matrix.Matrix) {
+	if iter != h.iter || h.fired {
+		return
+	}
+	h.fired = true
+	w.Add(h.row, h.col, h.delta)
+}
+
+func TestRecoversOffDiagonalError(t *testing.T) {
+	n, nb := 150, 32
+	a := randomSymmetric(n, 3)
+	hook := &symPokeHook{iter: 1, row: 100, col: 60, delta: 2.0}
+	res, err := Reduce(a, Options{NB: nb, Hook: hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detections == 0 || res.Recoveries == 0 {
+		t.Fatalf("fault not handled: %+v", res)
+	}
+	if len(res.Corrected) != 1 || res.Corrected[0].Row != 100 || res.Corrected[0].Col != 60 {
+		t.Fatalf("correction log %+v", res.Corrected)
+	}
+	if r := residual(a, res); r > 1e-13 {
+		t.Fatalf("residual after recovery %v", r)
+	}
+}
+
+func TestRecoversDiagonalError(t *testing.T) {
+	// The symmetric detector locates diagonal errors — a strict
+	// improvement over the Hessenberg Sre/Sce comparison, which is blind
+	// to them.
+	n, nb := 100, 16
+	a := randomSymmetric(n, 5)
+	hook := &symPokeHook{iter: 2, row: 70, col: 70, delta: 1.5}
+	res, err := Reduce(a, Options{NB: nb, Hook: hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recoveries == 0 {
+		t.Fatal("diagonal error not recovered")
+	}
+	if len(res.Corrected) != 1 || res.Corrected[0].Row != 70 || res.Corrected[0].Col != 70 {
+		t.Fatalf("correction log %+v", res.Corrected)
+	}
+	if r := residual(a, res); r > 1e-13 {
+		t.Fatalf("residual %v", r)
+	}
+}
+
+func TestRecoveredMatchesCleanRun(t *testing.T) {
+	n, nb := 100, 16
+	a := randomSymmetric(n, 7)
+	clean, err := Reduce(a, Options{NB: nb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := &symPokeHook{iter: 1, row: 50, col: 30, delta: 3}
+	dirty, err := Reduce(a, Options{NB: nb, Hook: hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range clean.D {
+		if math.Abs(clean.D[i]-dirty.D[i]) > 1e-10 {
+			t.Fatalf("d[%d] differs after recovery: %v vs %v", i, dirty.D[i], clean.D[i])
+		}
+	}
+}
+
+func TestPanelErrorRecovered(t *testing.T) {
+	// Error inside the about-to-be-factored panel: the checkpoint is
+	// taken after injection, so location must patch the restored state.
+	n, nb := 150, 32
+	a := randomSymmetric(n, 9)
+	hook := &symPokeHook{iter: 1, row: 90, col: 40, delta: 2.5} // col 40 ∈ panel [32,64)
+	res, err := Reduce(a, Options{NB: nb, Hook: hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recoveries == 0 {
+		t.Fatal("panel error not recovered")
+	}
+	if r := residual(a, res); r > 1e-13 {
+		t.Fatalf("residual %v", r)
+	}
+}
+
+func TestEigenvaluesSurviveFault(t *testing.T) {
+	n, nb := 126, 16
+	a := randomSymmetric(n, 11)
+	clean, err := lapack.SymEigenvalues(a.Data, n, a.Stride, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := &symPokeHook{iter: 2, row: 80, col: 50, delta: 4}
+	res, err := Reduce(a, Options{NB: nb, Hook: hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := append([]float64(nil), res.D...)
+	e := append([]float64(nil), res.E...)
+	if err := lapack.Dsterf(n, d, e); err != nil {
+		t.Fatal(err)
+	}
+	for i := range clean {
+		if math.Abs(d[i]-clean[i]) > 1e-9 {
+			t.Fatalf("λ_%d drifted: %v vs %v", i, d[i], clean[i])
+		}
+	}
+}
+
+func TestAmbiguousSymErrors(t *testing.T) {
+	// Two off-diagonal errors with equal deltas flag four rows with equal
+	// residuals — pairing is ambiguous and must be refused.
+	n, nb := 100, 16
+	a := randomSymmetric(n, 13)
+	hookA := &symPokeHook{iter: 1, row: 60, col: 40, delta: 2}
+	hookB := &symPokeHook{iter: 1, row: 80, col: 50, delta: 2}
+	_, err := Reduce(a, Options{NB: nb, Hook: multiHook{hookA, hookB}})
+	if !errors.Is(err, ErrUncorrectable) {
+		t.Fatalf("expected ErrUncorrectable, got %v", err)
+	}
+}
+
+type multiHook []Hook
+
+func (m multiHook) BeforeIteration(iter, panel int, w *matrix.Matrix) {
+	for _, h := range m {
+		h.BeforeIteration(iter, panel, w)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Reduce(matrix.New(3, 4), Options{}); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	for n := 0; n <= 2; n++ {
+		if _, err := Reduce(randomSymmetric(n, 1), Options{NB: 4}); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// Property: single off-diagonal errors at random positions/iterations are
+// always detected and repaired. Positions keep their row in the trailing
+// window (row ≥ p+nb): errors whose entire footprint lies inside the
+// nb×nb panel triangle are outside the detector's stated coverage (that
+// data is host-resident in the hybrid setting; see the package doc).
+func TestPropSingleSymErrorRecovered(t *testing.T) {
+	f := func(seed uint64) bool {
+		n, nb := 100, 16
+		a := randomSymmetric(n, seed)
+		rng := matrix.NewRNG(seed)
+		iter := rng.Intn(3)
+		p := iter * nb
+		row := p + nb + rng.Intn(n-p-nb)
+		col := p + rng.Intn(row-p)
+		delta := 0.5 + 5*rng.Float64()
+		hook := &symPokeHook{iter: iter, row: row, col: col, delta: delta}
+		res, err := Reduce(a, Options{NB: nb, Hook: hook})
+		if err != nil {
+			t.Logf("seed %d (%d,%d)@%d: %v", seed, row, col, iter, err)
+			return false
+		}
+		if res.Detections == 0 {
+			t.Logf("seed %d (%d,%d)@%d: undetected", seed, row, col, iter)
+			return false
+		}
+		if r := residual(a, res); r > 1e-13 {
+			t.Logf("seed %d: residual %v", seed, r)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}

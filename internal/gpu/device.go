@@ -1,0 +1,245 @@
+// Package gpu simulates the accelerator of the paper's hybrid testbed: a
+// device with its own memory space, FIFO command streams, events, and
+// asynchronous host↔device transfers, driven by the cost model in
+// internal/sim.
+//
+// Two execution modes share one code path:
+//
+//   - Real: every kernel executes actual float64 arithmetic on
+//     device-resident buffers (used by all correctness tests and the
+//     numerical experiments), and the simulated clock advances alongside.
+//   - CostOnly: kernels and transfers advance the simulated clock but touch
+//     no data, so the paper's large matrix sizes (N ≈ 10⁴, Figure 6) can be
+//     swept in milliseconds. The reduction's control flow is data-oblivious,
+//     so the operation sequence is identical in both modes.
+//
+// Operations execute eagerly in program order (which is always a legal
+// schedule of the stream program), while the timelines model the
+// concurrency: a kernel on the compute stream and an async copy on the
+// copy stream overlap in simulated time exactly as they would on the
+// paper's K40c.
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/sim"
+)
+
+// Mode selects real execution or cost-only simulation.
+type Mode int
+
+const (
+	// Real executes kernel arithmetic on device buffers.
+	Real Mode = iota
+	// CostOnly advances simulated time without touching data.
+	CostOnly
+)
+
+func (m Mode) String() string {
+	if m == Real {
+		return "real"
+	}
+	return "cost-only"
+}
+
+// Device is a simulated accelerator.
+type Device struct {
+	Params sim.Params
+	Mode   Mode
+
+	// Host is the CPU timeline; Compute and Copy are the device streams
+	// (MAGMA's hybrid DGEHRD uses exactly one of each).
+	Host    *sim.Timeline
+	Compute *sim.Timeline
+	Copy    *sim.Timeline
+
+	allocBytes int64
+	kernels    int64
+	transfers  int64
+	bytesMoved int64
+	// busyByKind accumulates modeled busy seconds per operation family
+	// ("gemm", "gemv", "trmm", "vec", "copy", "h2d", "d2h", "host"),
+	// feeding the overhead-breakdown experiment.
+	busyByKind map[string]float64
+	// tracing/trace record per-operation spans for the Chrome-trace
+	// export (see trace.go).
+	tracing bool
+	trace   []Span
+}
+
+// New creates a device with the given cost parameters and mode.
+func New(p sim.Params, mode Mode) *Device {
+	return &Device{
+		Params:     p,
+		Mode:       mode,
+		Host:       sim.NewTimeline("host"),
+		Compute:    sim.NewTimeline("gpu-compute"),
+		Copy:       sim.NewTimeline("gpu-copy"),
+		busyByKind: make(map[string]float64),
+	}
+}
+
+// Matrix is a column-major matrix resident in device memory. In CostOnly
+// mode Data is nil.
+type Matrix struct {
+	dev    *Device
+	Rows   int
+	Cols   int
+	Stride int
+	Data   []float64
+}
+
+// Alloc reserves an r×c device matrix (zero-initialized in Real mode).
+func (d *Device) Alloc(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("gpu: Alloc(%d,%d)", r, c))
+	}
+	m := &Matrix{dev: d, Rows: r, Cols: c, Stride: max(r, 1)}
+	if d.Mode == Real {
+		m.Data = make([]float64, r*c)
+	}
+	d.allocBytes += int64(r) * int64(c) * 8
+	return m
+}
+
+// Free releases the device allocation accounting for m.
+func (d *Device) Free(m *Matrix) {
+	d.allocBytes -= int64(m.Rows) * int64(m.Cols) * 8
+	m.Data = nil
+}
+
+// AllocatedBytes reports the currently allocated device memory.
+func (d *Device) AllocatedBytes() int64 { return d.allocBytes }
+
+// KernelCount reports the number of kernels launched so far.
+func (d *Device) KernelCount() int64 { return d.kernels }
+
+// TransferStats reports the number of transfers and total bytes moved.
+func (d *Device) TransferStats() (count, bytes int64) { return d.transfers, d.bytesMoved }
+
+// TimeBreakdown returns the accumulated modeled busy seconds per
+// operation family. The sum can exceed the makespan: lanes overlap.
+func (d *Device) TimeBreakdown() map[string]float64 {
+	out := make(map[string]float64, len(d.busyByKind))
+	for k, v := range d.busyByKind {
+		out[k] = v
+	}
+	return out
+}
+
+// ptr returns the slice at device element (i, j); only valid in Real mode.
+func (m *Matrix) ptr(i, j int) []float64 {
+	if i < 0 || j < 0 || i >= m.Rows || j >= m.Cols {
+		panic(fmt.Sprintf("gpu: device index (%d,%d) out of %dx%d", i, j, m.Rows, m.Cols))
+	}
+	return m.Data[j*m.Stride+i:]
+}
+
+// At reads one device element (Real mode only); used by tests and the
+// recovery path, which on real hardware would be a tiny D2H read.
+func (m *Matrix) At(i, j int) float64 {
+	return m.ptr(i, j)[0]
+}
+
+// enqueue charges the host the kernel-launch overhead for issuing a
+// command and returns the earliest instant the command may start.
+func (d *Device) enqueue() sim.Event {
+	d.Host.Schedule(d.Params.KernelLaunchSec)
+	return sim.Event{At: d.Host.Tail()}
+}
+
+// H2D synchronously copies the host matrix src into the device matrix dst
+// at origin (di, dj). The host blocks until the transfer completes.
+func (d *Device) H2D(dst *Matrix, di, dj int, src *matrix.Matrix) {
+	e := d.H2DAsync(dst, di, dj, src)
+	d.Sync(e)
+}
+
+// H2DAsync enqueues the copy on the copy stream and returns its event.
+func (d *Device) H2DAsync(dst *Matrix, di, dj int, src *matrix.Matrix, deps ...sim.Event) sim.Event {
+	d.checkRange("H2D", dst, di, dj, src.Rows, src.Cols)
+	bytes := src.Rows * src.Cols * 8
+	d.transfers++
+	d.bytesMoved += int64(bytes)
+	if d.Mode == Real && src.Rows > 0 && src.Cols > 0 {
+		for j := 0; j < src.Cols; j++ {
+			copy(dst.ptr(di, dj+j)[:src.Rows], src.Col(j))
+		}
+	}
+	deps = append(deps, d.enqueue())
+	cost := d.Params.Transfer(bytes)
+	d.busyByKind["h2d"] += cost
+	e := d.Copy.Schedule(cost, deps...)
+	d.record("gpu-copy", "h2d", e.At, cost)
+	return e
+}
+
+// D2H synchronously copies an r×c block at (si, sj) of the device matrix
+// src into the host matrix dst.
+func (d *Device) D2H(dst *matrix.Matrix, src *Matrix, si, sj int) {
+	e := d.D2HAsync(dst, src, si, sj)
+	d.Sync(e)
+}
+
+// D2HAsync enqueues the device→host copy on the copy stream. This is the
+// transfer the paper overlaps with the trailing-matrix update (the two red
+// lines of Algorithm 2/3).
+func (d *Device) D2HAsync(dst *matrix.Matrix, src *Matrix, si, sj int, deps ...sim.Event) sim.Event {
+	d.checkRange("D2H", src, si, sj, dst.Rows, dst.Cols)
+	bytes := dst.Rows * dst.Cols * 8
+	d.transfers++
+	d.bytesMoved += int64(bytes)
+	if d.Mode == Real && dst.Rows > 0 && dst.Cols > 0 {
+		for j := 0; j < dst.Cols; j++ {
+			copy(dst.Col(j), src.ptr(si, sj+j)[:dst.Rows])
+		}
+	}
+	deps = append(deps, d.enqueue())
+	cost := d.Params.Transfer(bytes)
+	d.busyByKind["d2h"] += cost
+	e := d.Copy.Schedule(cost, deps...)
+	d.record("gpu-copy", "d2h", e.At, cost)
+	return e
+}
+
+func (d *Device) checkRange(op string, m *Matrix, i, j, r, c int) {
+	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.Rows || j+c > m.Cols {
+		panic(fmt.Sprintf("gpu: %s block (%d,%d)+%dx%d out of %dx%d", op, i, j, r, c, m.Rows, m.Cols))
+	}
+}
+
+// Sync blocks the host until the event completes (cudaEventSynchronize).
+func (d *Device) Sync(e sim.Event) {
+	d.Host.AdvanceTo(e.At)
+}
+
+// DeviceSynchronize blocks the host until both streams drain.
+func (d *Device) DeviceSynchronize() {
+	d.Host.AdvanceTo(sim.Makespan(d.Compute, d.Copy))
+}
+
+// HostOp charges cost seconds of CPU work and, in Real mode, runs f.
+// The hybrid algorithms route every host-side BLAS call through this so
+// that one code path serves both execution modes.
+func (d *Device) HostOp(cost float64, f func()) {
+	d.busyByKind["host"] += cost
+	e := d.Host.Schedule(cost)
+	d.record("host", "host", e.At, cost)
+	if d.Mode == Real && f != nil {
+		f()
+	}
+}
+
+// Elapsed returns the simulated makespan so far.
+func (d *Device) Elapsed() float64 {
+	return sim.Makespan(d.Host, d.Compute, d.Copy)
+}
+
+// ResetClocks zeroes all timelines (buffers are preserved).
+func (d *Device) ResetClocks() {
+	d.Host.Reset()
+	d.Compute.Reset()
+	d.Copy.Reset()
+}

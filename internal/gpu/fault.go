@@ -1,0 +1,38 @@
+package gpu
+
+import "math"
+
+// Soft-error injection into device memory. The paper's failure model
+// (Section IV-A) is a transient single-element corruption of the data
+// matrix that the factorization does not observe directly; these helpers
+// are the "cosmic ray": they mutate a device buffer in place, outside any
+// stream ordering, just as a particle strike would.
+
+// Poke adds delta to device element (i, j). Returns the previous value.
+// In CostOnly mode it is a no-op returning 0 (the fault campaign drives
+// detection decisions instead; see internal/fault).
+func (d *Device) Poke(m *Matrix, i, j int, delta float64) float64 {
+	if d.Mode != Real {
+		return 0
+	}
+	p := m.ptr(i, j)
+	old := p[0]
+	p[0] = old + delta
+	return old
+}
+
+// FlipBit flips the given bit (0 = least significant mantissa bit, 63 =
+// sign) of device element (i, j), the classic single-event-upset model.
+// Returns the previous value. No-op in CostOnly mode.
+func (d *Device) FlipBit(m *Matrix, i, j int, bit uint) float64 {
+	if d.Mode != Real {
+		return 0
+	}
+	if bit > 63 {
+		panic("gpu: FlipBit bit out of range")
+	}
+	p := m.ptr(i, j)
+	old := p[0]
+	p[0] = math.Float64frombits(math.Float64bits(old) ^ (1 << bit))
+	return old
+}

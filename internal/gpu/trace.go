@@ -1,0 +1,91 @@
+package gpu
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Execution tracing: when enabled, every kernel, transfer, and host
+// operation records its simulated (lane, kind, start, end) span, and the
+// whole run can be exported in the Chrome trace-event format
+// (chrome://tracing, Perfetto) — the visual counterpart of the paper's
+// Figure 1/4 iteration diagrams.
+
+// Span is one traced operation on a simulated lane.
+type Span struct {
+	Lane  string  `json:"lane"`
+	Kind  string  `json:"kind"`
+	Start float64 `json:"start"` // seconds
+	End   float64 `json:"end"`
+}
+
+// EnableTrace starts span recording (call before running an algorithm).
+func (d *Device) EnableTrace() {
+	d.trace = make([]Span, 0, 1024)
+	d.tracing = true
+}
+
+// Trace returns the recorded spans.
+func (d *Device) Trace() []Span {
+	return d.trace
+}
+
+func (d *Device) record(lane, kind string, end, cost float64) {
+	if !d.tracing {
+		return
+	}
+	d.trace = append(d.trace, Span{Lane: lane, Kind: kind, Start: end - cost, End: end})
+}
+
+// WriteChromeTrace exports the spans as a Chrome trace-event JSON array
+// (timestamps in microseconds; one tid per simulated lane).
+func (d *Device) WriteChromeTrace(w io.Writer) error {
+	type evt struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Pid  int     `json:"pid"`
+		Tid  int     `json:"tid"`
+	}
+	lanes := map[string]int{"host": 0, "gpu-compute": 1, "gpu-copy": 2}
+	events := make([]evt, 0, len(d.trace))
+	for _, s := range d.trace {
+		tid, ok := lanes[s.Lane]
+		if !ok {
+			tid = len(lanes)
+			lanes[s.Lane] = tid
+		}
+		events = append(events, evt{
+			Name: s.Kind, Ph: "X",
+			Ts: s.Start * 1e6, Dur: (s.End - s.Start) * 1e6,
+			Pid: 1, Tid: tid,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// TraceSummary prints one line per lane with span counts and busy time.
+func (d *Device) TraceSummary(w io.Writer) {
+	type agg struct {
+		count int
+		busy  float64
+	}
+	lanes := map[string]*agg{}
+	for _, s := range d.trace {
+		a := lanes[s.Lane]
+		if a == nil {
+			a = &agg{}
+			lanes[s.Lane] = a
+		}
+		a.count++
+		a.busy += s.End - s.Start
+	}
+	for _, lane := range []string{"host", "gpu-compute", "gpu-copy"} {
+		if a := lanes[lane]; a != nil {
+			fmt.Fprintf(w, "  %-12s %6d spans, %.4fs busy\n", lane, a.count, a.busy)
+		}
+	}
+}

@@ -1,0 +1,349 @@
+// Package hybrid implements the MAGMA-style hybrid CPU+GPU blocked
+// Hessenberg reduction — Algorithm 2 of the paper and the baseline that
+// the fault-tolerant variant (internal/ft) extends.
+//
+// The matrix lives on the (simulated) device. Each blocked iteration:
+//
+//  1. copies the lower part of the next panel to the host,
+//  2. factorizes the panel on the CPU (DLAHR2), with the large
+//     matrix-vector product against the trailing matrix executed on the
+//     device, column by column, as in MAGMA's magma_dlahr2,
+//  3. uploads V, T, Y and applies the right update to the upper block
+//     rows M on the device,
+//  4. asynchronously sends the freshly finished leading block column of H
+//     back to the host, overlapped with
+//  5. the right update of the lower trailing block G and the DLARFB left
+//     update (the two red lines of the paper's Algorithm 2).
+//
+// The remaining small trailing matrix is reduced on the host with the
+// unblocked algorithm, as LAPACK's DGEHRD does.
+package hybrid
+
+import (
+	"errors"
+
+	"repro/internal/blas"
+	"repro/internal/gpu"
+	"repro/internal/lapack"
+	"repro/internal/matrix"
+	"repro/internal/sim"
+)
+
+// DefaultNB is the paper's block size.
+const DefaultNB = 32
+
+// IterInfo describes one blocked iteration, passed to the AfterIteration
+// hook (which fault campaigns use to inject errors at iteration
+// boundaries, the paper's failure model).
+type IterInfo struct {
+	// Iter is the zero-based blocked iteration index.
+	Iter int
+	// Panel is the global index of the first panel column.
+	Panel int
+	// NB is the panel width actually used this iteration.
+	NB int
+	// N is the matrix order.
+	N int
+}
+
+// Options configures the reduction.
+type Options struct {
+	// NB is the block size (DefaultNB if zero).
+	NB int
+	// Device is the simulated accelerator to run on. Required.
+	Device *gpu.Device
+	// DisableOverlap serializes the asynchronous device-to-host transfer
+	// of the finished block with the trailing update instead of
+	// overlapping them (ablation of the paper's optimization).
+	DisableOverlap bool
+	// AfterIteration, if set, runs at the end of every blocked iteration.
+	AfterIteration func(info IterInfo)
+	// BeforeIteration, if set, runs before every blocked iteration with
+	// access to the device-resident matrix and the host-side packed
+	// result under assembly; fault campaigns use it to inject soft
+	// errors at iteration boundaries (the paper's failure model and the
+	// setting of Figure 2).
+	BeforeIteration func(info IterInfo, dA *gpu.Matrix, host *matrix.Matrix)
+}
+
+// Result carries the factorization output and the simulated performance.
+type Result struct {
+	N  int
+	NB int
+	// BlockedIters is the number of blocked (panel) iterations executed.
+	BlockedIters int
+	// Packed is the LAPACK-layout result: H on and above the first
+	// subdiagonal, Householder vectors below it.
+	Packed *matrix.Matrix
+	// Tau holds the reflector scalar factors.
+	Tau []float64
+	// SimSeconds is the simulated wall-clock of the whole reduction.
+	SimSeconds float64
+	// ModelGFLOPS is 10/3·N³ / SimSeconds / 1e9.
+	ModelGFLOPS float64
+}
+
+// H extracts the upper Hessenberg factor.
+func (r *Result) H() *matrix.Matrix {
+	return lapack.HessFromPacked(r.N, r.Packed.Data, r.Packed.Stride)
+}
+
+// Q forms the orthogonal factor explicitly.
+func (r *Result) Q() *matrix.Matrix {
+	return lapack.Dorghr(r.N, r.Packed.Data, r.Packed.Stride, r.Tau)
+}
+
+// Reduce runs the hybrid Hessenberg reduction of a (not modified).
+func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
+	n := a.Rows
+	if n != a.Cols {
+		return nil, errors.New("hybrid: matrix must be square")
+	}
+	if opt.Device == nil {
+		return nil, errors.New("hybrid: Options.Device is required")
+	}
+	nb := opt.NB
+	if nb <= 0 {
+		nb = DefaultNB
+	}
+	dev := opt.Device
+	pp := dev.Params
+
+	hostA := a.Clone()
+	tau := make([]float64, max(n-1, 1))
+	res := &Result{N: n, NB: nb, Packed: hostA, Tau: tau}
+	if n <= 1 {
+		return res, nil
+	}
+
+	// Algorithm 2, line 1: A → d_A.
+	dA := dev.Alloc(n, n)
+	dev.H2D(dA, 0, 0, hostA)
+
+	dT := dev.Alloc(nb, nb)
+	dY := dev.Alloc(n, nb)
+	dW := dev.Alloc(n, nb)
+	dVcol := dev.Alloc(n, 1)
+	dYcol := dev.Alloc(n, 1)
+	defer func() {
+		dev.Free(dA)
+		dev.Free(dT)
+		dev.Free(dY)
+		dev.Free(dW)
+		dev.Free(dVcol)
+		dev.Free(dYcol)
+	}()
+
+	tHost := matrix.New(nb, nb)
+	yHost := matrix.New(n, nb)
+
+	nx := nb
+	if nx < 2 {
+		nx = 2
+	}
+	var prevLeft sim.Event
+	p := 0
+	iter := 0
+	for ; n-1-p > nx; p += nb {
+		ib := min(nb, n-1-p)
+		k := p + 1
+
+		if opt.BeforeIteration != nil {
+			dev.DeviceSynchronize()
+			opt.BeforeIteration(IterInfo{Iter: iter, Panel: p, NB: ib, N: n}, dA, hostA)
+		}
+
+		// Line 3: send the lower part of the panel to the host. It is
+		// only valid once the previous iteration's left update finished.
+		panelLower := hostA.View(k, p, n-k, ib)
+		dev.Sync(dev.D2HAsync(panelLower, dA, k, p, prevLeft))
+
+		// Line 4: hybrid panel factorization (CPU + per-column device
+		// GEMV against the trailing matrix).
+		PanelFactor(dev, hostA, yHost, tHost, tau, dA, dVcol, dYcol, n, p, k, ib)
+
+		// Upload V and the factored panel, Y's lower rows, and T.
+		dev.H2D(dA, k, p, hostA.View(k, p, n-k, ib))
+		dev.H2D(dY, k, 0, yHost.View(k, 0, n-k, ib))
+		dev.H2D(dT, 0, 0, tHost.View(0, 0, ib, ib))
+
+		// Compute Y's top rows on the device:
+		// Y(0:k-1,:) = A(0:k-1, p+1:n-1)·V·T.
+		e := dev.CopyBlock(dY, 0, 0, dA, 0, p+1, k, ib)
+		e = dev.Trmm(blas.Right, blas.Lower, blas.NoTrans, blas.Unit, k, ib, 1, dA, k, p, dY, 0, 0, e)
+		if n > k+ib {
+			e = dev.Gemm(blas.NoTrans, blas.NoTrans, k, ib, n-k-ib, 1, dA, 0, p+ib+1, dA, k+ib, p, 1, dY, 0, 0, e)
+		}
+		ytopDone := dev.Trmm(blas.Right, blas.Upper, blas.NoTrans, blas.NonUnit, k, ib, 1, dT, 0, 0, dY, 0, 0, e)
+
+		// Line 5, panel-column part of the right update to M:
+		// A(0:k-1, p+1:p+ib-1) −= Y(0:k-1, 0:ib-2)·V1ᵀ.
+		aDone := ytopDone
+		if ib > 1 {
+			aDone = dev.CopyBlock(dW, 0, 0, dY, 0, 0, k, ib-1, ytopDone)
+			aDone = dev.Trmm(blas.Right, blas.Lower, blas.Trans, blas.Unit, k, ib-1, 1, dA, k, p, dW, 0, 0, aDone)
+			aDone = dev.SubBlock(dA, 0, p+1, dW, 0, 0, k, ib-1, aDone)
+		}
+
+		// Lines 6+9: asynchronously send the finished leading block
+		// (rows 0..k-1 of the panel columns — the last piece of H the
+		// host is missing) while the device keeps updating G. The
+		// DisableOverlap ablation instead performs the transfer
+		// synchronously after the updates (below).
+		finished := hostA.View(0, p, k, ib)
+		if !opt.DisableOverlap {
+			dev.D2HAsync(finished, dA, 0, p, aDone)
+		}
+
+		// EI corner trick: V's stored diagonal corner must read as 1
+		// for the V-bottom right updates.
+		ei := hostA.At(p+ib, p+ib-1)
+		e1 := dev.Set(dA, p+ib, p+ib-1, 1, ytopDone)
+		// Right update to M's trailing columns (line 5).
+		eM := dev.Gemm(blas.NoTrans, blas.Trans, k, n-p-ib, ib, -1, dY, 0, 0, dA, p+ib, p, 1, dA, 0, p+ib, e1)
+		// Line 7: right update to G.
+		eG := dev.Gemm(blas.NoTrans, blas.Trans, n-k, n-p-ib, ib, -1, dY, k, 0, dA, p+ib, p, 1, dA, k, p+ib, eM)
+		eC := dev.Set(dA, p+ib, p+ib-1, ei, eG)
+		// Line 8: DLARFB left update of the trailing matrix.
+		prevLeft = dev.Larfb(blas.Trans, n-k, n-p-ib, ib, dA, k, p, dT, 0, 0, dA, k, p+ib, dW, eC)
+		if opt.DisableOverlap {
+			// Ablation: transfer the finished block synchronously after
+			// the trailing update instead of overlapping with it.
+			dev.Sync(dev.D2HAsync(finished, dA, 0, p, aDone, prevLeft))
+		}
+
+		if opt.AfterIteration != nil {
+			opt.AfterIteration(IterInfo{Iter: iter, Panel: p, NB: ib, N: n})
+		}
+		iter++
+	}
+	res.BlockedIters = iter
+
+	// Bring the remaining trailing columns home and finish with the
+	// unblocked reduction on the host.
+	if p < n {
+		rem := hostA.View(0, p, n, n-p)
+		dev.Sync(dev.D2HAsync(rem, dA, 0, p, prevLeft))
+	}
+	work := make([]float64, n)
+	dev.HostOp(cleanupCost(pp, n, p), func() {
+		lapack.Dgehd2(n, p, hostA.Data, hostA.Stride, tau, work)
+	})
+	dev.DeviceSynchronize()
+
+	res.SimSeconds = dev.Elapsed()
+	if res.SimSeconds > 0 {
+		res.ModelGFLOPS = sim.HessenbergFlops(n) / res.SimSeconds / 1e9
+	}
+	return res, nil
+}
+
+// cleanupCost is the modeled CPU time of the trailing unblocked reduction
+// starting at column p.
+func cleanupCost(pp sim.Params, n, p int) float64 {
+	cost := 0.0
+	for c := p; c < n-1; c++ {
+		m1 := n - 1 - c
+		cost += 2 * pp.VecHost(m1)         // dlarfg
+		cost += 2 * pp.GemvHost(n, m1)     // right dlarf (gemv + ger)
+		cost += 2 * pp.GemvHost(m1, n-c-1) // left dlarf
+	}
+	return cost
+}
+
+// PanelFactor runs the hybrid DLAHR2 panel factorization for the panel
+// starting at global column p (k = p+1 leading rows untouched), writing V
+// and the factored columns into hostA, the reflector scalars into
+// tau[p..p+ib-1], T into t, and Y's rows k..n-1 into y. The large
+// matrix-vector product against the trailing matrix runs on the device.
+func PanelFactor(dev *gpu.Device, hostA, y, t *matrix.Matrix, tau []float64, dA *gpu.Matrix, dVcol, dYcol *gpu.Matrix, n, p, k, ib int) {
+	pp := dev.Params
+	a := hostA.Data
+	lda := hostA.Stride
+	ldy := y.Stride
+	ldt := t.Stride
+	var ei float64
+	w := make([]float64, ib)
+	ytmp := make([]float64, n-k)
+	ytmpM := matrix.FromColMajor(n-k, 1, max(n-k, 1), ytmp)
+
+	for i := 0; i < ib; i++ {
+		c := p + i
+		if i > 0 {
+			// Update column i with the previous reflectors (Y part):
+			// A(k:n-1, c) −= Y(k:n-1, 0:i-1)·A(k+i-1, p:p+i-1)ᵀ.
+			dev.HostOp(pp.GemvHost(n-k, i), func() {
+				blas.Dgemv(blas.NoTrans, n-k, i, -1, y.Data[k:], ldy, a[p*lda+k+i-1:], lda, 1, a[c*lda+k:], 1)
+			})
+			// Apply (I − V·Tᵀ·Vᵀ) to the column.
+			dev.HostOp(pp.VecHost(i)+pp.GemvHost(i, i)/2, func() {
+				blas.Dcopy(i, a[c*lda+k:], 1, w, 1)
+				blas.Dtrmv(blas.Lower, blas.Trans, blas.Unit, i, a[p*lda+k:], lda, w, 1)
+			})
+			dev.HostOp(pp.GemvHost(n-k-i, i), func() {
+				blas.Dgemv(blas.Trans, n-k-i, i, 1, a[p*lda+k+i:], lda, a[c*lda+k+i:], 1, 1, w, 1)
+			})
+			dev.HostOp(pp.GemvHost(i, i)/2, func() {
+				blas.Dtrmv(blas.Upper, blas.Trans, blas.NonUnit, i, t.Data, ldt, w, 1)
+			})
+			dev.HostOp(pp.GemvHost(n-k-i, i), func() {
+				blas.Dgemv(blas.NoTrans, n-k-i, i, -1, a[p*lda+k+i:], lda, w, 1, 1, a[c*lda+k+i:], 1)
+			})
+			dev.HostOp(pp.GemvHost(i, i)/2+pp.VecHost(i), func() {
+				blas.Dtrmv(blas.Lower, blas.NoTrans, blas.Unit, i, a[p*lda+k:], lda, w, 1)
+				blas.Daxpy(i, -1, w, 1, a[c*lda+k:], 1)
+				// Restore the subdiagonal element of the previous column.
+				a[(c-1)*lda+k+i-1] = ei
+			})
+		}
+		// Generate the reflector annihilating A(k+i+1:n-1, c).
+		dev.HostOp(2*pp.VecHost(n-k-i), func() {
+			beta, tu := lapack.Dlarfg(n-k-i, a[c*lda+k+i], a[c*lda+min(k+i+1, n-1):], 1)
+			tau[c] = tu
+			ei = beta
+			a[c*lda+k+i] = 1
+		})
+		// Y(k:n-1, i) = A(k:n-1, c+1:n-1)·v, split host/device:
+		// host multiplies the remaining panel columns...
+		if ib-1-i > 0 {
+			dev.HostOp(pp.GemvHost(n-k, ib-1-i), func() {
+				blas.Dgemv(blas.NoTrans, n-k, ib-1-i, 1, a[(c+1)*lda+k:], lda, a[c*lda+k+i:], 1, 0, y.Data[i*ldy+k:], 1)
+			})
+		} else {
+			dev.HostOp(pp.VecHost(n-k), func() {
+				col := y.Data[i*ldy+k : i*ldy+k+(n-k)]
+				for r := range col {
+					col[r] = 0
+				}
+			})
+		}
+		// ...and the device multiplies the trailing matrix (this is the
+		// per-column GPU GEMV of magma_dlahr2).
+		vtail := hostA.View(p+ib, c, n-p-ib, 1)
+		up := dev.H2DAsync(dVcol, 0, 0, vtail)
+		kg := dev.Gemv(blas.NoTrans, n-k, n-p-ib, 1, dA, k, p+ib, dVcol, 0, 0, 0, dYcol, 0, 0, up)
+		dev.Sync(dev.D2HAsync(ytmpM, dYcol, 0, 0, kg))
+		dev.HostOp(pp.VecHost(n-k), func() {
+			blas.Daxpy(n-k, 1, ytmp, 1, y.Data[i*ldy+k:], 1)
+		})
+		// T(0:i-1, i) = V2ᵀ·v and the Y cross-term correction.
+		dev.HostOp(pp.GemvHost(n-k-i, i), func() {
+			blas.Dgemv(blas.Trans, n-k-i, i, 1, a[p*lda+k+i:], lda, a[c*lda+k+i:], 1, 0, t.Data[i*ldt:], 1)
+		})
+		dev.HostOp(pp.GemvHost(n-k, i), func() {
+			blas.Dgemv(blas.NoTrans, n-k, i, -1, y.Data[k:], ldy, t.Data[i*ldt:], 1, 1, y.Data[i*ldy+k:], 1)
+		})
+		dev.HostOp(pp.VecHost(n-k), func() {
+			blas.Dscal(n-k, tau[c], y.Data[i*ldy+k:], 1)
+		})
+		// Finish column i of T.
+		dev.HostOp(pp.VecHost(i)+pp.GemvHost(i, i)/2, func() {
+			blas.Dscal(i, -tau[c], t.Data[i*ldt:], 1)
+			blas.Dtrmv(blas.Upper, blas.NoTrans, blas.NonUnit, i, t.Data, ldt, t.Data[i*ldt:], 1)
+			t.Data[i*ldt+i] = tau[c]
+		})
+	}
+	dev.HostOp(pp.VecHost(1), func() {
+		a[(p+ib-1)*lda+k+ib-1] = ei
+	})
+}

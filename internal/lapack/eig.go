@@ -1,0 +1,249 @@
+package lapack
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// ErrNoConvergence is returned by Dhseqr when an eigenvalue fails to
+// converge within the iteration budget.
+var ErrNoConvergence = errors.New("lapack: eigenvalue iteration did not converge")
+
+const macheps = 2.220446049250313e-16
+
+// Dhseqr computes all eigenvalues of the n×n upper Hessenberg matrix h
+// (column-major, leading dimension ldh) with the implicit Francis
+// double-shift QR algorithm (EISPACK HQR). The contents of h are destroyed.
+// Real parts are returned in wr, imaginary parts in wi; complex eigenvalues
+// occur in conjugate pairs occupying consecutive positions.
+func Dhseqr(n int, h []float64, ldh int, wr, wi []float64) error {
+	if n == 0 {
+		return nil
+	}
+	at := func(i, j int) float64 { return h[j*ldh+i] }
+	set := func(i, j int, v float64) { h[j*ldh+i] = v }
+
+	// anorm: norm over the Hessenberg band, used for the deflation test.
+	anorm := 0.0
+	for i := 0; i < n; i++ {
+		for j := max(i-1, 0); j < n; j++ {
+			anorm += math.Abs(at(i, j))
+		}
+	}
+	if anorm == 0 {
+		for i := range wr[:n] {
+			wr[i], wi[i] = 0, 0
+		}
+		return nil
+	}
+
+	nn := n - 1
+	t := 0.0
+	var p, q, r, x, y, z, w, s float64
+	for nn >= 0 {
+		its := 0
+		for {
+			// Look for a single small subdiagonal element.
+			var l int
+			for l = nn; l >= 1; l-- {
+				s = math.Abs(at(l-1, l-1)) + math.Abs(at(l, l))
+				if s == 0 {
+					s = anorm
+				}
+				if math.Abs(at(l, l-1)) <= macheps*s {
+					set(l, l-1, 0)
+					break
+				}
+			}
+			if l < 0 {
+				l = 0
+			}
+			x = at(nn, nn)
+			if l == nn {
+				// One root found.
+				wr[nn] = x + t
+				wi[nn] = 0
+				nn--
+				break
+			}
+			y = at(nn-1, nn-1)
+			w = at(nn, nn-1) * at(nn-1, nn)
+			if l == nn-1 {
+				// Two roots found from the trailing 2×2 block.
+				p = 0.5 * (y - x)
+				q = p*p + w
+				z = math.Sqrt(math.Abs(q))
+				x += t
+				if q >= 0 {
+					// Real pair.
+					z = p + sign(z, p)
+					wr[nn-1] = x + z
+					wr[nn] = wr[nn-1]
+					if z != 0 {
+						wr[nn] = x - w/z
+					}
+					wi[nn-1], wi[nn] = 0, 0
+				} else {
+					// Complex conjugate pair.
+					wr[nn-1] = x + p
+					wr[nn] = x + p
+					wi[nn] = z
+					wi[nn-1] = -z
+				}
+				nn -= 2
+				break
+			}
+			// No roots yet: perform a double-shift QR sweep.
+			if its == 40 {
+				return ErrNoConvergence
+			}
+			if its == 10 || its == 20 || its == 30 {
+				// Exceptional shift to break cycling.
+				t += x
+				for i := 0; i <= nn; i++ {
+					set(i, i, at(i, i)-x)
+				}
+				s = math.Abs(at(nn, nn-1)) + math.Abs(at(nn-1, nn-2))
+				y = 0.75 * s
+				x = y
+				w = -0.4375 * s * s
+			}
+			its++
+			// Look for two consecutive small subdiagonal elements to
+			// start the sweep at row m.
+			var m int
+			for m = nn - 2; m >= l; m-- {
+				z = at(m, m)
+				r = x - z
+				s = y - z
+				p = (r*s-w)/at(m+1, m) + at(m, m+1)
+				q = at(m+1, m+1) - z - r - s
+				r = at(m+2, m+1)
+				s = math.Abs(p) + math.Abs(q) + math.Abs(r)
+				p /= s
+				q /= s
+				r /= s
+				if m == l {
+					break
+				}
+				u := math.Abs(at(m, m-1)) * (math.Abs(q) + math.Abs(r))
+				v := math.Abs(p) * (math.Abs(at(m-1, m-1)) + math.Abs(z) + math.Abs(at(m+1, m+1)))
+				if u <= macheps*v {
+					break
+				}
+			}
+			if m < l {
+				m = l
+			}
+			for i := m + 2; i <= nn; i++ {
+				set(i, i-2, 0)
+				if i != m+2 {
+					set(i, i-3, 0)
+				}
+			}
+			// Double QR step: chase the bulge from row m to row nn-1.
+			for k := m; k <= nn-1; k++ {
+				if k != m {
+					p = at(k, k-1)
+					q = at(k+1, k-1)
+					r = 0
+					if k != nn-1 {
+						r = at(k+2, k-1)
+					}
+					x = math.Abs(p) + math.Abs(q) + math.Abs(r)
+					if x != 0 {
+						p /= x
+						q /= x
+						r /= x
+					}
+				}
+				s = sign(math.Sqrt(p*p+q*q+r*r), p)
+				if s == 0 {
+					continue
+				}
+				if k == m {
+					if l != m {
+						set(k, k-1, -at(k, k-1))
+					}
+				} else {
+					set(k, k-1, -s*x)
+				}
+				p += s
+				x = p / s
+				y = q / s
+				z = r / s
+				q /= p
+				r /= p
+				// Row modification.
+				for j := k; j <= nn; j++ {
+					pp := at(k, j) + q*at(k+1, j)
+					if k != nn-1 {
+						pp += r * at(k+2, j)
+						set(k+2, j, at(k+2, j)-pp*z)
+					}
+					set(k+1, j, at(k+1, j)-pp*y)
+					set(k, j, at(k, j)-pp*x)
+				}
+				mmin := nn
+				if k+3 < nn {
+					mmin = k + 3
+				}
+				// Column modification.
+				for i := l; i <= mmin; i++ {
+					pp := x*at(i, k) + y*at(i, k+1)
+					if k != nn-1 {
+						pp += z * at(i, k+2)
+						set(i, k+2, at(i, k+2)-pp*r)
+					}
+					set(i, k+1, at(i, k+1)-pp*q)
+					set(i, k, at(i, k)-pp)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Eig is one eigenvalue; Im != 0 marks one member of a conjugate pair.
+type Eig struct {
+	Re, Im float64
+}
+
+// Eigenvalues computes all eigenvalues of a general square matrix by
+// reducing it to Hessenberg form (blocked, block size nb) and running the
+// Francis QR iteration. a is not modified.
+func Eigenvalues(a *matrix.Matrix, nb int) ([]Eig, error) {
+	n := a.Rows
+	if n != a.Cols {
+		return nil, errors.New("lapack: Eigenvalues needs a square matrix")
+	}
+	work := a.Clone()
+	tau := make([]float64, max(n-1, 1))
+	Dgehrd(n, nb, work.Data, work.Stride, tau)
+	h := HessFromPacked(n, work.Data, work.Stride)
+	wr := make([]float64, n)
+	wi := make([]float64, n)
+	if err := Dhseqr(n, h.Data, h.Stride, wr, wi); err != nil {
+		return nil, err
+	}
+	out := make([]Eig, n)
+	for i := range out {
+		out[i] = Eig{Re: wr[i], Im: wi[i]}
+	}
+	SortEigs(out)
+	return out, nil
+}
+
+// SortEigs orders eigenvalues by real part, then imaginary part, giving
+// deterministic output for comparisons and reports.
+func SortEigs(e []Eig) {
+	sort.Slice(e, func(i, j int) bool {
+		if e[i].Re != e[j].Re {
+			return e[i].Re < e[j].Re
+		}
+		return e[i].Im < e[j].Im
+	})
+}

@@ -1,0 +1,236 @@
+package lapack
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestDhseqrDiagonal(t *testing.T) {
+	n := 5
+	h := matrix.New(n, n)
+	want := []float64{-3, -1, 0, 2, 7}
+	for i, v := range want {
+		h.Set(i, i, v)
+	}
+	wr := make([]float64, n)
+	wi := make([]float64, n)
+	if err := Dhseqr(n, h.Data, h.Stride, wr, wi); err != nil {
+		t.Fatal(err)
+	}
+	sort.Float64s(wr)
+	for i := range want {
+		if math.Abs(wr[i]-want[i]) > 1e-13 || wi[i] != 0 {
+			t.Fatalf("eig %d: %v+%vi, want %v", i, wr[i], wi[i], want[i])
+		}
+	}
+}
+
+func TestDhseqrKnown2x2Complex(t *testing.T) {
+	// [[0,-1],[1,0]] has eigenvalues ±i.
+	h := matrix.FromRows([][]float64{{0, -1}, {1, 0}})
+	wr := make([]float64, 2)
+	wi := make([]float64, 2)
+	if err := Dhseqr(2, h.Data, h.Stride, wr, wi); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wr[0]) > 1e-14 || math.Abs(wr[1]) > 1e-14 {
+		t.Fatalf("real parts %v, want 0", wr)
+	}
+	ims := []float64{wi[0], wi[1]}
+	sort.Float64s(ims)
+	if math.Abs(ims[0]+1) > 1e-14 || math.Abs(ims[1]-1) > 1e-14 {
+		t.Fatalf("imag parts %v, want ±1", wi)
+	}
+}
+
+func TestDhseqrCompanionMatrix(t *testing.T) {
+	// Companion matrix of (x-1)(x-2)(x-3)(x-4) = x⁴ -10x³ +35x² -50x +24.
+	coeff := []float64{24, -50, 35, -10} // a0..a3 of monic polynomial
+	n := 4
+	h := matrix.New(n, n)
+	for i := 1; i < n; i++ {
+		h.Set(i, i-1, 1)
+	}
+	for i := 0; i < n; i++ {
+		h.Set(i, n-1, -coeff[i])
+	}
+	wr := make([]float64, n)
+	wi := make([]float64, n)
+	if err := Dhseqr(n, h.Data, h.Stride, wr, wi); err != nil {
+		t.Fatal(err)
+	}
+	sort.Float64s(wr)
+	for i, want := range []float64{1, 2, 3, 4} {
+		if math.Abs(wr[i]-want) > 1e-10 || math.Abs(wi[i]) > 1e-10 {
+			t.Fatalf("root %d: %v+%vi, want %v", i, wr[i], wi[i], want)
+		}
+	}
+}
+
+func TestDhseqrTridiagonalKnownSpectrum(t *testing.T) {
+	// Symmetric tridiagonal with 2 on the diagonal and -1 off-diagonal has
+	// eigenvalues 2 - 2cos(kπ/(n+1)).
+	n := 12
+	h := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		h.Set(i, i, 2)
+		if i > 0 {
+			h.Set(i, i-1, -1)
+			h.Set(i-1, i, -1)
+		}
+	}
+	wr := make([]float64, n)
+	wi := make([]float64, n)
+	if err := Dhseqr(n, h.Data, h.Stride, wr, wi); err != nil {
+		t.Fatal(err)
+	}
+	sort.Float64s(wr)
+	for k := 1; k <= n; k++ {
+		want := 2 - 2*math.Cos(float64(k)*math.Pi/float64(n+1))
+		if math.Abs(wr[k-1]-want) > 1e-10 {
+			t.Fatalf("eig %d: %v, want %v", k, wr[k-1], want)
+		}
+	}
+	for _, im := range wi {
+		if math.Abs(im) > 1e-10 {
+			t.Fatalf("symmetric matrix produced complex eigenvalue %v", im)
+		}
+	}
+}
+
+func TestDhseqrEmptyAndOne(t *testing.T) {
+	if err := Dhseqr(0, nil, 1, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	h := matrix.FromRows([][]float64{{42}})
+	wr := make([]float64, 1)
+	wi := make([]float64, 1)
+	if err := Dhseqr(1, h.Data, h.Stride, wr, wi); err != nil {
+		t.Fatal(err)
+	}
+	if wr[0] != 42 || wi[0] != 0 {
+		t.Fatalf("1x1: %v+%vi", wr[0], wi[0])
+	}
+}
+
+func TestDhseqrZeroMatrix(t *testing.T) {
+	n := 4
+	h := matrix.New(n, n)
+	wr := make([]float64, n)
+	wi := make([]float64, n)
+	if err := Dhseqr(n, h.Data, h.Stride, wr, wi); err != nil {
+		t.Fatal(err)
+	}
+	for i := range wr {
+		if wr[i] != 0 || wi[i] != 0 {
+			t.Fatalf("zero matrix eig %d: %v+%vi", i, wr[i], wi[i])
+		}
+	}
+}
+
+func TestEigenvaluesEndToEnd(t *testing.T) {
+	// Random similarity transform of a known diagonal: eigenvalues survive.
+	n := 16
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = float64(i + 1)
+	}
+	d := matrix.New(n, n)
+	for i, v := range want {
+		d.Set(i, i, v)
+	}
+	// Build an orthogonal similarity from a Hessenberg reduction's Q.
+	_, _, q := reduceBlocked(matrix.Random(n, n, 99), 4)
+	a := matrix.New(n, n)
+	tmp := matrix.New(n, n)
+	mul(tmp, q, d)
+	mulT(a, tmp, q)
+
+	eigs, err := Eigenvalues(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range eigs {
+		if math.Abs(e.Re-want[i]) > 1e-9 || math.Abs(e.Im) > 1e-9 {
+			t.Fatalf("eig %d: %v+%vi, want %v", i, e.Re, e.Im, want[i])
+		}
+	}
+}
+
+func TestEigenvaluesTraceAndPairs(t *testing.T) {
+	n := 30
+	a := matrix.RandomNormal(n, n, 21)
+	eigs, err := Eigenvalues(a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumRe, sumIm := 0.0, 0.0
+	for _, e := range eigs {
+		sumRe += e.Re
+		sumIm += e.Im
+	}
+	if math.Abs(sumRe-a.Trace()) > 1e-9*(1+math.Abs(a.Trace())) {
+		t.Fatalf("Σλ = %v, trace = %v", sumRe, a.Trace())
+	}
+	if math.Abs(sumIm) > 1e-9 {
+		t.Fatalf("imaginary parts do not cancel: %v", sumIm)
+	}
+	// Every complex eigenvalue must have a conjugate partner.
+	for _, e := range eigs {
+		if e.Im == 0 {
+			continue
+		}
+		found := false
+		for _, f := range eigs {
+			if math.Abs(f.Re-e.Re) < 1e-9 && math.Abs(f.Im+e.Im) < 1e-9 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("eigenvalue %v+%vi lacks a conjugate", e.Re, e.Im)
+		}
+	}
+}
+
+func TestEigenvaluesNonSquare(t *testing.T) {
+	if _, err := Eigenvalues(matrix.New(2, 3), 4); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}
+
+func TestSortEigsDeterministic(t *testing.T) {
+	e := []Eig{{2, 1}, {1, 0}, {2, -1}}
+	SortEigs(e)
+	if e[0].Re != 1 || e[1].Im != -1 || e[2].Im != 1 {
+		t.Fatalf("sorted order wrong: %v", e)
+	}
+}
+
+// mul computes dst = a·b; mulT computes dst = a·bᵀ (test helpers).
+func mul(dst, a, b *matrix.Matrix) {
+	for i := 0; i < dst.Rows; i++ {
+		for j := 0; j < dst.Cols; j++ {
+			s := 0.0
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			dst.Set(i, j, s)
+		}
+	}
+}
+
+func mulT(dst, a, b *matrix.Matrix) {
+	for i := 0; i < dst.Rows; i++ {
+		for j := 0; j < dst.Cols; j++ {
+			s := 0.0
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(j, k)
+			}
+			dst.Set(i, j, s)
+		}
+	}
+}

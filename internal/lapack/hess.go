@@ -1,0 +1,159 @@
+package lapack
+
+import "repro/internal/blas"
+
+// Dgehd2 reduces columns ilo..n-2 of the n×n matrix A to upper Hessenberg
+// form by an unblocked sequence of orthogonal similarity transformations
+// Qᵀ A Q = H (netlib DGEHD2 with ihi = n). On exit the Hessenberg result
+// occupies the upper triangle and first subdiagonal; the Householder
+// vectors occupy the elements below the first subdiagonal, with scalar
+// factors in tau[ilo..n-2].
+//
+// The caller must supply tau with length at least n-1 and work with length
+// at least n.
+func Dgehd2(n, ilo int, a []float64, lda int, tau, work []float64) {
+	if n < 0 || ilo < 0 || ilo > n {
+		panic("lapack: Dgehd2 bad arguments")
+	}
+	for i := ilo; i < n-1; i++ {
+		// Generate H(i) to annihilate A(i+2:n-1, i).
+		beta, t := Dlarfg(n-1-i, a[i*lda+i+1], a[i*lda+min(i+2, n-1):], 1)
+		tau[i] = t
+		a[i*lda+i+1] = 1
+		// Apply H(i) to A(0:n-1, i+1:n-1) from the right.
+		Dlarf(blas.Right, n, n-1-i, a[i*lda+i+1:], 1, t, a[(i+1)*lda:], lda, work)
+		// Apply H(i) to A(i+1:n-1, i+1:n-1) from the left.
+		Dlarf(blas.Left, n-1-i, n-1-i, a[i*lda+i+1:], 1, t, a[(i+1)*lda+i+1:], lda, work)
+		a[i*lda+i+1] = beta
+	}
+}
+
+// Dlahr2 reduces the first nb columns of the (n-k)×(n-k) trailing block
+// A(k:n-1, 0:nb-1) of the panel a (whose column 0 is the first panel
+// column of the global matrix) to Hessenberg form, returning the block
+// reflector factors: the Householder vectors in the panel (unit lower
+// trapezoidal, below row k), tau[0..nb-1], the nb×nb upper triangular T,
+// and Y = A·V·T with the full n rows of Y filled (rows 0..k-1 at the end).
+//
+// This is the netlib DLAHR2 translated to zero-based indexing. k is the
+// number of leading rows untouched by the reflectors (for the panel
+// starting at global column j, k = j+1).
+func Dlahr2(n, k, nb int, a []float64, lda int, tau []float64, t []float64, ldt int, y []float64, ldy int) {
+	if n <= 1 {
+		return
+	}
+	var ei float64
+	for i := 0; i < nb; i++ {
+		if i > 0 {
+			// Update column i of the panel with the previous reflectors.
+			//
+			// A(k:n-1, i) -= Y(k:n-1, 0:i-1) * A(k+i-1, 0:i-1)ᵀ
+			blas.Dgemv(blas.NoTrans, n-k, i, -1, y[k:], ldy, a[k+i-1:], lda, 1, a[i*lda+k:], 1)
+			// Apply I - V Tᵀ Vᵀ to the column from the left, using
+			// column nb-1 of T as workspace w.
+			w := t[(nb-1)*ldt:]
+			// w := V1ᵀ b1  (V1 = A(k:k+i-1, 0:i-1) unit lower)
+			blas.Dcopy(i, a[i*lda+k:], 1, w, 1)
+			blas.Dtrmv(blas.Lower, blas.Trans, blas.Unit, i, a[k:], lda, w, 1)
+			// w += V2ᵀ b2  (V2 = A(k+i:n-1, 0:i-1))
+			blas.Dgemv(blas.Trans, n-k-i, i, 1, a[k+i:], lda, a[i*lda+k+i:], 1, 1, w, 1)
+			// w := Tᵀ w
+			blas.Dtrmv(blas.Upper, blas.Trans, blas.NonUnit, i, t, ldt, w, 1)
+			// b2 -= V2 w
+			blas.Dgemv(blas.NoTrans, n-k-i, i, -1, a[k+i:], lda, w, 1, 1, a[i*lda+k+i:], 1)
+			// b1 -= V1 w
+			blas.Dtrmv(blas.Lower, blas.NoTrans, blas.Unit, i, a[k:], lda, w, 1)
+			blas.Daxpy(i, -1, w, 1, a[i*lda+k:], 1)
+			// Restore the subdiagonal element of the previous column.
+			a[(i-1)*lda+k+i-1] = ei
+		}
+		// Generate the elementary reflector H(i) to annihilate
+		// A(k+i+1:n-1, i).
+		var beta float64
+		beta, tau[i] = Dlarfg(n-k-i, a[i*lda+k+i], a[i*lda+min(k+i+1, n-1):], 1)
+		a[i*lda+k+i] = beta
+		ei = beta
+		a[i*lda+k+i] = 1
+		// Y(k:n-1, i) := A(k:n-1, i+1:i+n-k-i) * v
+		blas.Dgemv(blas.NoTrans, n-k, n-k-i, 1, a[(i+1)*lda+k:], lda, a[i*lda+k+i:], 1, 0, y[i*ldy+k:], 1)
+		// T(0:i-1, i) := V2ᵀ v
+		blas.Dgemv(blas.Trans, n-k-i, i, 1, a[k+i:], lda, a[i*lda+k+i:], 1, 0, t[i*ldt:], 1)
+		// Y(k:n-1, i) -= Y(k:n-1, 0:i-1) * T(0:i-1, i)
+		blas.Dgemv(blas.NoTrans, n-k, i, -1, y[k:], ldy, t[i*ldt:], 1, 1, y[i*ldy+k:], 1)
+		blas.Dscal(n-k, tau[i], y[i*ldy+k:], 1)
+		// T(0:i, i): finish column i of the triangular factor.
+		blas.Dscal(i, -tau[i], t[i*ldt:], 1)
+		blas.Dtrmv(blas.Upper, blas.NoTrans, blas.NonUnit, i, t, ldt, t[i*ldt:], 1)
+		t[i*ldt+i] = tau[i]
+	}
+	a[(nb-1)*lda+k+nb-1] = ei
+
+	// Y(0:k-1, 0:nb-1) := A(0:k-1, 1:nb) * V * T  (the top rows of Y,
+	// needed by the caller's right update of the rows above the panel).
+	for j := 0; j < nb; j++ {
+		blas.Dcopy(k, a[(j+1)*lda:], 1, y[j*ldy:], 1)
+	}
+	blas.Dtrmm(blas.Right, blas.Lower, blas.NoTrans, blas.Unit, k, nb, 1, a[k:], lda, y, ldy)
+	if n > k+nb {
+		blas.Dgemm(blas.NoTrans, blas.NoTrans, k, nb, n-k-nb, 1, a[(nb+1)*lda:], lda, a[k+nb:], lda, 1, y, ldy)
+	}
+	blas.Dtrmm(blas.Right, blas.Upper, blas.NoTrans, blas.NonUnit, k, nb, 1, t, ldt, y, ldy)
+}
+
+// Dgehrd reduces the n×n matrix A to upper Hessenberg form using the
+// blocked algorithm of the paper's Algorithm 1 (netlib DGEHRD): panels are
+// factorized with Dlahr2 and the trailing matrix is updated with one GEMM
+// (right update, using Y = A·V·T) and one Dlarfb (left update). nb is the
+// block size; tau must have length at least n-1.
+func Dgehrd(n, nb int, a []float64, lda int, tau []float64) {
+	if n < 0 {
+		panic("lapack: Dgehrd negative n")
+	}
+	if nb < 1 {
+		nb = 1
+	}
+	for i := range tau[:max(n-1, 0)] {
+		tau[i] = 0
+	}
+	if n <= 1 {
+		return
+	}
+	// nx is the blocked/unblocked crossover: keep using blocked code while
+	// the remaining trailing matrix is larger than nx.
+	nx := nb
+	if nx < 2 {
+		nx = 2
+	}
+	t := make([]float64, nb*nb)
+	y := make([]float64, n*nb)
+	work := make([]float64, n*max(nb, 1))
+
+	i := 0
+	for ; n-1-i > nx; i += nb {
+		ib := min(nb, n-1-i)
+		// Panel factorization: reduce columns i..i+ib-1, returning V
+		// (in the panel), T and Y = A·V·T.
+		Dlahr2(n, i+1, ib, a[i*lda:], lda, tau[i:], t, nb, y, n)
+		// Right update of the trailing columns:
+		// A(0:n-1, i+ib:n-1) -= Y * V(i+ib:n-1, :)ᵀ
+		// with the subdiagonal corner of V temporarily set to 1.
+		ei := a[(i+ib-1)*lda+i+ib]
+		a[(i+ib-1)*lda+i+ib] = 1
+		blas.Dgemm(blas.NoTrans, blas.Trans, n, n-i-ib, ib, -1,
+			y, n, a[i*lda+i+ib:], lda, 1, a[(i+ib)*lda:], lda)
+		a[(i+ib-1)*lda+i+ib] = ei
+		// Right update of the rows above the panel for the panel's own
+		// columns i+1..i+ib-1:
+		// A(0:i, i+1:i+ib-1) -= Y(0:i, 0:ib-2) * V1ᵀ
+		blas.Dtrmm(blas.Right, blas.Lower, blas.Trans, blas.Unit, i+1, ib-1, 1, a[i*lda+i+1:], lda, y, n)
+		for j := 0; j < ib-1; j++ {
+			blas.Daxpy(i+1, -1, y[j*n:], 1, a[(i+j+1)*lda:], 1)
+		}
+		// Left update of the trailing matrix:
+		// A(i+1:n-1, i+ib:n-1) := (I - V T Vᵀ)ᵀ A(i+1:n-1, i+ib:n-1)
+		Dlarfb(blas.Left, blas.Trans, n-i-1, n-i-ib, ib,
+			a[i*lda+i+1:], lda, t, nb, a[(i+ib)*lda+i+1:], lda, work, n)
+	}
+	// Unblocked reduction of the remaining columns.
+	Dgehd2(n, i, a, lda, tau, work)
+}

@@ -1,0 +1,209 @@
+package lapack
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+func TestEigenRotationMatrix(t *testing.T) {
+	// [[0,-1],[1,0]]: eigenpairs (±i, [1, ∓i]/√2).
+	a := matrix.FromRows([][]float64{{0, -1}, {1, 0}})
+	e, err := Eigen(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		if math.Abs(e.Values[j].Re) > 1e-13 || math.Abs(math.Abs(e.Values[j].Im)-1) > 1e-13 {
+			t.Fatalf("eig %d = %v", j, e.Values[j])
+		}
+		if r := e.EigResidual(a, j); r > 1e-12 {
+			t.Fatalf("eig %d residual %v", j, r)
+		}
+	}
+}
+
+func TestEigenValuesMatchDhseqr(t *testing.T) {
+	// The Schur path must agree with the eigenvalue-only path.
+	n := 30
+	a := matrix.RandomNormal(n, n, 17)
+	e, err := Eigen(a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Eigenvalues(a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append([]Eig(nil), e.Values...)
+	SortEigs(got)
+	for i := range plain {
+		if math.Abs(got[i].Re-plain[i].Re) > 1e-9 || math.Abs(got[i].Im-plain[i].Im) > 1e-9 {
+			t.Fatalf("eig %d: schur %v vs hqr %v", i, got[i], plain[i])
+		}
+	}
+}
+
+func TestEigenResidualsGeneral(t *testing.T) {
+	// Every eigenpair — real and complex — must satisfy A·x = λ·x.
+	for _, seed := range []uint64{1, 2, 3} {
+		n := 25
+		a := matrix.RandomNormal(n, n, seed)
+		e, err := Eigen(a, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		an := a.Norm1()
+		complexSeen := 0
+		for j := 0; j < n; j++ {
+			if e.Values[j].Im != 0 {
+				complexSeen++
+			}
+			if r := e.EigResidual(a, j); r > 1e-9*an {
+				t.Fatalf("seed %d eig %d (λ=%v+%vi): residual %v", seed, j, e.Values[j].Re, e.Values[j].Im, r)
+			}
+		}
+		if seed == 1 && complexSeen == 0 {
+			t.Log("note: no complex pairs in this draw")
+		}
+	}
+}
+
+func TestEigenSymmetric(t *testing.T) {
+	n := 20
+	a := matrix.Random(n, n, 9)
+	for j := 0; j < n; j++ {
+		for i := 0; i < j; i++ {
+			a.Set(i, j, a.At(j, i))
+		}
+	}
+	e, err := Eigen(a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n; j++ {
+		if e.Values[j].Im != 0 {
+			t.Fatalf("symmetric matrix produced complex λ %v", e.Values[j])
+		}
+		if r := e.EigResidual(a, j); r > 1e-10*a.Norm1() {
+			t.Fatalf("eig %d residual %v", j, r)
+		}
+	}
+}
+
+func TestEigenCompanionComplexRoots(t *testing.T) {
+	// x⁴ = 1: roots ±1, ±i.
+	n := 4
+	a := matrix.New(n, n)
+	for i := 1; i < n; i++ {
+		a.Set(i, i-1, 1)
+	}
+	a.Set(0, n-1, 1) // companion of x⁴ − 1
+	e, err := Eigen(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []float64
+	for j := 0; j < n; j++ {
+		got = append(got, math.Hypot(e.Values[j].Re, e.Values[j].Im))
+		if r := e.EigResidual(a, j); r > 1e-10 {
+			t.Fatalf("eig %d (%v+%vi): residual %v", j, e.Values[j].Re, e.Values[j].Im, r)
+		}
+	}
+	sort.Float64s(got)
+	for _, m := range got {
+		if math.Abs(m-1) > 1e-10 {
+			t.Fatalf("root magnitudes %v, want all 1", got)
+		}
+	}
+}
+
+func TestEigenTrivial(t *testing.T) {
+	if _, err := Eigen(matrix.New(2, 3), 4); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	e, err := Eigen(matrix.FromRows([][]float64{{7}}), 4)
+	if err != nil || e.Values[0].Re != 7 {
+		t.Fatalf("1x1: %v %v", e, err)
+	}
+	z, err := Eigen(matrix.New(3, 3), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range z.Values {
+		if v.Re != 0 || v.Im != 0 {
+			t.Fatalf("zero matrix eig %v", v)
+		}
+	}
+}
+
+func TestSchurDecomposition(t *testing.T) {
+	// A = Z·T·Zᵀ with T quasi-triangular and Z orthogonal.
+	n := 28
+	a := matrix.RandomNormal(n, n, 6)
+	packed := a.Clone()
+	tau := make([]float64, n-1)
+	Dgehrd(n, 8, packed.Data, packed.Stride, tau)
+	h := HessFromPacked(n, packed.Data, packed.Stride)
+	z := Dorghr(n, packed.Data, packed.Stride, tau)
+	wr := make([]float64, n)
+	wi := make([]float64, n)
+	if err := DhseqrSchur(n, h, z, wr, wi); err != nil {
+		t.Fatal(err)
+	}
+	// Quasi-triangular: nothing below the first subdiagonal, and any
+	// subdiagonal entry belongs to a 2×2 complex block.
+	for j := 0; j < n; j++ {
+		for i := j + 2; i < n; i++ {
+			if math.Abs(h.At(i, j)) > 1e-10 {
+				t.Fatalf("T(%d,%d) = %v below quasi-triangular band", i, j, h.At(i, j))
+			}
+		}
+	}
+	for i := 1; i < n; i++ {
+		if math.Abs(h.At(i, i-1)) > 1e-10 && wi[i-1] == 0 {
+			t.Fatalf("subdiagonal at %d without a complex pair", i)
+		}
+	}
+	if r := OrthogonalityResidual(z); r > 1e-12 {
+		t.Fatalf("Schur vectors not orthogonal: %v", r)
+	}
+	if r := FactorizationResidual(a, z, h); r > 1e-13 {
+		t.Fatalf("‖A − Z·T·Zᵀ‖/(N‖A‖) = %v", r)
+	}
+	// Diagonal blocks carry the eigenvalues: traces must agree.
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += wr[i]
+	}
+	if math.Abs(sum-a.Trace()) > 1e-9*(1+math.Abs(a.Trace())) {
+		t.Fatalf("Σλ %v vs trace %v", sum, a.Trace())
+	}
+}
+
+// Property: every eigenpair of random matrices satisfies its defining
+// equation, real and complex alike.
+func TestPropEigenResiduals(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 8 + int(seed%20)
+		a := matrix.RandomNormal(n, n, seed)
+		e, err := Eigen(a, 4+int(seed%8))
+		if err != nil {
+			return false
+		}
+		an := a.Norm1()
+		for j := 0; j < n; j++ {
+			if e.EigResidual(a, j) > 1e-8*an {
+				t.Logf("seed %d eig %d: residual %v", seed, j, e.EigResidual(a, j))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

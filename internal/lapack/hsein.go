@@ -1,0 +1,170 @@
+package lapack
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+)
+
+// Inverse iteration on the Hessenberg factor (the DHSEIN approach): given
+// an eigenvalue estimate λ from the QR iteration, solve (H − λI)·x ≈ b by
+// Hessenberg LU with partial pivoting and renormalize. One or two
+// iterations give an eigenvector to machine precision for well-separated
+// eigenvalues; mapping back through Q yields the eigenvector of the
+// original matrix. Real eigenvalues only (complex pairs would need
+// complex arithmetic; the symmetric path is always fully real).
+
+// ErrEigenvectorFailed reports a non-converged inverse iteration.
+var ErrEigenvectorFailed = errors.New("lapack: inverse iteration did not converge")
+
+// HessEigenvector computes a unit-norm right eigenvector of the upper
+// Hessenberg matrix h for the (real) eigenvalue lambda. h is not modified.
+func HessEigenvector(h *matrix.Matrix, lambda float64) ([]float64, error) {
+	n := h.Rows
+	if n == 0 {
+		return nil, errors.New("lapack: empty matrix")
+	}
+	// Shifted copy in banded-friendly dense form.
+	hn := h.Norm1()
+	if hn == 0 {
+		hn = 1
+	}
+	// A tiny perturbation of λ keeps (H-λI) invertible without moving the
+	// eigenvector at this precision (the standard DHSEIN trick).
+	eps3 := macheps * hn
+	shift := lambda + eps3
+
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / math.Sqrt(float64(n))
+	}
+	var residual float64
+	for iter := 0; iter < 4; iter++ {
+		y := append([]float64(nil), x...)
+		if !hessSolve(h, shift, y) {
+			// Singular to working precision: perturb a bit more.
+			shift += eps3
+			continue
+		}
+		nrm := blas.Dnrm2(n, y, 1)
+		if nrm == 0 || math.IsInf(nrm, 0) || math.IsNaN(nrm) {
+			shift += eps3
+			continue
+		}
+		blas.Dscal(n, 1/nrm, y, 1)
+		copy(x, y)
+		// Converged when ‖(H−λI)x‖ is tiny relative to ‖H‖.
+		residual = hessApplyResidual(h, lambda, x)
+		if residual <= 100*macheps*hn*float64(n) {
+			return x, nil
+		}
+	}
+	if residual <= 1e-8*hn {
+		return x, nil // acceptable for clustered eigenvalues
+	}
+	return nil, ErrEigenvectorFailed
+}
+
+// hessSolve solves (H − shift·I)·x = b in place (b = x on entry) by
+// Hessenberg LU with partial pivoting, O(n²). Returns false if a pivot
+// underflows to zero.
+func hessSolve(h *matrix.Matrix, shift float64, x []float64) bool {
+	n := h.Rows
+	// Working copy of the Hessenberg band (dense for simplicity).
+	u := h.Clone()
+	for i := 0; i < n; i++ {
+		u.Add(i, i, -shift)
+	}
+	// Forward elimination with row pivoting between adjacent rows (the
+	// only fill pattern a Hessenberg matrix allows).
+	for k := 0; k < n-1; k++ {
+		if math.Abs(u.At(k+1, k)) > math.Abs(u.At(k, k)) {
+			// Swap rows k and k+1 (columns k..n-1) and the rhs.
+			for j := k; j < n; j++ {
+				a, b := u.At(k, j), u.At(k+1, j)
+				u.Set(k, j, b)
+				u.Set(k+1, j, a)
+			}
+			x[k], x[k+1] = x[k+1], x[k]
+		}
+		p := u.At(k, k)
+		if p == 0 {
+			return false
+		}
+		m := u.At(k+1, k) / p
+		if m != 0 {
+			for j := k; j < n; j++ {
+				u.Add(k+1, j, -m*u.At(k, j))
+			}
+			x[k+1] -= m * x[k]
+		}
+	}
+	if u.At(n-1, n-1) == 0 {
+		return false
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= u.At(i, j) * x[j]
+		}
+		x[i] = s / u.At(i, i)
+	}
+	return true
+}
+
+// hessApplyResidual returns ‖(H − λI)·x‖₂ for a unit vector x.
+func hessApplyResidual(h *matrix.Matrix, lambda float64, x []float64) float64 {
+	n := h.Rows
+	y := make([]float64, n)
+	blas.Dgemv(blas.NoTrans, n, n, 1, h.Data, h.Stride, x, 1, 0, y, 1)
+	blas.Daxpy(n, -lambda, x, 1, y, 1)
+	return blas.Dnrm2(n, y, 1)
+}
+
+// EigenPair is an eigenvalue with its right eigenvector (real only).
+type EigenPair struct {
+	Value  float64
+	Vector []float64
+}
+
+// RealEigenvectors computes the real eigenvalues of a general square
+// matrix together with unit right eigenvectors: blocked Hessenberg
+// reduction, Francis QR for the values, inverse iteration on H for the
+// Hessenberg eigenvectors, and a back-transformation through Q. Complex
+// pairs are skipped (their count is returned). a is not modified.
+func RealEigenvectors(a *matrix.Matrix, nb int) (pairs []EigenPair, complexCount int, err error) {
+	n := a.Rows
+	if n != a.Cols {
+		return nil, 0, errors.New("lapack: matrix must be square")
+	}
+	packed := a.Clone()
+	tau := make([]float64, max(n-1, 1))
+	Dgehrd(n, nb, packed.Data, packed.Stride, tau)
+	h := HessFromPacked(n, packed.Data, packed.Stride)
+	q := Dorghr(n, packed.Data, packed.Stride, tau)
+
+	hw := h.Clone()
+	wr := make([]float64, n)
+	wi := make([]float64, n)
+	if err := Dhseqr(n, hw.Data, hw.Stride, wr, wi); err != nil {
+		return nil, 0, err
+	}
+	for i := 0; i < n; i++ {
+		if wi[i] != 0 {
+			complexCount++
+			continue
+		}
+		xh, err := HessEigenvector(h, wr[i])
+		if err != nil {
+			return nil, complexCount, err
+		}
+		// Back-transform: x = Q·x_H.
+		x := make([]float64, n)
+		blas.Dgemv(blas.NoTrans, n, n, 1, q.Data, q.Stride, xh, 1, 0, x, 1)
+		pairs = append(pairs, EigenPair{Value: wr[i], Vector: x})
+	}
+	return pairs, complexCount, nil
+}

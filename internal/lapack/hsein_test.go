@@ -1,0 +1,160 @@
+package lapack
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+)
+
+// eigResidual returns ‖A·x − λ·x‖₂ for unit x.
+func eigResidual(a *matrix.Matrix, lambda float64, x []float64) float64 {
+	n := a.Rows
+	y := make([]float64, n)
+	blas.Dgemv(blas.NoTrans, n, n, 1, a.Data, a.Stride, x, 1, 0, y, 1)
+	blas.Daxpy(n, -lambda, x, 1, y, 1)
+	return blas.Dnrm2(n, y, 1)
+}
+
+func TestHessEigenvectorKnown(t *testing.T) {
+	// Upper triangular: eigenvalues on the diagonal, first eigenvector e1.
+	h := matrix.FromRows([][]float64{
+		{3, 1, 2},
+		{0, 1, 4},
+		{0, 0, -2},
+	})
+	x, err := HessEigenvector(h, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := eigResidual(h, 3, x); r > 1e-12 {
+		t.Fatalf("residual %v", r)
+	}
+	if math.Abs(math.Abs(x[0])-1) > 1e-10 {
+		t.Fatalf("eigenvector for λ=3 should be ±e1, got %v", x)
+	}
+}
+
+func TestHessSolveAgainstDense(t *testing.T) {
+	// Verify the O(n²) Hessenberg solver against a direct residual check.
+	n := 12
+	a := matrix.Random(n, n, 3)
+	packed := a.Clone()
+	tau := make([]float64, n-1)
+	Dgehrd(n, 4, packed.Data, packed.Stride, tau)
+	h := HessFromPacked(n, packed.Data, packed.Stride)
+	b := matrix.Random(n, 1, 4).Col(0)
+	x := append([]float64(nil), b...)
+	if !hessSolve(h, 0.37, x) {
+		t.Fatal("solver reported singularity")
+	}
+	// Check H·x − 0.37·x = b.
+	y := make([]float64, n)
+	blas.Dgemv(blas.NoTrans, n, n, 1, h.Data, h.Stride, x, 1, 0, y, 1)
+	blas.Daxpy(n, -0.37, x, 1, y, 1)
+	for i := range b {
+		if math.Abs(y[i]-b[i]) > 1e-10*(1+math.Abs(b[i])) {
+			t.Fatalf("solve wrong at %d: %v vs %v", i, y[i], b[i])
+		}
+	}
+}
+
+func TestRealEigenvectorsSymmetric(t *testing.T) {
+	// Symmetric matrices have a full set of real eigenpairs.
+	n := 30
+	a := matrix.Random(n, n, 8)
+	for j := 0; j < n; j++ {
+		for i := 0; i < j; i++ {
+			a.Set(i, j, a.At(j, i))
+		}
+	}
+	pairs, complexCount, err := RealEigenvectors(a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if complexCount != 0 {
+		t.Fatalf("symmetric matrix produced %d complex eigenvalues", complexCount)
+	}
+	if len(pairs) != n {
+		t.Fatalf("%d eigenpairs, want %d", len(pairs), n)
+	}
+	an := a.Norm1()
+	for _, pr := range pairs {
+		if nrm := blas.Dnrm2(n, pr.Vector, 1); math.Abs(nrm-1) > 1e-10 {
+			t.Fatalf("eigenvector not unit: %v", nrm)
+		}
+		if r := eigResidual(a, pr.Value, pr.Vector); r > 1e-10*an {
+			t.Fatalf("λ=%v: ‖Ax−λx‖ = %v", pr.Value, r)
+		}
+	}
+}
+
+func TestRealEigenvectorsGeneral(t *testing.T) {
+	// Random general matrix: real eigenvalues get vectors, complex pairs
+	// are counted.
+	n := 24
+	a := matrix.RandomNormal(n, n, 5)
+	pairs, complexCount, err := RealEigenvectors(a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs)+complexCount != n {
+		t.Fatalf("pairs %d + complex %d != %d", len(pairs), complexCount, n)
+	}
+	an := a.Norm1()
+	for _, pr := range pairs {
+		if r := eigResidual(a, pr.Value, pr.Vector); r > 1e-9*an {
+			t.Fatalf("λ=%v: residual %v", pr.Value, r)
+		}
+	}
+}
+
+func TestRealEigenvectorsPlantedBasis(t *testing.T) {
+	// Diagonal matrix conjugated by orthogonal Q: eigenvectors must match
+	// Q's columns up to sign.
+	n := 16
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = float64(2*i + 1) // well separated
+	}
+	d := matrix.New(n, n)
+	for i, v := range want {
+		d.Set(i, i, v)
+	}
+	_, _, q := reduceBlocked(matrix.Random(n, n, 44), 4)
+	tmp := matrix.New(n, n)
+	a := matrix.New(n, n)
+	mul(tmp, q, d)
+	mulT(a, tmp, q)
+
+	pairs, _, err := RealEigenvectors(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range pairs {
+		// Find the planted eigenvalue and compare the vector to Q's column.
+		k := -1
+		for i, v := range want {
+			if math.Abs(v-pr.Value) < 1e-8 {
+				k = i
+			}
+		}
+		if k < 0 {
+			t.Fatalf("unexpected eigenvalue %v", pr.Value)
+		}
+		dot := 0.0
+		for i := 0; i < n; i++ {
+			dot += pr.Vector[i] * q.At(i, k)
+		}
+		if math.Abs(math.Abs(dot)-1) > 1e-9 {
+			t.Fatalf("λ=%v: |<x, q_k>| = %v, want 1", pr.Value, math.Abs(dot))
+		}
+	}
+}
+
+func TestRealEigenvectorsNonSquare(t *testing.T) {
+	if _, _, err := RealEigenvectors(matrix.New(2, 3), 4); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}

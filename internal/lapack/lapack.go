@@ -1,0 +1,24 @@
+// Package lapack implements the LAPACK-style dense kernels needed by the
+// Hessenberg reduction paper: Householder reflector generation and
+// application (DLARFG/DLARF/DLARFT/DLARFB), the unblocked and blocked
+// Hessenberg reductions (DGEHD2/DLAHR2/DGEHRD, the paper's Algorithm 1),
+// explicit Q formation (DORGHR), and a Hessenberg QR eigenvalue solver
+// (DHSEQR-style, Francis double shift) that turns the reduction into a
+// complete eigenvalue path.
+//
+// All routines are zero-based ports of the netlib reference algorithms over
+// column-major storage (slice + leading dimension), matching the BLAS
+// conventions in internal/blas. Keeping the exact reference operation
+// order matters: the fault-tolerant algorithm in internal/ft maintains
+// checksums through these updates and reverses them bit-compatibly.
+package lapack
+
+import "math"
+
+// sign returns |a| with the sign of b, the Fortran SIGN intrinsic.
+func sign(a, b float64) float64 {
+	if b < 0 {
+		return -math.Abs(a)
+	}
+	return math.Abs(a)
+}

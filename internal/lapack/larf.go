@@ -1,0 +1,199 @@
+package lapack
+
+import (
+	"math"
+
+	"repro/internal/blas"
+)
+
+// Dlarfg generates an elementary Householder reflector H of order n such
+// that
+//
+//	H * [alpha]   [beta]
+//	    [  x  ] = [ 0  ],   Hᵀ H = I,
+//
+// where H = I - tau * v * vᵀ with v(0) = 1 implicit and v(1:n-1) returned
+// in x. It returns the updated alpha (= beta) and tau. If x is zero, tau is
+// zero and H is the identity. This is the netlib DLARFG including its
+// underflow-rescaling loop.
+func Dlarfg(n int, alpha float64, x []float64, incX int) (beta, tau float64) {
+	if n < 1 {
+		return alpha, 0
+	}
+	if n == 1 {
+		return alpha, 0
+	}
+	xnorm := blas.Dnrm2(n-1, x, incX)
+	if xnorm == 0 {
+		return alpha, 0
+	}
+	beta = -sign(dlapy2(alpha, xnorm), alpha)
+	const safmin = 2.0041683600089728e-292 // dlamch('S')/dlamch('E') as in dlarfg
+	knt := 0
+	if abs(beta) < safmin {
+		// xnorm, beta may be inaccurate; scale x and recompute.
+		rsafmn := 1 / safmin
+		for abs(beta) < safmin && knt < 20 {
+			knt++
+			blas.Dscal(n-1, rsafmn, x, incX)
+			beta *= rsafmn
+			alpha *= rsafmn
+		}
+		xnorm = blas.Dnrm2(n-1, x, incX)
+		beta = -sign(dlapy2(alpha, xnorm), alpha)
+	}
+	tau = (beta - alpha) / beta
+	blas.Dscal(n-1, 1/(alpha-beta), x, incX)
+	for i := 0; i < knt; i++ {
+		beta *= safmin
+	}
+	return beta, tau
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// dlapy2 returns sqrt(x²+y²) without unnecessary overflow.
+func dlapy2(x, y float64) float64 {
+	xa, ya := abs(x), abs(y)
+	w, z := xa, ya
+	if ya > xa {
+		w, z = ya, xa
+	}
+	if z == 0 {
+		return w
+	}
+	r := z / w
+	return w * math.Sqrt(1+r*r)
+}
+
+// Dlarf applies the elementary reflector H = I - tau*v*vᵀ to the m×n matrix
+// C from the given side. v has length m (Left) or n (Right); work must have
+// length n (Left) or m (Right).
+func Dlarf(side blas.Side, m, n int, v []float64, incV int, tau float64, c []float64, ldc int, work []float64) {
+	if tau == 0 {
+		return
+	}
+	if side == blas.Left {
+		if len(work) < n {
+			panic("lapack: Dlarf work too short")
+		}
+		// work := Cᵀ v ; C := C - tau * v * workᵀ
+		blas.Dgemv(blas.Trans, m, n, 1, c, ldc, v, incV, 0, work, 1)
+		blas.Dger(m, n, -tau, v, incV, work, 1, c, ldc)
+		return
+	}
+	if len(work) < m {
+		panic("lapack: Dlarf work too short")
+	}
+	// work := C v ; C := C - tau * work * vᵀ
+	blas.Dgemv(blas.NoTrans, m, n, 1, c, ldc, v, incV, 0, work, 1)
+	blas.Dger(m, n, -tau, work, 1, v, incV, c, ldc)
+}
+
+// Dlarft forms the upper-triangular factor T of the block reflector
+// H = I - V*T*Vᵀ from k forward, column-wise stored elementary reflectors
+// (the only storage variant this codebase uses). V is n×k with V(i,i)
+// implicit 1; the strictly upper part of V's leading k×k block is not
+// referenced because the accumulation starts at row i.
+func Dlarft(n, k int, v []float64, ldv int, tau []float64, t []float64, ldt int) {
+	if n == 0 || k == 0 {
+		return
+	}
+	for i := 0; i < k; i++ {
+		if tau[i] == 0 {
+			for j := 0; j < i; j++ {
+				t[i*ldt+j] = 0
+			}
+		} else {
+			// T(0:i-1, i) := -tau(i) * V(i:n-1, 0:i-1)ᵀ * V(i:n-1, i)
+			vii := v[i*ldv+i]
+			v[i*ldv+i] = 1
+			blas.Dgemv(blas.Trans, n-i, i, -tau[i], v[i:], ldv, v[i*ldv+i:], 1, 0, t[i*ldt:], 1)
+			v[i*ldv+i] = vii
+			// T(0:i-1, i) := T(0:i-1, 0:i-1) * T(0:i-1, i)
+			blas.Dtrmv(blas.Upper, blas.NoTrans, blas.NonUnit, i, t, ldt, t[i*ldt:], 1)
+		}
+		t[i*ldt+i] = tau[i]
+	}
+}
+
+// Dlarfb applies the block reflector H = I - V*T*Vᵀ (forward, column-wise
+// storage) or its transpose to the m×n matrix C from the given side.
+// V is m×k (Left) or n×k (Right) with a unit lower-triangular leading
+// block; T is the k×k upper-triangular factor from Dlarft. work must
+// provide at least n*k (Left) or m*k (Right) elements.
+func Dlarfb(side blas.Side, trans blas.Transpose, m, n, k int, v []float64, ldv int, t []float64, ldt int, c []float64, ldc int, work []float64, ldwork int) {
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	if side == blas.Left {
+		// transT is the opposite of trans: H C needs W := Cᵀ V Tᵀ.
+		transT := blas.Trans
+		if trans == blas.Trans {
+			transT = blas.NoTrans
+		}
+		if ldwork < n {
+			panic("lapack: Dlarfb ldwork too small")
+		}
+		// W := C1ᵀ  (n×k), C1 = C(0:k-1, :)
+		for j := 0; j < k; j++ {
+			blas.Dcopy(n, c[j:], ldc, work[j*ldwork:], 1)
+		}
+		// W := W * V1  (V1 = V(0:k-1, :) unit lower triangular)
+		blas.Dtrmm(blas.Right, blas.Lower, blas.NoTrans, blas.Unit, n, k, 1, v, ldv, work, ldwork)
+		if m > k {
+			// W += C2ᵀ * V2, C2 = C(k:m-1, :), V2 = V(k:m-1, :)
+			blas.Dgemm(blas.Trans, blas.NoTrans, n, k, m-k, 1, c[k:], ldc, v[k:], ldv, 1, work, ldwork)
+		}
+		// W := W * Tᵀ (or T)
+		blas.Dtrmm(blas.Right, blas.Upper, transT, blas.NonUnit, n, k, 1, t, ldt, work, ldwork)
+		if m > k {
+			// C2 := C2 - V2 * Wᵀ
+			blas.Dgemm(blas.NoTrans, blas.Trans, m-k, n, k, -1, v[k:], ldv, work, ldwork, 1, c[k:], ldc)
+		}
+		// W := W * V1ᵀ
+		blas.Dtrmm(blas.Right, blas.Lower, blas.Trans, blas.Unit, n, k, 1, v, ldv, work, ldwork)
+		// C1 := C1 - Wᵀ
+		for j := 0; j < k; j++ {
+			for i := 0; i < n; i++ {
+				c[i*ldc+j] -= work[j*ldwork+i]
+			}
+		}
+		return
+	}
+	// side == Right: C := C H or C Hᵀ with W := C V T.
+	if ldwork < m {
+		panic("lapack: Dlarfb ldwork too small")
+	}
+	// W := C1 (m×k), C1 = C(:, 0:k-1)
+	for j := 0; j < k; j++ {
+		blas.Dcopy(m, c[j*ldc:], 1, work[j*ldwork:], 1)
+	}
+	// W := W * V1
+	blas.Dtrmm(blas.Right, blas.Lower, blas.NoTrans, blas.Unit, m, k, 1, v, ldv, work, ldwork)
+	if n > k {
+		// W += C2 * V2
+		blas.Dgemm(blas.NoTrans, blas.NoTrans, m, k, n-k, 1, c[k*ldc:], ldc, v[k:], ldv, 1, work, ldwork)
+	}
+	// W := W * T (or Tᵀ)
+	blas.Dtrmm(blas.Right, blas.Upper, trans, blas.NonUnit, m, k, 1, t, ldt, work, ldwork)
+	if n > k {
+		// C2 := C2 - W * V2ᵀ
+		blas.Dgemm(blas.NoTrans, blas.Trans, m, n-k, k, -1, work, ldwork, v[k:], ldv, 1, c[k*ldc:], ldc)
+	}
+	// W := W * V1ᵀ
+	blas.Dtrmm(blas.Right, blas.Lower, blas.Trans, blas.Unit, m, k, 1, v, ldv, work, ldwork)
+	// C1 := C1 - W
+	for j := 0; j < k; j++ {
+		col := c[j*ldc : j*ldc+m]
+		w := work[j*ldwork : j*ldwork+m]
+		for i := range col {
+			col[i] -= w[i]
+		}
+	}
+}

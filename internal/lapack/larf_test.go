@@ -1,0 +1,265 @@
+package lapack
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+)
+
+// explicitReflector materializes H = I - tau*v*vᵀ as a dense matrix.
+func explicitReflector(n int, v []float64, tau float64) *matrix.Matrix {
+	h := matrix.Identity(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			h.Add(i, j, -tau*v[i]*v[j])
+		}
+	}
+	return h
+}
+
+func TestDlarfgAnnihilates(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 17} {
+		rng := matrix.NewRNG(uint64(n))
+		alpha := 2*rng.Float64() - 1
+		x := make([]float64, n-1)
+		for i := range x {
+			x[i] = 2*rng.Float64() - 1
+		}
+		orig := append([]float64{alpha}, x...)
+		beta, tau := Dlarfg(n, alpha, x, 1)
+
+		// Apply H = I - tau v vᵀ with v = [1, x] to the original vector:
+		// the result must be [beta, 0, ..., 0].
+		v := append([]float64{1}, x...)
+		vtx := 0.0
+		for i := range v {
+			vtx += v[i] * orig[i]
+		}
+		for i := range v {
+			got := orig[i] - tau*v[i]*vtx
+			want := 0.0
+			if i == 0 {
+				want = beta
+			}
+			if math.Abs(got-want) > 1e-13 {
+				t.Fatalf("n=%d: H·x[%d] = %v, want %v", n, i, got, want)
+			}
+		}
+		// ‖[alpha, x]‖₂ must be preserved: |beta| = ‖orig‖₂.
+		norm := blas.Dnrm2(n, orig, 1)
+		if math.Abs(math.Abs(beta)-norm) > 1e-13*norm {
+			t.Fatalf("n=%d: |beta| = %v, want %v", n, beta, norm)
+		}
+	}
+}
+
+func TestDlarfgZeroTail(t *testing.T) {
+	x := []float64{0, 0, 0}
+	beta, tau := Dlarfg(4, 5.0, x, 1)
+	if tau != 0 || beta != 5.0 {
+		t.Fatalf("zero tail: beta=%v tau=%v, want 5,0", beta, tau)
+	}
+}
+
+func TestDlarfgLengthOne(t *testing.T) {
+	beta, tau := Dlarfg(1, -3.0, nil, 1)
+	if tau != 0 || beta != -3.0 {
+		t.Fatalf("n=1: beta=%v tau=%v", beta, tau)
+	}
+}
+
+func TestDlarfgTinyValues(t *testing.T) {
+	// Exercise the safmin rescaling path.
+	x := []float64{1e-300, 2e-300}
+	beta, tau := Dlarfg(3, 1e-300, x, 1)
+	if math.IsNaN(beta) || math.IsNaN(tau) || beta == 0 {
+		t.Fatalf("tiny values: beta=%v tau=%v", beta, tau)
+	}
+	want := 1e-300 * math.Sqrt(1+1+4)
+	if math.Abs(math.Abs(beta)-want) > 1e-10*want {
+		t.Fatalf("tiny beta = %v, want |%v|", beta, want)
+	}
+}
+
+func TestDlarfgReflectorOrthogonal(t *testing.T) {
+	n := 6
+	rng := matrix.NewRNG(9)
+	alpha := rng.Float64()
+	x := make([]float64, n-1)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	_, tau := Dlarfg(n, alpha, x, 1)
+	v := append([]float64{1}, x...)
+	h := explicitReflector(n, v, tau)
+	if r := OrthogonalityResidual(h); r > 1e-14 {
+		t.Fatalf("reflector not orthogonal: %v", r)
+	}
+}
+
+func TestDlarfLeftRightMatchExplicit(t *testing.T) {
+	m, n := 6, 4
+	rng := matrix.NewRNG(4)
+	tau := 0.8
+	for _, side := range []blas.Side{blas.Left, blas.Right} {
+		vlen := m
+		if side == blas.Right {
+			vlen = n
+		}
+		v := make([]float64, vlen)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		c := matrix.Random(m, n, 31)
+		want := c.Clone()
+		h := explicitReflector(vlen, v, tau)
+		if side == blas.Left {
+			blas.Dgemm(blas.NoTrans, blas.NoTrans, m, n, m, 1, h.Data, h.Stride, c.Data, c.Stride, 0, want.Data, want.Stride)
+		} else {
+			blas.Dgemm(blas.NoTrans, blas.NoTrans, m, n, n, 1, c.Data, c.Stride, h.Data, h.Stride, 0, want.Data, want.Stride)
+		}
+		got := c.Clone()
+		work := make([]float64, m+n)
+		Dlarf(side, m, n, v, 1, tau, got.Data, got.Stride, work)
+		if d := want.Sub(got).MaxAbs(); d > 1e-13 {
+			t.Fatalf("Dlarf %v: maxdiff %v", side, d)
+		}
+	}
+}
+
+func TestDlarfTauZeroNoop(t *testing.T) {
+	c := matrix.Random(3, 3, 1)
+	orig := c.Clone()
+	Dlarf(blas.Left, 3, 3, []float64{1, 2, 3}, 1, 0, c.Data, c.Stride, make([]float64, 3))
+	if !c.Equal(orig) {
+		t.Fatal("tau=0 must not modify C")
+	}
+}
+
+// buildReflectors creates k forward column-stored reflectors in an n×k
+// unit-lower-trapezoidal V plus taus, the storage Dlarft/Dlarfb consume.
+func buildReflectors(n, k int, seed uint64) (v *matrix.Matrix, tau []float64) {
+	rng := matrix.NewRNG(seed)
+	v = matrix.New(n, k)
+	tau = make([]float64, k)
+	for j := 0; j < k; j++ {
+		alpha := rng.NormFloat64()
+		x := make([]float64, n-j-1)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		_, tj := Dlarfg(n-j, alpha, x, 1)
+		tau[j] = tj
+		v.Set(j, j, 1)
+		for i := range x {
+			v.Set(j+1+i, j, x[i])
+		}
+	}
+	return v, tau
+}
+
+// explicitBlockH materializes H = H(0)·H(1)···H(k-1) from V and tau.
+func explicitBlockH(n, k int, v *matrix.Matrix, tau []float64) *matrix.Matrix {
+	h := matrix.Identity(n)
+	for j := 0; j < k; j++ {
+		vj := make([]float64, n)
+		for i := j; i < n; i++ {
+			vj[i] = v.At(i, j)
+		}
+		hj := explicitReflector(n, vj, tau[j])
+		tmp := matrix.New(n, n)
+		blas.Dgemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, h.Data, h.Stride, hj.Data, hj.Stride, 0, tmp.Data, tmp.Stride)
+		h = tmp
+	}
+	return h
+}
+
+func TestDlarftMatchesProduct(t *testing.T) {
+	n, k := 9, 4
+	v, tau := buildReflectors(n, k, 17)
+	tm := matrix.New(k, k)
+	Dlarft(n, k, v.Data, v.Stride, tau, tm.Data, tm.Stride)
+
+	// I - V·T·Vᵀ must equal the product of the individual reflectors.
+	want := explicitBlockH(n, k, v, tau)
+	vt := matrix.New(n, k)
+	blas.Dgemm(blas.NoTrans, blas.NoTrans, n, k, k, 1, v.Data, v.Stride, tm.Data, tm.Stride, 0, vt.Data, vt.Stride)
+	got := matrix.Identity(n)
+	blas.Dgemm(blas.NoTrans, blas.Trans, n, n, k, -1, vt.Data, vt.Stride, v.Data, v.Stride, 1, got.Data, got.Stride)
+
+	if d := want.Sub(got).MaxAbs(); d > 1e-13 {
+		t.Fatalf("I - V·T·Vᵀ differs from reflector product by %v", d)
+	}
+	// T must be upper triangular with tau on the diagonal.
+	for i := 0; i < k; i++ {
+		if tm.At(i, i) != tau[i] {
+			t.Fatalf("T(%d,%d) = %v, want tau %v", i, i, tm.At(i, i), tau[i])
+		}
+		for j := 0; j < i; j++ {
+			if tm.At(i, j) != 0 {
+				t.Fatalf("T not upper triangular at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestDlarfbMatchesSequential(t *testing.T) {
+	n, k := 10, 3
+	v, tau := buildReflectors(n, k, 23)
+	tm := matrix.New(k, k)
+	Dlarft(n, k, v.Data, v.Stride, tau, tm.Data, tm.Stride)
+	h := explicitBlockH(n, k, v, tau)
+
+	cases := []struct {
+		side  blas.Side
+		trans blas.Transpose
+		m, nc int
+	}{
+		{blas.Left, blas.NoTrans, n, 5},
+		{blas.Left, blas.Trans, n, 5},
+		{blas.Right, blas.NoTrans, 5, n},
+		{blas.Right, blas.Trans, 5, n},
+	}
+	for _, tc := range cases {
+		c := matrix.Random(tc.m, tc.nc, 44)
+		want := matrix.New(tc.m, tc.nc)
+		hOp := h
+		if tc.trans == blas.Trans {
+			hOp = h.T()
+		}
+		if tc.side == blas.Left {
+			blas.Dgemm(blas.NoTrans, blas.NoTrans, tc.m, tc.nc, tc.m, 1, hOp.Data, hOp.Stride, c.Data, c.Stride, 0, want.Data, want.Stride)
+		} else {
+			blas.Dgemm(blas.NoTrans, blas.NoTrans, tc.m, tc.nc, tc.nc, 1, c.Data, c.Stride, hOp.Data, hOp.Stride, 0, want.Data, want.Stride)
+		}
+		got := c.Clone()
+		work := make([]float64, (tc.m+tc.nc)*k)
+		ldwork := tc.nc
+		if tc.side == blas.Right {
+			ldwork = tc.m
+		}
+		Dlarfb(tc.side, tc.trans, tc.m, tc.nc, k, v.Data, v.Stride, tm.Data, tm.Stride, got.Data, got.Stride, work, ldwork)
+		if d := want.Sub(got).MaxAbs(); d > 1e-12 {
+			t.Fatalf("Dlarfb %v %v: maxdiff %v", tc.side, tc.trans, d)
+		}
+	}
+}
+
+func TestDlarfbTransUndoesNoTrans(t *testing.T) {
+	// Applying H then Hᵀ from the left must restore C: this is exactly the
+	// reverse-computation step of the paper's recovery procedure.
+	n, k := 12, 4
+	v, tau := buildReflectors(n, k, 5)
+	tm := matrix.New(k, k)
+	Dlarft(n, k, v.Data, v.Stride, tau, tm.Data, tm.Stride)
+	c := matrix.Random(n, 7, 8)
+	orig := c.Clone()
+	work := make([]float64, 7*k)
+	Dlarfb(blas.Left, blas.Trans, n, 7, k, v.Data, v.Stride, tm.Data, tm.Stride, c.Data, c.Stride, work, 7)
+	Dlarfb(blas.Left, blas.NoTrans, n, 7, k, v.Data, v.Stride, tm.Data, tm.Stride, c.Data, c.Stride, work, 7)
+	if d := orig.Sub(c).MaxAbs(); d > 1e-12 {
+		t.Fatalf("Hᵀ then H did not restore C: %v", d)
+	}
+}

@@ -1,0 +1,49 @@
+package lapack
+
+import (
+	"repro/internal/blas"
+
+	"repro/internal/matrix"
+)
+
+// Dorghr explicitly forms the n×n orthogonal matrix Q of the Hessenberg
+// reduction Qᵀ A Q = H from the Householder vectors stored below the first
+// subdiagonal of a (as left by Dgehrd/Dgehd2) and the scalar factors tau.
+//
+// Q = H(0)·H(1)···H(n-3); reflector i acts on rows/columns i+1..n-1.
+func Dorghr(n int, a []float64, lda int, tau []float64) *matrix.Matrix {
+	q := matrix.Identity(n)
+	if n <= 2 {
+		return q
+	}
+	work := make([]float64, n)
+	v := make([]float64, n)
+	// Apply reflectors from the last to the first so that each
+	// multiplication Q := H(i)·Q only touches the trailing block.
+	for i := n - 3; i >= 0; i-- {
+		if tau[i] == 0 {
+			continue
+		}
+		// v = [1, A(i+2:n-1, i)] spanning rows i+1..n-1.
+		m := n - 1 - i
+		v[0] = 1
+		copy(v[1:m], a[i*lda+i+2:i*lda+i+2+(m-1)])
+		sub := q.View(i+1, i+1, m, m)
+		Dlarf(blas.Left, m, m, v[:m], 1, tau[i], sub.Data, sub.Stride, work)
+	}
+	return q
+}
+
+// HessFromPacked extracts the upper Hessenberg matrix H from the packed
+// output of Dgehrd (zeroing the Householder-vector storage below the first
+// subdiagonal).
+func HessFromPacked(n int, a []float64, lda int) *matrix.Matrix {
+	h := matrix.New(n, n)
+	for j := 0; j < n; j++ {
+		top := min(j+2, n)
+		for i := 0; i < top; i++ {
+			h.Set(i, j, a[j*lda+i])
+		}
+	}
+	return h
+}

@@ -1,0 +1,106 @@
+package lapack
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSterfNoConvergence is returned when the tridiagonal QL iteration
+// exceeds its iteration budget.
+var ErrSterfNoConvergence = errors.New("lapack: symmetric tridiagonal eigenvalue iteration did not converge")
+
+// Dsterf computes all eigenvalues of a symmetric tridiagonal matrix with
+// diagonal d (length n) and subdiagonal e (length n-1) using the implicit
+// QL algorithm with Wilkinson shift (EISPACK TQL1 lineage). On success the
+// eigenvalues overwrite d in ascending order; e is destroyed.
+func Dsterf(n int, d, e []float64) error {
+	if n <= 1 {
+		return nil
+	}
+	// Work on a copy of e extended with a zero sentinel.
+	work := make([]float64, n)
+	copy(work, e[:n-1])
+	work[n-1] = 0
+
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			// Find the first small subdiagonal at or after l.
+			m := l
+			for ; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(work[m]) <= macheps*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			if iter == 50 {
+				return ErrSterfNoConvergence
+			}
+			iter++
+			// Wilkinson shift from the leading 2×2 of the active block.
+			g := (d[l+1] - d[l]) / (2 * work[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + work[l]/(g+sign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			// Implicit QL sweep from m-1 down to l.
+			for i := m - 1; i >= l; i-- {
+				f := s * work[i]
+				b := c * work[i]
+				r = math.Hypot(f, g)
+				work[i+1] = r
+				if r == 0 {
+					// Recover from underflow: split the matrix.
+					d[i+1] -= p
+					work[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				if i == l {
+					d[l] -= p
+					work[l] = g
+					work[m] = 0
+				}
+			}
+		}
+	}
+	// Ascending order (insertion sort; n is moderate and d is nearly
+	// ordered after QL).
+	for i := 1; i < n; i++ {
+		v := d[i]
+		j := i - 1
+		for j >= 0 && d[j] > v {
+			d[j+1] = d[j]
+			j--
+		}
+		d[j+1] = v
+	}
+	return nil
+}
+
+// SymEigenvalues computes all eigenvalues of a dense symmetric matrix
+// (lower triangle referenced) by tridiagonal reduction plus the QL
+// iteration. a is not modified.
+func SymEigenvalues(aData []float64, n, lda, nb int) ([]float64, error) {
+	work := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		copy(work[j*n:j*n+n], aData[j*lda:j*lda+n])
+	}
+	d := make([]float64, n)
+	e := make([]float64, max(n-1, 1))
+	tau := make([]float64, max(n-1, 1))
+	Dsytrd(n, nb, work, n, d, e, tau)
+	if err := Dsterf(n, d, e); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,126 @@
+package lapack
+
+import "repro/internal/blas"
+
+// Symmetric tridiagonal reduction (DSYTD2/DLATRD/DSYTRD, lower-triangle
+// storage) — the second two-sided factorization of the family the paper's
+// conclusion targets ("the entire spectrum of two-sided factorizations").
+// The blocked structure mirrors the Hessenberg reduction: a panel
+// factorization accumulating a compact update (here W with
+// A := A − V·Wᵀ − W·Vᵀ) followed by a rank-2k trailing update — which is
+// exactly the shape the ABFT checksum methodology attaches to.
+
+// Dsytd2 reduces the n×n symmetric matrix A (lower triangle stored) to
+// symmetric tridiagonal form T = Qᵀ A Q by an unblocked sequence of
+// Householder similarity transformations. On exit the diagonal is in d,
+// the subdiagonal in e, the Householder vectors below the first
+// subdiagonal of a with scalar factors in tau (length ≥ n-1).
+func Dsytd2(n int, a []float64, lda int, d, e, tau []float64) {
+	if n <= 0 {
+		return
+	}
+	w := make([]float64, n)
+	for i := 0; i < n-1; i++ {
+		// Generate H(i) = I - tau·v·vᵀ annihilating A(i+2:n-1, i).
+		beta, taui := Dlarfg(n-i-1, a[i*lda+i+1], a[i*lda+min(i+2, n-1):], 1)
+		e[i] = beta
+		if taui != 0 {
+			// Apply H(i) to A(i+1:n-1, i+1:n-1) from both sides.
+			a[i*lda+i+1] = 1
+			v := a[i*lda+i+1:]
+			// w := tau · A(i+1:, i+1:) · v
+			blas.Dsymv(blas.Lower, n-i-1, taui, a[(i+1)*lda+i+1:], lda, v, 1, 0, w, 1)
+			// w := w - (tau/2 · wᵀv) · v
+			alpha := -0.5 * taui * blas.Ddot(n-i-1, w, 1, v, 1)
+			blas.Daxpy(n-i-1, alpha, v, 1, w, 1)
+			// A := A - v·wᵀ - w·vᵀ
+			blas.Dsyr2(blas.Lower, n-i-1, -1, v, 1, w, 1, a[(i+1)*lda+i+1:], lda)
+			a[i*lda+i+1] = e[i]
+		}
+		d[i] = a[i*lda+i]
+		tau[i] = taui
+	}
+	d[n-1] = a[(n-1)*lda+n-1]
+}
+
+// Dlatrd reduces the first nb columns of the n×n symmetric matrix A
+// (lower triangle) to tridiagonal form and returns the n×nb matrix W such
+// that the trailing submatrix update is A := A − V·Wᵀ − W·Vᵀ
+// (netlib DLATRD, lower branch, zero-based).
+func Dlatrd(n, nb int, a []float64, lda int, e, tau []float64, w []float64, ldw int) {
+	if n <= 0 {
+		return
+	}
+	for i := 0; i < nb; i++ {
+		// Update A(i:n-1, i) with the part of the panel already computed.
+		blas.Dgemv(blas.NoTrans, n-i, i, -1, a[i:], lda, w[i:], ldw, 1, a[i*lda+i:], 1)
+		blas.Dgemv(blas.NoTrans, n-i, i, -1, w[i:], ldw, a[i:], lda, 1, a[i*lda+i:], 1)
+		if i >= n-1 {
+			continue
+		}
+		// Generate H(i) to annihilate A(i+2:n-1, i).
+		beta, taui := Dlarfg(n-i-1, a[i*lda+i+1], a[i*lda+min(i+2, n-1):], 1)
+		e[i] = beta
+		tau[i] = taui
+		a[i*lda+i+1] = 1
+		v := a[i*lda+i+1:]
+		// W(i+1:n-1, i) := tau·[A·v − W·(Aᵀv) − A·(Wᵀv)], built with the
+		// reference kernel sequence (scratch in W(0:i-1, i)).
+		blas.Dsymv(blas.Lower, n-i-1, 1, a[(i+1)*lda+i+1:], lda, v, 1, 0, w[i*ldw+i+1:], 1)
+		blas.Dgemv(blas.Trans, n-i-1, i, 1, w[i+1:], ldw, v, 1, 0, w[i*ldw:], 1)
+		blas.Dgemv(blas.NoTrans, n-i-1, i, -1, a[i+1:], lda, w[i*ldw:], 1, 1, w[i*ldw+i+1:], 1)
+		blas.Dgemv(blas.Trans, n-i-1, i, 1, a[i+1:], lda, v, 1, 0, w[i*ldw:], 1)
+		blas.Dgemv(blas.NoTrans, n-i-1, i, -1, w[i+1:], ldw, w[i*ldw:], 1, 1, w[i*ldw+i+1:], 1)
+		blas.Dscal(n-i-1, taui, w[i*ldw+i+1:], 1)
+		alpha := -0.5 * taui * blas.Ddot(n-i-1, w[i*ldw+i+1:], 1, v, 1)
+		blas.Daxpy(n-i-1, alpha, v, 1, w[i*ldw+i+1:], 1)
+	}
+}
+
+// Dsytrd reduces the n×n symmetric matrix A (lower triangle stored) to
+// tridiagonal form with the blocked algorithm: DLATRD panels followed by
+// DSYR2K trailing updates, finishing with the unblocked code — the
+// symmetric sibling of Algorithm 1. d, e, tau receive the tridiagonal
+// factor and the reflectors as in Dsytd2.
+func Dsytrd(n, nb int, a []float64, lda int, d, e, tau []float64) {
+	if n <= 0 {
+		return
+	}
+	if nb < 1 {
+		nb = 1
+	}
+	nx := max(nb, 2)
+	w := make([]float64, n*nb)
+	p := 0
+	for ; n-p > nx+nb; p += nb {
+		np := n - p
+		// Panel: reduce columns p..p+nb-1 of the trailing block, and
+		// build the update matrix W.
+		Dlatrd(np, nb, a[p*lda+p:], lda, e[p:], tau[p:], w, np)
+		// Trailing update: A(p+nb:, p+nb:) -= V·Wᵀ + W·Vᵀ.
+		blas.Dsyr2k(blas.Lower, blas.NoTrans, np-nb, nb, -1,
+			a[p*lda+p+nb:], lda, w[nb:], np, 1, a[(p+nb)*lda+p+nb:], lda)
+		// Restore the subdiagonal entries overwritten with the implicit
+		// ones of V, and record the finished diagonal.
+		for j := p; j < p+nb; j++ {
+			a[j*lda+j+1] = e[j]
+			d[j] = a[j*lda+j]
+		}
+	}
+	Dsytd2(n-p, a[p*lda+p:], lda, d[p:], e[p:], tau[p:])
+}
+
+// TridiagFromPacked builds the dense symmetric tridiagonal matrix from
+// the d/e output of Dsytrd.
+func TridiagFromPacked(n int, d, e []float64) [][]float64 {
+	t := make([][]float64, n)
+	for i := range t {
+		t[i] = make([]float64, n)
+		t[i][i] = d[i]
+		if i > 0 {
+			t[i][i-1] = e[i-1]
+			t[i-1][i] = e[i-1]
+		}
+	}
+	return t
+}

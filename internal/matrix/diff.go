@@ -1,0 +1,113 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// DiffStats summarizes the element-wise difference between a reference
+// matrix and a perturbed one. Figure 2 of the paper visualizes exactly this
+// difference as a heat map to show how a soft error propagates.
+type DiffStats struct {
+	// Polluted counts the elements whose |difference| exceeds the
+	// threshold used to build the stats.
+	Polluted int
+	// PollutedRows / PollutedCols are the distinct row/column indices
+	// containing at least one polluted element.
+	PollutedRows []int
+	PollutedCols []int
+	// MaxAbs is the largest absolute difference.
+	MaxAbs float64
+	// Threshold is the pollution cut-off used.
+	Threshold float64
+}
+
+// Diff compares got against want and returns pollution statistics using the
+// given absolute threshold.
+func Diff(want, got *Matrix, threshold float64) DiffStats {
+	if want.Rows != got.Rows || want.Cols != got.Cols {
+		panic("matrix: diff shape mismatch")
+	}
+	st := DiffStats{Threshold: threshold}
+	rowSeen := make(map[int]bool)
+	colSeen := make(map[int]bool)
+	for j := 0; j < want.Cols; j++ {
+		w, g := want.Col(j), got.Col(j)
+		for i := range w {
+			d := math.Abs(w[i] - g[i])
+			if d > st.MaxAbs {
+				st.MaxAbs = d
+			}
+			if d > threshold {
+				st.Polluted++
+				rowSeen[i] = true
+				colSeen[j] = true
+			}
+		}
+	}
+	for i := 0; i < want.Rows; i++ {
+		if rowSeen[i] {
+			st.PollutedRows = append(st.PollutedRows, i)
+		}
+	}
+	for j := 0; j < want.Cols; j++ {
+		if colSeen[j] {
+			st.PollutedCols = append(st.PollutedCols, j)
+		}
+	}
+	return st
+}
+
+// HeatMap renders an ASCII heat map of |want-got| down-sampled to at most
+// maxCells×maxCells characters: ' ' for zero difference, then '.', ':', '*',
+// '#' for increasing decades of magnitude. This is the textual counterpart
+// of the paper's Figure 2 panels.
+func HeatMap(want, got *Matrix, maxCells int) string {
+	if want.Rows != got.Rows || want.Cols != got.Cols {
+		panic("matrix: heatmap shape mismatch")
+	}
+	if maxCells <= 0 {
+		maxCells = 64
+	}
+	rs := (want.Rows + maxCells - 1) / maxCells
+	cs := (want.Cols + maxCells - 1) / maxCells
+	if rs < 1 {
+		rs = 1
+	}
+	if cs < 1 {
+		cs = 1
+	}
+	nr := (want.Rows + rs - 1) / rs
+	nc := (want.Cols + cs - 1) / cs
+	var b strings.Builder
+	fmt.Fprintf(&b, "|diff| heat map (%dx%d cells, cell=%dx%d elems; '.':>1e-12 ':':>1e-8 '*':>1e-4 '#':>1)\n",
+		nr, nc, rs, cs)
+	for bi := 0; bi < nr; bi++ {
+		for bj := 0; bj < nc; bj++ {
+			m := 0.0
+			for i := bi * rs; i < min((bi+1)*rs, want.Rows); i++ {
+				for j := bj * cs; j < min((bj+1)*cs, want.Cols); j++ {
+					d := math.Abs(want.At(i, j) - got.At(i, j))
+					if d > m {
+						m = d
+					}
+				}
+			}
+			switch {
+			case m > 1:
+				b.WriteByte('#')
+			case m > 1e-4:
+				b.WriteByte('*')
+			case m > 1e-8:
+				b.WriteByte(':')
+			case m > 1e-12:
+				b.WriteByte('.')
+			default:
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

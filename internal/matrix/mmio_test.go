@@ -1,0 +1,134 @@
+package matrix
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	m := Random(7, 5, 3)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(got) {
+		t.Fatalf("round trip changed the matrix by %v", m.Sub(got).MaxAbs())
+	}
+}
+
+func TestMatrixMarketCoordinate(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 4 3
+1 1 2.5
+3 4 -1
+2 2 7
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(0, 0) != 2.5 || m.At(2, 3) != -1 || m.At(1, 1) != 7 || m.At(0, 1) != 0 {
+		t.Fatalf("contents wrong: %v", m)
+	}
+}
+
+func TestMatrixMarketSymmetricCoordinate(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 2
+2 1 -1
+3 2 -1
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != -1 || m.At(1, 0) != -1 || m.At(1, 2) != -1 || m.At(2, 1) != -1 {
+		t.Fatalf("symmetry not expanded: %v", m)
+	}
+}
+
+func TestMatrixMarketSkewSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 || m.At(0, 1) != -3 {
+		t.Fatalf("skew expansion wrong: %v", m)
+	}
+}
+
+func TestMatrixMarketSymmetricArray(t *testing.T) {
+	src := `%%MatrixMarket matrix array real symmetric
+2 2
+1
+4
+9
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 1 || m.At(1, 0) != 4 || m.At(0, 1) != 4 || m.At(1, 1) != 9 {
+		t.Fatalf("symmetric array wrong: %v", m)
+	}
+}
+
+func TestMatrixMarketIntegerField(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate integer general
+2 2 1
+1 2 5
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 5 {
+		t.Fatal("integer field not parsed")
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"empty":           "",
+		"bad header":      "%%NotMM matrix array real general\n1 1\n1\n",
+		"complex field":   "%%MatrixMarket matrix array complex general\n1 1\n1 0\n",
+		"pattern field":   "%%MatrixMarket matrix coordinate pattern general\n1 1 1\n1 1\n",
+		"hermitian":       "%%MatrixMarket matrix array real hermitian\n1 1\n1\n",
+		"truncated array": "%%MatrixMarket matrix array real general\n2 2\n1\n2\n",
+		"out of range":    "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
+		"bad value":       "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 xyz\n",
+		"bad size":        "%%MatrixMarket matrix array real general\nfoo bar\n",
+	} {
+		if _, err := ReadMatrixMarket(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestMatrixMarketEmptyMatrix(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, New(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 0 || m.Cols != 0 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+}

@@ -1,0 +1,131 @@
+// Package sim provides the analytic cost model and discrete-event
+// timelines that stand in for the paper's hardware testbed (Table I:
+// Intel Xeon E5-2670 + NVIDIA Tesla K40c over PCIe).
+//
+// The model charges each BLAS kernel, host computation, and host↔device
+// transfer a duration derived from its operation count: GEMM-like kernels
+// are compute-bound with a size-dependent efficiency, GEMV-like kernels
+// and copies are bandwidth-bound, and every device kernel pays a launch
+// latency. Absolute times are not the point — the paper's Figure 6 reports
+// the *relative* overhead of the fault-tolerant algorithm and its trend
+// with matrix size, which depend only on how operation counts translate
+// into time, and that is what the model preserves.
+package sim
+
+// Params calibrates the cost model. The defaults (see K40c) approximate
+// the paper's testbed from Table I.
+type Params struct {
+	// CPUGemmGFLOPS is the sustained host DGEMM rate (all cores).
+	CPUGemmGFLOPS float64
+	// CPUBandwidthGBps bounds host memory-bound (level-1/2) operations.
+	CPUBandwidthGBps float64
+
+	// GPUGemmPeakGFLOPS is the asymptotic device DGEMM rate.
+	GPUGemmPeakGFLOPS float64
+	// GPUGemmK0 and GPUGemmS0 shape the efficiency curve: a DGEMM with
+	// inner dimension k and minimum outer dimension s runs at
+	// peak · k/(k+K0) · s/(s+S0).
+	GPUGemmK0 float64
+	GPUGemmS0 float64
+	// GPUBandwidthGBps bounds device memory-bound kernels (GEMV, copies
+	// inside device memory).
+	GPUBandwidthGBps float64
+	// KernelLaunchSec is charged per device kernel.
+	KernelLaunchSec float64
+
+	// PCIeGBps and PCIeLatencySec model the host↔device link.
+	PCIeGBps       float64
+	PCIeLatencySec float64
+}
+
+// K40c returns parameters approximating the paper's testbed: a Tesla K40c
+// (1.43 TFLOP/s peak DP, 288 GB/s GDDR5) attached over PCIe gen3 to a
+// Sandy Bridge Xeon E5-2670 running MKL.
+func K40c() Params {
+	return Params{
+		CPUGemmGFLOPS:     110,
+		CPUBandwidthGBps:  35,
+		GPUGemmPeakGFLOPS: 1430,
+		GPUGemmK0:         48,
+		GPUGemmS0:         384,
+		GPUBandwidthGBps:  200, // sustained, of 288 peak
+		KernelLaunchSec:   8e-6,
+		PCIeGBps:          6,
+		PCIeLatencySec:    12e-6,
+	}
+}
+
+// GemmFlops returns the floating-point operation count of an m×n×k GEMM.
+func GemmFlops(m, n, k int) float64 { return 2 * float64(m) * float64(n) * float64(k) }
+
+// GemvFlops returns the operation count of an m×n GEMV.
+func GemvFlops(m, n int) float64 { return 2 * float64(m) * float64(n) }
+
+// HessenbergFlops returns the classical operation count of a Hessenberg
+// reduction of order n, 10/3·n³.
+func HessenbergFlops(n int) float64 { return 10.0 / 3.0 * float64(n) * float64(n) * float64(n) }
+
+func minDim(a, b int) float64 {
+	if a < b {
+		return float64(a)
+	}
+	return float64(b)
+}
+
+// GemmDevice returns the device time for an m×n×k GEMM, including launch.
+func (p Params) GemmDevice(m, n, k int) float64 {
+	if m == 0 || n == 0 || k == 0 {
+		return p.KernelLaunchSec
+	}
+	eff := p.GPUGemmPeakGFLOPS * (float64(k) / (float64(k) + p.GPUGemmK0)) *
+		(minDim(m, n) / (minDim(m, n) + p.GPUGemmS0))
+	// Never below the bandwidth bound: a GEMM must at least stream C.
+	t := GemmFlops(m, n, k) / (eff * 1e9)
+	if bw := p.deviceBytes(8 * float64(m) * float64(n)); t < bw {
+		t = bw
+	}
+	return p.KernelLaunchSec + t
+}
+
+// TrmmDevice returns the device time for a triangular multiply of an m×n
+// operand with a t×t triangle (half the flops of the corresponding GEMM).
+func (p Params) TrmmDevice(m, n, t int) float64 {
+	if m == 0 || n == 0 || t == 0 {
+		return p.KernelLaunchSec
+	}
+	return p.KernelLaunchSec + GemmFlops(m, n, t)/2/(0.5*p.GPUGemmPeakGFLOPS*1e9)
+}
+
+// GemvDevice returns the device time for an m×n GEMV (bandwidth-bound).
+func (p Params) GemvDevice(m, n int) float64 {
+	return p.KernelLaunchSec + p.deviceBytes(8*float64(m)*float64(n))
+}
+
+// VecDevice returns the device time for a vector kernel touching n elements.
+func (p Params) VecDevice(n int) float64 {
+	return p.KernelLaunchSec + p.deviceBytes(8*2*float64(n))
+}
+
+func (p Params) deviceBytes(b float64) float64 {
+	return b / (p.GPUBandwidthGBps * 1e9)
+}
+
+// GemmHost returns the host time for an m×n×k GEMM.
+func (p Params) GemmHost(m, n, k int) float64 {
+	return GemmFlops(m, n, k) / (p.CPUGemmGFLOPS * 1e9)
+}
+
+// GemvHost returns the host time for an m×n GEMV (bandwidth-bound).
+func (p Params) GemvHost(m, n int) float64 {
+	return 8 * float64(m) * float64(n) / (p.CPUBandwidthGBps * 1e9)
+}
+
+// VecHost returns the host time for level-1 work on n elements.
+func (p Params) VecHost(n int) float64 {
+	return 8 * 2 * float64(n) / (p.CPUBandwidthGBps * 1e9)
+}
+
+// Transfer returns the PCIe time to move b bytes in either direction.
+func (p Params) Transfer(bytes int) float64 {
+	return p.PCIeLatencySec + float64(bytes)/(p.PCIeGBps*1e9)
+}
