@@ -14,14 +14,38 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/ftsym"
+	"repro/internal/gpu"
 	"repro/internal/lapack"
 	"repro/internal/matrix"
+	"repro/internal/obs"
+	"repro/internal/sim"
 )
+
+// writeFile writes one exportable artifact, exiting on failure.
+func writeFile(path, what string, emit func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "create %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if err == nil {
+		err = emit(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s to %s\n", what, path)
+}
 
 // symHook injects one additive error into the trailing symmetric block.
 type symHook struct {
@@ -43,7 +67,7 @@ func (h *symHook) BeforeIteration(iter, panel int, w *matrix.Matrix) {
 }
 
 // runSymmetric demonstrates the future-work path: resilient DSYTRD.
-func runSymmetric(n, nb int, seed uint64, inject string, iter int) {
+func runSymmetric(n, nb int, seed uint64, inject string, iter int, metricsPath, eventsPath string) {
 	a := matrix.Random(n, n, seed)
 	for j := 0; j < n; j++ {
 		for i := 0; i < j; i++ {
@@ -51,6 +75,12 @@ func runSymmetric(n, nb int, seed uint64, inject string, iter int) {
 		}
 	}
 	opt := ftsym.Options{NB: nb}
+	if metricsPath != "" {
+		opt.Obs = obs.NewRegistry()
+	}
+	if eventsPath != "" {
+		opt.Journal = &obs.Journal{}
+	}
 	if inject != "" {
 		opt.Hook = &symHook{iter: iter}
 	}
@@ -71,6 +101,12 @@ func runSymmetric(n, nb int, seed uint64, inject string, iter int) {
 		os.Exit(1)
 	}
 	fmt.Printf("eigenvalue range: [%.6f, %.6f]\n", d[0], d[n-1])
+	if metricsPath != "" {
+		writeFile(metricsPath, "metrics", opt.Obs.WritePrometheus)
+	}
+	if eventsPath != "" {
+		writeFile(eventsPath, "event journal", opt.Journal.WriteJSONL)
+	}
 }
 
 func main() {
@@ -86,14 +122,37 @@ func main() {
 	bitflip := flag.Bool("bitflip", false, "flip a mantissa bit instead of adding a delta")
 	eig := flag.Bool("eig", false, "continue to eigenvalues (Francis QR)")
 	sym := flag.Bool("sym", false, "symmetric path: FT-DSYTRD tridiagonalization + QL eigenvalues")
+	metricsPath := flag.String("metrics", "", "write run metrics in Prometheus text format to this file")
+	eventsPath := flag.String("events", "", "write the FT event journal as JSONL to this file")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event timeline to this file (Perfetto-loadable)")
 	flag.Parse()
 
 	if *sym {
-		runSymmetric(*n, *nb, *seed, *inject, *iter)
+		if *tracePath != "" {
+			fmt.Fprintln(os.Stderr, "-trace is not available on the -sym path (host-only execution)")
+			os.Exit(2)
+		}
+		runSymmetric(*n, *nb, *seed, *inject, *iter, *metricsPath, *eventsPath)
 		return
 	}
 
 	opt := core.Options{NB: *nb, CostOnly: *costOnly}
+	if *metricsPath != "" {
+		opt.Obs = obs.NewRegistry()
+	}
+	if *eventsPath != "" {
+		opt.Journal = &obs.Journal{}
+	}
+	var dev *gpu.Device
+	if *tracePath != "" {
+		mode := gpu.Real
+		if *costOnly {
+			mode = gpu.CostOnly
+		}
+		dev = gpu.New(sim.K40c(), mode)
+		dev.EnableTrace()
+		opt.Device = dev
+	}
 	switch *alg {
 	case "ft":
 		opt.Algorithm = core.FaultTolerant
@@ -121,6 +180,7 @@ func main() {
 			os.Exit(2)
 		}
 		in = fault.New(fault.Plan{Area: area, TargetIter: *iter, Count: *count, Seed: *seed, BitFlip: *bitflip, Bit: 60})
+		in.Journal = opt.Journal
 		opt.Hook = in
 	}
 
@@ -170,6 +230,19 @@ func main() {
 		fmt.Printf("residual ‖A−QHQᵀ‖₁/(N‖A‖₁) = %.3e\n", res.Residual(a))
 		fmt.Printf("orthogonality ‖QQᵀ−I‖₁/N  = %.3e\n", res.Orthogonality())
 	}
+
+	if *metricsPath != "" {
+		writeFile(*metricsPath, "metrics", opt.Obs.WritePrometheus)
+	}
+	if *eventsPath != "" {
+		writeFile(*eventsPath, "event journal", opt.Journal.WriteJSONL)
+	}
+	if *tracePath != "" {
+		writeFile(*tracePath, "chrome trace", dev.WriteChromeTrace)
+	}
+	// The observability sinks describe the reduction that just ran; detach
+	// them so the -eig re-reduction below doesn't double-count into them.
+	opt.Obs, opt.Journal, opt.Device = nil, nil, nil
 
 	if *eig {
 		if *costOnly {

@@ -9,48 +9,72 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/hybrid"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
 // Breakdown attributes the simulated busy time of the baseline and the
-// fault-tolerant reduction to operation families, answering "where does
-// the overhead go" — the quantitative companion of the paper's Section V
-// analysis (the extra work is GEMV-class checksum kernels, small
-// transfers, and host-side bookkeeping, all O(N²)).
+// fault-tolerant reduction to operation families and algorithm phases,
+// answering "where does the overhead go" — the quantitative companion of
+// the paper's Section V analysis (the extra work is GEMV-class checksum
+// kernels, small transfers, and host-side bookkeeping, all O(N²)) and a
+// Table-II-style per-step view of where the FT run spends its time.
+// Both views are read back from the observability registries the two
+// runs populate, so the numbers here are exactly the ones a -metrics
+// export would report.
 func Breakdown(w io.Writer, n, nb int, params sim.Params) {
 	a := matrix.New(n, n)
 
+	regB := obs.NewRegistry()
 	devB := gpu.New(params, gpu.CostOnly)
-	if _, err := hybrid.Reduce(a, hybrid.Options{NB: nb, Device: devB}); err != nil {
+	if _, err := hybrid.Reduce(a, hybrid.Options{NB: nb, Device: devB, Obs: regB}); err != nil {
 		panic(err)
 	}
+	regF := obs.NewRegistry()
 	devF := gpu.New(params, gpu.CostOnly)
-	if _, err := ft.Reduce(a, ft.Options{NB: nb, Device: devF}); err != nil {
+	if _, err := ft.Reduce(a, ft.Options{NB: nb, Device: devF, Obs: regF}); err != nil {
 		panic(err)
 	}
 
-	base := devB.TimeBreakdown()
-	ftbd := devF.TimeBreakdown()
-	kinds := map[string]bool{}
-	for k := range base {
-		kinds[k] = true
-	}
-	for k := range ftbd {
-		kinds[k] = true
-	}
-	var order []string
-	for k := range kinds {
-		order = append(order, k)
-	}
-	sort.Strings(order)
-
+	base := obs.SumBy(regB, "op_seconds_total", "kind")
+	ftbd := obs.SumBy(regF, "op_seconds_total", "kind")
 	fmt.Fprintf(w, "Busy-time breakdown at N=%d, nb=%d (modeled seconds per operation family)\n", n, nb)
 	fmt.Fprintf(w, "%-8s %12s %12s %12s\n", "kind", "MAGMA-Hess", "FT-Hess", "FT extra")
 	var tb, tf float64
-	for _, k := range order {
+	for _, k := range sortedKeys(base, ftbd) {
 		fmt.Fprintf(w, "%-8s %12.4f %12.4f %+12.4f\n", k, base[k], ftbd[k], ftbd[k]-base[k])
 		tb += base[k]
 		tf += ftbd[k]
 	}
 	fmt.Fprintf(w, "%-8s %12.4f %12.4f %+12.4f  (lanes overlap; totals exceed makespan)\n", "Σ", tb, tf, tf-tb)
+
+	// Table-II-style phase attribution: the baseline phases carry the
+	// algorithmic work, the FT-only phases are the protection steps.
+	pb := obs.SumBy(regB, "phase_seconds", "phase")
+	pf := obs.SumBy(regF, "phase_seconds", "phase")
+	fmt.Fprintf(w, "\nPer-phase busy time (modeled seconds; FT-only phases are the protection steps)\n")
+	fmt.Fprintf(w, "%-22s %12s %12s\n", "phase", "MAGMA-Hess", "FT-Hess")
+	for _, p := range sortedKeys(pb, pf) {
+		marker := ""
+		if _, inBase := pb[p]; !inBase {
+			marker = "  [FT only]"
+		}
+		fmt.Fprintf(w, "%-22s %12.4f %12.4f%s\n", p, pb[p], pf[p], marker)
+	}
+}
+
+// sortedKeys returns the union of the maps' keys, sorted.
+func sortedKeys(ms ...map[string]float64) []string {
+	seen := map[string]bool{}
+	var order []string
+	for _, m := range ms {
+		for k := range m {
+			if !seen[k] {
+				seen[k] = true
+				order = append(order, k)
+			}
+		}
+	}
+	sort.Strings(order)
+	return order
 }

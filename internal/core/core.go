@@ -21,6 +21,7 @@ import (
 	"repro/internal/hybrid"
 	"repro/internal/lapack"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -69,6 +70,14 @@ type Options struct {
 	DisableQProtection bool
 	DisableOverlap     bool
 	Hook               ft.Hook
+	// Obs, when set, receives run metrics (per-phase timers, kernel-kind
+	// time, lane utilization, FT counters). Journal receives the typed
+	// fault-tolerance event stream. Both are ignored by CPUOnly.
+	Obs     *obs.Registry
+	Journal *obs.Journal
+	// Device overrides the simulated device built from Params/CostOnly —
+	// use it to enable tracing (dev.EnableTrace) around a run.
+	Device *gpu.Device
 }
 
 // Result is the unified outcome of any algorithm choice.
@@ -111,6 +120,9 @@ func (r *Result) Orthogonality() float64 {
 }
 
 func (o *Options) device() *gpu.Device {
+	if o.Device != nil {
+		return o.Device
+	}
 	p := o.Params
 	if p == (sim.Params{}) {
 		p = sim.K40c()
@@ -142,6 +154,7 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 	case Baseline:
 		res, err := hybrid.Reduce(a, hybrid.Options{
 			NB: nb, Device: opt.device(), DisableOverlap: opt.DisableOverlap,
+			Obs: opt.Obs,
 		})
 		if err != nil {
 			return nil, err
@@ -159,6 +172,8 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 			DisableQProtection: opt.DisableQProtection,
 			DisableOverlap:     opt.DisableOverlap,
 			Hook:               opt.Hook,
+			Obs:                opt.Obs,
+			Journal:            opt.Journal,
 		})
 		if err != nil {
 			return nil, err

@@ -24,6 +24,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/hybrid"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 )
 
 // Area selects an injection region of Figure 2(a).
@@ -150,6 +151,9 @@ type Injector struct {
 	pendingQ int
 	// Log records every injection actually performed.
 	Log []ft.Injection
+	// Journal, when set, receives one obs.KindInjection event per
+	// performed injection, stamped with the device's simulated time.
+	Journal *obs.Journal
 }
 
 // New returns an Injector for the given plan.
@@ -278,6 +282,14 @@ func (in *Injector) inject(dev *gpu.Device, dA *gpu.Matrix, host *matrix.Matrix,
 		in.pendingH++
 	}
 	in.Log = append(in.Log, ft.Injection{Row: pos.Row, Col: pos.Col, Delta: delta, Target: target, Iter: iter})
+	ev := obs.Ev(obs.KindInjection, iter)
+	ev.SimTime = dev.Elapsed()
+	ev.Target = obs.TargetH
+	if target == ft.TargetQ {
+		ev.Target = obs.TargetQ
+	}
+	ev.Row, ev.Col, ev.Value = pos.Row, pos.Col, delta
+	in.Journal.Append(ev)
 }
 
 // ConsumePendingH implements ft.Hook.

@@ -40,6 +40,7 @@ import (
 	"repro/internal/hybrid"
 	"repro/internal/lapack"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -132,6 +133,14 @@ type Options struct {
 	PostProcess bool
 	// Hook receives iteration-boundary callbacks for fault injection.
 	Hook Hook
+	// Obs, if set, receives FT counters (ft_detections_total, ...),
+	// per-phase timers including the protection steps of the paper's
+	// Table II, and end-of-run lane gauges.
+	Obs *obs.Registry
+	// Journal, if set, receives the typed FT event records (checksum
+	// checks, detections, corrections, checkpoints, re-executions, ...)
+	// stamped with the simulated time.
+	Journal *obs.Journal
 }
 
 // Result extends the hybrid result with resilience statistics.
@@ -190,9 +199,34 @@ type reducer struct {
 	// thresholds
 	normA1 float64
 	tauDet float64
+	// lastDetectGap is |Sre−Sce| from the most recent detect() (Real mode).
+	lastDetectGap float64
 	// Q protection
 	qprot *qChecksums
 	res   *Result
+}
+
+// journal appends one FT event stamped with the current simulated time.
+func (r *reducer) journal(e obs.Event) {
+	e.SimTime = r.dev.Elapsed()
+	r.opt.Journal.Append(e)
+}
+
+// count increments an FT counter (no-op without a registry).
+func (r *reducer) count(name string) {
+	r.opt.Obs.Counter(name).Inc()
+}
+
+// ftCounterNames lists every counter the reduction can emit; they are
+// pre-touched at run start so a clean run still exposes them at zero.
+var ftCounterNames = []string{
+	"ft_checksum_checks_total",
+	"ft_detections_total",
+	"ft_corrections_total",
+	"ft_recoveries_total",
+	"ft_reexecutions_total",
+	"ft_checkpoints_total",
+	"ft_q_corrections_total",
 }
 
 // Reduce runs the fault-tolerant hybrid Hessenberg reduction of a
@@ -223,6 +257,12 @@ func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) 
 		opt.MaxRecoveries = 3
 	}
 	dev := opt.Device
+	if opt.Obs != nil {
+		dev.SetObs(opt.Obs)
+		for _, name := range ftCounterNames {
+			opt.Obs.Counter(name)
+		}
+	}
 
 	r := &reducer{
 		opt:   opt,
@@ -240,6 +280,7 @@ func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) 
 	}
 
 	pp := dev.Params
+	dev.SetPhase("setup")
 	// ‖A‖₁ anchors the detection threshold (one host pass over the data).
 	dev.HostOp(pp.GemvHost(n, n), func() {
 		r.normA1 = a.Norm1()
@@ -270,6 +311,7 @@ func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) 
 	if snap == nil {
 		// Algorithm 3, lines 1-2: transfer and encode.
 		dev.H2D(r.dA, 0, 0, r.hostA)
+		dev.SetPhase("encode")
 		r.encode()
 	} else {
 		// Diskless restart: reload the extended device matrix (data +
@@ -282,6 +324,9 @@ func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) 
 			copy(r.qprot.colChk, snap.QColChk)
 			r.qprot.absorbedCols = snap.QCols
 		}
+		ev := obs.Ev(obs.KindSnapshotRestore, snap.Iter)
+		ev.Target = obs.TargetH
+		r.journal(ev)
 	}
 
 	nx := nb
@@ -318,10 +363,15 @@ func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) 
 				// propagating until the single end-of-run detection.
 				break
 			}
-			if !r.detect() {
+			if !r.detectAt(iter) {
 				break
 			}
 			r.res.Detections++
+			r.count("ft_detections_total")
+			det := obs.Ev(obs.KindDetection, iter)
+			det.Target = obs.TargetH
+			det.Value = r.lastDetectGap
+			r.journal(det)
 			if attempt >= opt.MaxRecoveries {
 				return r.res, fmt.Errorf("%w (iteration %d)", ErrDetectionStorm, iter)
 			}
@@ -329,6 +379,7 @@ func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) 
 				return r.res, err
 			}
 			recovered++
+			r.count("ft_recoveries_total")
 		}
 		r.res.Recoveries += recovered
 		iter++
@@ -338,8 +389,14 @@ func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) 
 	// Post-processing comparator: one detection at the end; a propagated
 	// error cannot be located and corrected anymore, so recovery means
 	// re-executing the entire factorization with per-iteration checks.
-	if opt.PostProcess && iter > 0 && r.detect() {
+	if opt.PostProcess && iter > 0 && r.detectAt(iter) {
 		r.res.Detections++
+		r.count("ft_detections_total")
+		det := obs.Ev(obs.KindDetection, iter)
+		det.Target = obs.TargetH
+		det.Value = r.lastDetectGap
+		det.Outcome = "post-process"
+		r.journal(det)
 		retryOpt := opt
 		retryOpt.PostProcess = false
 		retryOpt.Hook = nil // transient errors do not re-occur on redo
@@ -354,12 +411,14 @@ func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) 
 
 	// Optional whole-matrix verification of the device-resident H data.
 	if opt.FinalHCheck {
+		dev.SetPhase("final_check")
 		if err := r.finalHCheck(p); err != nil {
 			return r.res, err
 		}
 	}
 
 	// Bring the remaining trailing columns home and finish on the host.
+	dev.SetPhase("cleanup")
 	if p < n {
 		rem := r.hostA.View(0, p, n, n-p)
 		dev.Sync(dev.D2HAsync(rem, r.dA, 0, p, prevLeft))
@@ -372,13 +431,17 @@ func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) 
 	// Section IV-E/F: verify and repair the Householder vectors once, at
 	// the end of the factorization.
 	if !opt.DisableQProtection {
-		fixes, err := r.qprot.verifyAndCorrect(dev, r.hostA, p, r.tauDet)
+		dev.SetPhase("q_protect")
+		fixes, err := r.qprot.verifyAndCorrect(dev, r.hostA, p, r.tauDet, r, r.res.BlockedIters)
 		if err != nil {
 			return r.res, err
 		}
 		r.res.QCorrections += fixes
+		r.opt.Obs.Counter("ft_q_corrections_total").Add(float64(fixes))
 	}
 	dev.DeviceSynchronize()
+	dev.SetPhase("")
+	dev.FinishRun()
 
 	r.res.SimSeconds = dev.Elapsed()
 	if r.res.SimSeconds > 0 {
@@ -420,16 +483,23 @@ func (r *reducer) iteration(iter, p, ib int, prevLeft sim.Event, redo bool) (sim
 	if redo {
 		// Retrieve the pre-factorized panel from the diskless checkpoint
 		// (host memory), as the paper's recovery procedure does.
+		dev.SetPhase("checkpoint")
 		dev.HostOp(pp.VecHost((n-k)*ib), func() {
 			r.hostA.View(k, p, n-k, ib).CopyFrom(r.ckPanel.View(k, 0, n-k, ib))
 		})
+		r.count("ft_reexecutions_total")
+		re := obs.Ev(obs.KindReexecution, iter)
+		re.Target = obs.TargetH
+		r.journal(re)
 	} else {
 		// Line 4: send the panel to the host. The fault-tolerant variant
 		// transfers the full column height: the extra top rows are the
 		// diskless checkpoint of the data the device-side right update
 		// will overwrite.
+		dev.SetPhase("panel")
 		panel := r.hostA.View(0, p, n, ib)
 		dev.Sync(dev.D2HAsync(panel, r.dA, 0, p, prevLeft))
+		dev.SetPhase("checkpoint")
 		dev.HostOp(pp.VecHost(n*ib), func() {
 			r.ckPanel.View(0, 0, n, ib).CopyFrom(panel)
 		})
@@ -437,30 +507,39 @@ func (r *reducer) iteration(iter, p, ib int, prevLeft sim.Event, redo bool) (sim
 		// the end-of-iteration refresh overwrites.
 		ckSeg := r.ckChkRow.View(0, 0, 1, ib)
 		dev.Sync(dev.D2HAsync(ckSeg, r.dA, n, p, prevLeft))
+		r.count("ft_checkpoints_total")
+		ck := obs.Ev(obs.KindCheckpointSave, iter)
+		ck.Target = obs.TargetH
+		r.journal(ck)
 	}
 
 	// Line 5: hybrid panel factorization (CPU + device GEMV), identical to
 	// the non-fault-tolerant algorithm.
+	dev.SetPhase("panel")
 	hybrid.PanelFactor(dev, r.hostA, r.yHost, r.tHost, r.tau, r.dataView(), r.dVcol, r.dYcol, n, p, k, ib)
 
 	// Maintain the Q checksums on the otherwise idle CPU (Section IV-E,
 	// Figure 5) — overlapped with the device work below.
 	if !r.opt.DisableQProtection {
+		dev.SetPhase("q_protect")
 		r.qprot.absorbPanel(dev, r.hostA, p, ib)
 	}
 
 	// Upload the factored panel, Y's lower rows, and T.
+	dev.SetPhase("right_update")
 	dev.H2D(r.dA, k, p, r.hostA.View(k, p, n-k, ib))
 	dev.H2D(r.dY, k, 0, r.yHost.View(k, 0, n-k, ib))
 	dev.H2D(r.dT, 0, 0, r.tHost.View(0, 0, ib, ib))
 
 	// Line 7: column sums of V (unit-diagonal aware), Vce's extension row.
+	dev.SetPhase("checksum_maintenance")
 	vsumDone := r.kernVsum(p, ib)
 	// Line 6: Yce = eᵀY = (eᵀA)·V·T computed from the maintained checksum
 	// row (must read the checksum row before it is refreshed below).
 	ychkDone := r.kernYce(p, ib, vsumDone)
 
 	// Y's top rows on the device, as in the baseline.
+	dev.SetPhase("right_update")
 	e := dev.CopyBlock(r.dY, 0, 0, r.dA, 0, p+1, k, ib)
 	e = dev.Trmm(blas.Right, blas.Lower, blas.NoTrans, blas.Unit, k, ib, 1, r.dA, k, p, r.dY, 0, 0, e)
 	if n > k+ib {
@@ -477,6 +556,7 @@ func (r *reducer) iteration(iter, p, ib int, prevLeft sim.Event, redo bool) (sim
 	}
 	// Refresh the checksum-row entries of the now-final panel columns
 	// directly from the Hessenberg data (their mathematical column sums).
+	dev.SetPhase("checksum_maintenance")
 	chkSegDone := r.kernPanelColSums(p, ib, aDone, ychkDone)
 
 	// Line 9: asynchronous transfer of the finished block, overlapped with
@@ -484,25 +564,31 @@ func (r *reducer) iteration(iter, p, ib int, prevLeft sim.Event, redo bool) (sim
 	// DisableOverlap ablation).
 	finished := r.hostA.View(0, p, k, ib)
 	if !r.opt.DisableOverlap {
+		dev.SetPhase("d2h_overlap")
 		dev.D2HAsync(finished, r.dA, 0, p, aDone)
 	}
 
 	// Lines 8 and 10: right update of Mre (top rows + checksum handling)
 	// and Gfe (lower rows + checksum row), with the EI corner trick.
+	dev.SetPhase("right_update")
 	ei := r.hostA.At(p+ib, p+ib-1)
 	e1 := dev.Set(r.dA, p+ib, p+ib-1, 1, ytopDone, ychkDone)
 	eM := dev.Gemm(blas.NoTrans, blas.Trans, k, n-p-ib, ib, -1, r.dY, 0, 0, r.dA, p+ib, p, 1, r.dA, 0, p+ib, e1)
 	// G rows k..n-1 plus the checksum row n in one GEMM (dY row n = Yce).
 	eG := dev.Gemm(blas.NoTrans, blas.Trans, n+1-k, n-p-ib, ib, -1, r.dY, k, 0, r.dA, p+ib, p, 1, r.dA, k, p+ib, eM, chkSegDone)
 	// Checksum column under the right update: Ace −= Y·(Vᵀe).
+	dev.SetPhase("checksum_maintenance")
 	eCk := dev.Gemv(blas.NoTrans, n, ib, -1, r.dY, 0, 0, r.dVsum, 0, 0, 1, r.dA, 0, n, eG)
+	dev.SetPhase("right_update")
 	eC := dev.Set(r.dA, p+ib, p+ib-1, ei, eCk)
 
 	// Line 11: left update of trail(A)fe — data columns p+ib..n-1 plus the
 	// checksum column (col n), with the checksum row updated through the
 	// retained intermediate S.
+	dev.SetPhase("left_update")
 	left := r.leftUpdate(p, ib, eC)
 	if r.opt.DisableOverlap {
+		dev.SetPhase("d2h_overlap")
 		dev.Sync(dev.D2HAsync(finished, r.dA, 0, p, aDone, left))
 	}
 	return left, nil
@@ -605,7 +691,9 @@ func (r *reducer) leftUpdate(p, ib int, dep sim.Event) sim.Event {
 	// triangle holds H data, not zeros.
 	e = r.applyVS(p, ib, -1, e)
 	// Checksum row: chkrow(j) −= S[j,:]·vsum for the data columns.
+	prevPhase := dev.SetPhase("checksum_maintenance")
 	e = r.kernChkRowLeft(p, ib, -1, e)
+	dev.SetPhase(prevPhase)
 	return e
 }
 

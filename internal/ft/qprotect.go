@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/gpu"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 )
 
 // qChecksums protects the Householder vectors accumulating on the host
@@ -78,8 +79,9 @@ func (q *qChecksums) absorbPanel(dev *gpu.Device, hostA *matrix.Matrix, p, ib in
 // returning the number of corrections. Ambiguous patterns (rectangles)
 // return ErrUncorrectable. Run once at the end of the factorization, as
 // the paper prescribes — an error in Q never propagates, so per-iteration
-// checks are unnecessary.
-func (q *qChecksums) verifyAndCorrect(dev *gpu.Device, hostA *matrix.Matrix, limit int, tol float64) (int, error) {
+// checks are unnecessary. r (optional) receives journal records for the
+// check and each repaired element, stamped with iteration iter.
+func (q *qChecksums) verifyAndCorrect(dev *gpu.Device, hostA *matrix.Matrix, limit int, tol float64, r *reducer, iter int) (int, error) {
 	if limit > q.absorbedCols {
 		limit = q.absorbedCols
 	}
@@ -114,6 +116,21 @@ func (q *qChecksums) verifyAndCorrect(dev *gpu.Device, hostA *matrix.Matrix, lim
 		correct := func(i, c int, delta float64) {
 			hostA.Add(i, c, -delta)
 			fixes++
+			if r != nil {
+				ev := obs.Ev(obs.KindCorrection, iter)
+				ev.Target = obs.TargetQ
+				ev.Row, ev.Col, ev.Value = i, c, delta
+				r.journal(ev)
+			}
+		}
+		if r != nil {
+			ev := obs.Ev(obs.KindChecksumCheck, iter)
+			ev.Target = obs.TargetQ
+			ev.Outcome = "clean"
+			if len(rows) > 0 || len(cols) > 0 {
+				ev.Outcome = "mismatch"
+			}
+			r.journal(ev)
 		}
 		switch {
 		case len(rows) == 0 && len(cols) == 0:

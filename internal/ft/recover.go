@@ -7,34 +7,50 @@ import (
 	"repro/internal/blas"
 	"repro/internal/gpu"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
-// detect runs Algorithm 3's lines 12-13: sum the checksum column and the
+// detectAt runs Algorithm 3's lines 12-13: sum the checksum column and the
 // checksum row on the device and compare the totals against the threshold.
 // Both totals estimate the grand sum of the mathematical matrix; a data
 // corruption during the iteration leaves an asymmetric footprint in the
-// maintained checksums and the totals diverge.
-func (r *reducer) detect() bool {
+// maintained checksums and the totals diverge. iter identifies the blocked
+// iteration for the event journal.
+func (r *reducer) detectAt(iter int) bool {
 	dev := r.dev
 	n := r.n
+	prevPhase := dev.SetPhase("detect")
+	defer dev.SetPhase(prevPhase)
 	var sre, sce float64
 	e1 := dev.Sum(r.dA, 0, n, n, &sre)
 	dev.ReadScalar(e1)
 	e2 := dev.SumRow(r.dA, n, 0, n, &sce)
 	dev.ReadScalar(e2)
+
+	var mismatch bool
 	if dev.Mode == gpu.CostOnly {
 		// No data to compare: the injection hook drives the branch so the
 		// recovery cost is charged exactly when a fault was injected.
+		r.lastDetectGap = 0
+		mismatch = r.opt.Hook != nil && r.opt.Hook.ConsumePendingH() > 0
+	} else {
 		if r.opt.Hook != nil {
-			return r.opt.Hook.ConsumePendingH() > 0
+			r.opt.Hook.ConsumePendingH() // keep hook state consistent
 		}
-		return false
+		r.lastDetectGap = math.Abs(sre - sce)
+		mismatch = r.lastDetectGap > r.tauDet
 	}
-	if r.opt.Hook != nil {
-		r.opt.Hook.ConsumePendingH() // keep hook state consistent
+	r.count("ft_checksum_checks_total")
+	ev := obs.Ev(obs.KindChecksumCheck, iter)
+	ev.Target = obs.TargetH
+	ev.Value = r.lastDetectGap
+	ev.Outcome = "clean"
+	if mismatch {
+		ev.Outcome = "mismatch"
 	}
-	return math.Abs(sre-sce) > r.tauDet
+	r.journal(ev)
+	return mismatch
 }
 
 // recover implements lines 14-15: reverse the left and right updates with
@@ -44,6 +60,8 @@ func (r *reducer) detect() bool {
 func (r *reducer) recover(iter, p, ib int) error {
 	dev := r.dev
 	n, k := r.n, p+1
+	prevPhase := dev.SetPhase("recovery")
+	defer dev.SetPhase(prevPhase)
 
 	// Reverse the left update: C += V·Sᵀ and the checksum row gets the
 	// opposite Vce correction; the checksum column rides along as an
@@ -58,12 +76,18 @@ func (r *reducer) recover(iter, p, ib int) error {
 	e = dev.Gemm(blas.NoTrans, blas.Trans, n+1-k, n-p-ib, ib, +1, r.dY, k, 0, r.dA, p+ib, p, 1, r.dA, k, p+ib, e)
 	e = dev.Gemv(blas.NoTrans, n, ib, +1, r.dY, 0, 0, r.dVsum, 0, 0, 1, r.dA, 0, n, e)
 	e = dev.Set(r.dA, p+ib, p+ib-1, ei, e)
+	rev := obs.Ev(obs.KindReverse, iter)
+	rev.Target = obs.TargetH
+	r.journal(rev)
 
 	// Restore the panel columns and their checksum-row segment from the
 	// diskless checkpoint (host memory → device).
 	up := dev.H2DAsync(r.dA, 0, p, r.ckPanel.View(0, 0, n, ib), e)
 	up = dev.H2DAsync(r.dA, n, p, r.ckChkRow.View(0, 0, 1, ib), up)
 	dev.Sync(up)
+	ck := obs.Ev(obs.KindCheckpointRestore, iter)
+	ck.Target = obs.TargetH
+	r.journal(ck)
 
 	// Locate and correct (line 15).
 	return r.locateAndCorrect(iter, p, p, true)
@@ -123,6 +147,15 @@ func (r *reducer) locateAndCorrect(iter, split, panel int, patchPanel bool) erro
 		// Charge a representative correction kernel; the hook already
 		// consumed the injection, so the re-execution will run clean.
 		dev.Add(dA, 0, 0, 0)
+		loc := obs.Ev(obs.KindLocation, iter)
+		loc.Target = obs.TargetH
+		loc.Outcome = "cost-only"
+		r.journal(loc)
+		corr := obs.Ev(obs.KindCorrection, iter)
+		corr.Target = obs.TargetH
+		corr.Outcome = "cost-only"
+		r.journal(corr)
+		r.count("ft_corrections_total")
 		return nil
 	}
 
@@ -143,12 +176,22 @@ func (r *reducer) locateAndCorrect(iter, split, panel int, patchPanel bool) erro
 		}
 	}
 
+	loc := obs.Ev(obs.KindLocation, iter)
+	loc.Target = obs.TargetH
+	loc.Outcome = fmt.Sprintf("%d rows, %d cols flagged", len(rows), len(cols))
+	r.journal(loc)
+
 	apply := func(i, j int, delta float64) {
 		dev.Add(r.dA, i, j, -delta)
 		r.res.CorrectedH = append(r.res.CorrectedH, Injection{Row: i, Col: j, Delta: delta, Target: TargetH, Iter: iter})
 		if patchPanel && j >= panel && j < panel+r.nb {
 			r.ckPanel.Add(i, j-panel, -delta)
 		}
+		r.count("ft_corrections_total")
+		corr := obs.Ev(obs.KindCorrection, iter)
+		corr.Target = obs.TargetH
+		corr.Row, corr.Col, corr.Value = i, j, delta
+		r.journal(corr)
 	}
 
 	switch {

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/gpu"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 )
 
 // Process-level diskless checkpointing (Plank et al. [21] of the paper,
@@ -144,6 +145,9 @@ func (s *snapshotHook) capture(ctx *IterCtx) {
 			snap.QColChk = append([]float64(nil), r.qprot.colChk...)
 			snap.QCols = r.qprot.absorbedCols
 		}
+		ev := obs.Ev(obs.KindSnapshotSave, ctx.Iter)
+		ev.Target = obs.TargetH
+		r.journal(ev)
 	}
 	s.last = snap
 }

@@ -37,6 +37,7 @@ import (
 	"repro/internal/ft"
 	"repro/internal/lapack"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 )
 
 const macheps = 2.220446049250313e-16
@@ -67,6 +68,13 @@ type Options struct {
 	MaxRecoveries int
 	// Hook receives iteration-boundary callbacks.
 	Hook Hook
+	// Obs, if set, receives ftsym_* counters (checks, detections,
+	// corrections, recoveries, re-executions).
+	Obs *obs.Registry
+	// Journal, if set, receives typed FT event records. This is a
+	// host-only algorithm without a simulated clock, so SimTime is zero
+	// and ordering is carried by the sequence numbers.
+	Journal *obs.Journal
 }
 
 // Result carries the tridiagonal factorization and resilience statistics.
@@ -137,6 +145,16 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 	}
 	tauDet := opt.ThresholdFactor * macheps * float64(n) * math.Max(symNorm1(w, 0), 1)
 
+	if opt.Obs != nil {
+		for _, name := range []string{
+			"ftsym_checksum_checks_total", "ftsym_detections_total",
+			"ftsym_corrections_total", "ftsym_recoveries_total",
+			"ftsym_reexecutions_total",
+		} {
+			opt.Obs.Counter(name)
+		}
+	}
+
 	// Encode: maintained checksum over the full matrix (panel start 0).
 	chk := symRowSums(w, 0)
 
@@ -156,9 +174,14 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 		for j := 0; j < nb; j++ {
 			blas.Dcopy(n-p, w.Data[(p+j)*w.Stride+p:], 1, ckPanel.Data[j*ckPanel.Stride:], 1)
 		}
+		opt.Journal.Append(obs.Ev(obs.KindCheckpointSave, iter))
 
 		for attempt := 0; ; attempt++ {
 			np := n - p
+			if attempt > 0 {
+				opt.Obs.Counter("ftsym_reexecutions_total").Inc()
+				opt.Journal.Append(obs.Ev(obs.KindReexecution, iter))
+			}
 			// Panel factorization (DLATRD) and trailing SYR2K update.
 			lapack.Dlatrd(np, nb, w.Data[p*w.Stride+p:], w.Stride, res.E[p:], res.Tau[p:], wPanel.Data, wPanel.Stride)
 			blas.Dsyr2k(blas.Lower, blas.NoTrans, np-nb, nb, -1,
@@ -170,10 +193,20 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 			// the checkpoint, the rank-2k term via the retained V and W).
 			maintainChecksum(w, wPanel, ckPanel, chk, p, nb, -1)
 
-			if !detect(w, chk, p, nb, tauDet) {
+			mismatch := detect(w, chk, p, nb, tauDet)
+			opt.Obs.Counter("ftsym_checksum_checks_total").Inc()
+			check := obs.Ev(obs.KindChecksumCheck, iter)
+			check.Outcome = "clean"
+			if mismatch {
+				check.Outcome = "mismatch"
+			}
+			opt.Journal.Append(check)
+			if !mismatch {
 				break
 			}
 			res.Detections++
+			opt.Obs.Counter("ftsym_detections_total").Inc()
+			opt.Journal.Append(obs.Ev(obs.KindDetection, iter))
 			if attempt >= opt.MaxRecoveries {
 				return res, fmt.Errorf("%w (iteration %d)", ErrRetriesExhausted, iter)
 			}
@@ -183,14 +216,17 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 			blas.Dsyr2k(blas.Lower, blas.NoTrans, np-nb, nb, +1,
 				w.Data[p*w.Stride+p+nb:], w.Stride, wPanel.Data[nb:], wPanel.Stride, 1,
 				w.Data[(p+nb)*w.Stride+p+nb:], w.Stride)
+			opt.Journal.Append(obs.Ev(obs.KindReverse, iter))
 			for j := 0; j < nb; j++ {
 				blas.Dcopy(n-p, ckPanel.Data[j*ckPanel.Stride:], 1, w.Data[(p+j)*w.Stride+p:], 1)
 			}
+			opt.Journal.Append(obs.Ev(obs.KindCheckpointRestore, iter))
 			// Locate and correct from the checksum residuals.
-			if err := locateAndCorrect(w, ckPanel, chk, res, p, nb, iter, tauDet); err != nil {
+			if err := locateAndCorrect(w, ckPanel, chk, res, p, nb, iter, tauDet, &opt); err != nil {
 				return res, err
 			}
 			res.Recoveries++
+			opt.Obs.Counter("ftsym_recoveries_total").Inc()
 		}
 
 		// Finish the panel bookkeeping (as DSYTRD does). The checksum
@@ -310,7 +346,7 @@ func detect(w *matrix.Matrix, chk []float64, p, nb int, tol float64) bool {
 // trailing block from the checksum residuals and repairs them — in the
 // working matrix and, for panel columns, in the diskless checkpoint too
 // (otherwise the re-execution would restore the corruption).
-func locateAndCorrect(w *matrix.Matrix, ckPanel *matrix.Matrix, chk []float64, res *Result, p, nb, iter int, tol float64) error {
+func locateAndCorrect(w *matrix.Matrix, ckPanel *matrix.Matrix, chk []float64, res *Result, p, nb, iter int, tol float64, opt *Options) error {
 	n := w.Rows
 	fresh := symRowSums(w, p)
 	var rows []int
@@ -321,12 +357,19 @@ func locateAndCorrect(w *matrix.Matrix, ckPanel *matrix.Matrix, chk []float64, r
 			rows = append(rows, i)
 		}
 	}
+	loc := obs.Ev(obs.KindLocation, iter)
+	loc.Outcome = fmt.Sprintf("%d rows flagged", len(rows))
+	opt.Journal.Append(loc)
 	apply := func(i, j int, delta float64) {
 		w.Add(i, j, -delta)
 		if j >= p && j < p+nb {
 			ckPanel.Add(i-p, j-p, -delta)
 		}
 		res.Corrected = append(res.Corrected, ft.Injection{Row: i, Col: j, Delta: delta, Target: ft.TargetH, Iter: iter})
+		opt.Obs.Counter("ftsym_corrections_total").Inc()
+		corr := obs.Ev(obs.KindCorrection, iter)
+		corr.Row, corr.Col, corr.Value = i, j, delta
+		opt.Journal.Append(corr)
 	}
 	switch {
 	case len(rows) == 0:

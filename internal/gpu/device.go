@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -67,6 +68,20 @@ type Device struct {
 	// export (see trace.go).
 	tracing bool
 	trace   []Span
+
+	// obs is the optional metrics sink; phase is the algorithm phase all
+	// charged costs are currently attributed to (set via SetPhase). The
+	// two caches avoid rebuilding series keys on the hot path.
+	obs        *obs.Registry
+	phase      string
+	opCounters map[string]*obs.Counter
+	phaseHists map[string]*obs.Histogram
+
+	// Flow tracking links each async D2H copy span to the host-op span
+	// that consumes it (rendered as flow arrows in the Chrome trace).
+	flowSeq       int
+	flowByEvent   map[float64]int
+	pendingFlowIn []int
 }
 
 // New creates a device with the given cost parameters and mode.
@@ -127,6 +142,71 @@ func (d *Device) TimeBreakdown() map[string]float64 {
 		out[k] = v
 	}
 	return out
+}
+
+// SetObs attaches a metrics registry: from now on every charged operation
+// cost is observed into op_seconds_total{kind=...} and
+// phase_seconds{phase=...}. A nil registry detaches.
+func (d *Device) SetObs(r *obs.Registry) {
+	d.obs = r
+	d.opCounters = make(map[string]*obs.Counter)
+	d.phaseHists = make(map[string]*obs.Histogram)
+}
+
+// Obs returns the attached metrics registry (nil when detached).
+func (d *Device) Obs() *obs.Registry { return d.obs }
+
+// SetPhase names the algorithm phase subsequent operation costs are
+// attributed to, returning the previous phase so callers can restore it.
+func (d *Device) SetPhase(name string) string {
+	prev := d.phase
+	d.phase = name
+	return prev
+}
+
+// account feeds one charged cost into the attached registry under the
+// operation family and the current phase.
+func (d *Device) account(kind string, cost float64) {
+	if d.obs == nil {
+		return
+	}
+	c := d.opCounters[kind]
+	if c == nil {
+		c = d.obs.Counter("op_seconds_total", obs.L("kind", kind))
+		d.opCounters[kind] = c
+	}
+	c.Add(cost)
+	phase := d.phase
+	if phase == "" {
+		phase = "other"
+	}
+	h := d.phaseHists[phase]
+	if h == nil {
+		h = d.obs.Histogram("phase_seconds", obs.DefaultDurationBuckets, obs.L("phase", phase))
+		d.phaseHists[phase] = h
+	}
+	h.Observe(cost)
+}
+
+// FinishRun publishes end-of-run gauges (makespan, per-lane busy time,
+// operation counts, utilization, device totals) to the attached registry.
+// Call once after an algorithm completes; no-op without a registry.
+func (d *Device) FinishRun() {
+	if d.obs == nil {
+		return
+	}
+	makespan := d.Elapsed()
+	d.obs.Gauge("sim_makespan_seconds").Set(makespan)
+	for _, t := range []*sim.Timeline{d.Host, d.Compute, d.Copy} {
+		l := obs.L("lane", t.Name())
+		d.obs.Gauge("lane_busy_seconds", l).Set(t.Busy())
+		d.obs.Gauge("lane_ops", l).Set(float64(t.Ops()))
+		d.obs.Gauge("lane_utilization", l).Set(t.Utilization(makespan))
+	}
+	d.obs.Gauge("device_kernels").Set(float64(d.kernels))
+	d.obs.Gauge("device_transfers").Set(float64(d.transfers))
+	d.obs.Gauge("device_transfer_bytes").Set(float64(d.bytesMoved))
+	d.obs.Gauge("device_alloc_bytes").Set(float64(d.allocBytes))
 }
 
 // ptr returns the slice at device element (i, j); only valid in Real mode.
@@ -201,6 +281,7 @@ func (d *Device) D2HAsync(dst *matrix.Matrix, src *Matrix, si, sj int, deps ...s
 	d.busyByKind["d2h"] += cost
 	e := d.Copy.Schedule(cost, deps...)
 	d.record("gpu-copy", "d2h", e.At, cost)
+	d.tagFlowOut(e.At)
 	return e
 }
 
@@ -213,6 +294,7 @@ func (d *Device) checkRange(op string, m *Matrix, i, j, r, c int) {
 // Sync blocks the host until the event completes (cudaEventSynchronize).
 func (d *Device) Sync(e sim.Event) {
 	d.Host.AdvanceTo(e.At)
+	d.noteSync(e.At)
 }
 
 // DeviceSynchronize blocks the host until both streams drain.
@@ -227,6 +309,7 @@ func (d *Device) HostOp(cost float64, f func()) {
 	d.busyByKind["host"] += cost
 	e := d.Host.Schedule(cost)
 	d.record("host", "host", e.At, cost)
+	d.claimFlowIn()
 	if d.Mode == Real && f != nil {
 		f()
 	}

@@ -238,7 +238,10 @@ func (d *Device) ReadScalar(deps ...sim.Event) {
 	d.transfers++
 	d.bytesMoved += 8
 	deps = append(deps, sim.Event{At: d.Host.Tail()})
-	e := d.Copy.Schedule(d.Params.Transfer(8), deps...)
+	cost := d.Params.Transfer(8)
+	d.busyByKind["d2h"] += cost
+	e := d.Copy.Schedule(cost, deps...)
+	d.record("gpu-copy", "d2h", e.At, cost)
 	d.Sync(e)
 }
 

@@ -4,20 +4,27 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Execution tracing: when enabled, every kernel, transfer, and host
 // operation records its simulated (lane, kind, start, end) span, and the
 // whole run can be exported in the Chrome trace-event format
 // (chrome://tracing, Perfetto) — the visual counterpart of the paper's
-// Figure 1/4 iteration diagrams.
+// Figure 1/4 iteration diagrams. Async D2H copies additionally carry flow
+// ids linking each copy to the host operation that consumes its data, so
+// the panel-offload arrows of Algorithm 2/3 render as flow arrows.
 
-// Span is one traced operation on a simulated lane.
+// Span is one traced operation on a simulated lane. FlowOut/FlowIn are
+// non-zero when the span is the source/destination of a data-flow arrow
+// (an async D2H copy and the host op consuming it).
 type Span struct {
-	Lane  string  `json:"lane"`
-	Kind  string  `json:"kind"`
-	Start float64 `json:"start"` // seconds
-	End   float64 `json:"end"`
+	Lane    string  `json:"lane"`
+	Kind    string  `json:"kind"`
+	Start   float64 `json:"start"` // seconds
+	End     float64 `json:"end"`
+	FlowOut int     `json:"flow_out,omitempty"`
+	FlowIn  int     `json:"flow_in,omitempty"`
 }
 
 // EnableTrace starts span recording (call before running an algorithm).
@@ -31,43 +38,134 @@ func (d *Device) Trace() []Span {
 	return d.trace
 }
 
+// record accounts one charged operation to the metrics registry (always)
+// and appends its span to the trace (when tracing).
 func (d *Device) record(lane, kind string, end, cost float64) {
+	d.account(kind, cost)
 	if !d.tracing {
 		return
 	}
 	d.trace = append(d.trace, Span{Lane: lane, Kind: kind, Start: end - cost, End: end})
 }
 
+// tagFlowOut marks the most recently recorded span as the source of a new
+// data flow completing at instant at; the host op issued after the
+// matching Sync becomes the flow's destination.
+func (d *Device) tagFlowOut(at float64) {
+	if !d.tracing || len(d.trace) == 0 {
+		return
+	}
+	d.flowSeq++
+	d.trace[len(d.trace)-1].FlowOut = d.flowSeq
+	if d.flowByEvent == nil {
+		d.flowByEvent = make(map[float64]int)
+	}
+	d.flowByEvent[at] = d.flowSeq
+}
+
+// noteSync moves a flow whose copy the host just waited on into the
+// pending set; the next host op claims it as its FlowIn.
+func (d *Device) noteSync(at float64) {
+	if !d.tracing || d.flowByEvent == nil {
+		return
+	}
+	if id, ok := d.flowByEvent[at]; ok {
+		delete(d.flowByEvent, at)
+		d.pendingFlowIn = append(d.pendingFlowIn, id)
+	}
+}
+
+// claimFlowIn attaches the oldest pending flow to the most recently
+// recorded span (a host op that just consumed synced data).
+func (d *Device) claimFlowIn() {
+	if !d.tracing || len(d.pendingFlowIn) == 0 || len(d.trace) == 0 {
+		return
+	}
+	d.trace[len(d.trace)-1].FlowIn = d.pendingFlowIn[0]
+	d.pendingFlowIn = d.pendingFlowIn[1:]
+}
+
+// laneTids assigns stable Chrome-trace thread ids: the three standard
+// lanes first, then any custom lanes in first-appearance order.
+func (d *Device) laneTids() (map[string]int, []string) {
+	tids := map[string]int{"host": 0, "gpu-compute": 1, "gpu-copy": 2}
+	order := []string{"host", "gpu-compute", "gpu-copy"}
+	for _, s := range d.trace {
+		if _, ok := tids[s.Lane]; !ok {
+			tids[s.Lane] = len(tids)
+			order = append(order, s.Lane)
+		}
+	}
+	return tids, order
+}
+
 // WriteChromeTrace exports the spans as a Chrome trace-event JSON array
-// (timestamps in microseconds; one tid per simulated lane).
+// (timestamps in microseconds): ph:"M" metadata events naming the process
+// and one thread per simulated lane, ph:"X" slices for the spans, and
+// ph:"s"/"f" flow events for each async D2H copy → consuming host op pair.
 func (d *Device) WriteChromeTrace(w io.Writer) error {
 	type evt struct {
-		Name string  `json:"name"`
-		Ph   string  `json:"ph"`
-		Ts   float64 `json:"ts"`
-		Dur  float64 `json:"dur"`
-		Pid  int     `json:"pid"`
-		Tid  int     `json:"tid"`
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Cat  string         `json:"cat,omitempty"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur,omitempty"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		ID   int            `json:"id,omitempty"`
+		Bp   string         `json:"bp,omitempty"`
+		Args map[string]any `json:"args,omitempty"`
 	}
-	lanes := map[string]int{"host": 0, "gpu-compute": 1, "gpu-copy": 2}
-	events := make([]evt, 0, len(d.trace))
+	tids, order := d.laneTids()
+
+	// Only emit flow starts whose consuming span exists: a copy whose data
+	// no host op ever claimed (e.g. the final cleanup transfer) would
+	// otherwise leave a dangling arrow start.
+	claimed := make(map[int]bool)
 	for _, s := range d.trace {
-		tid, ok := lanes[s.Lane]
-		if !ok {
-			tid = len(lanes)
-			lanes[s.Lane] = tid
+		if s.FlowIn != 0 {
+			claimed[s.FlowIn] = true
 		}
+	}
+
+	events := make([]evt, 0, len(d.trace)+len(order)+1)
+	events = append(events, evt{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]any{"name": "fthess-sim"},
+	})
+	for _, lane := range order {
+		events = append(events, evt{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tids[lane],
+			Args: map[string]any{"name": lane},
+		})
+	}
+	for _, s := range d.trace {
+		tid := tids[s.Lane]
 		events = append(events, evt{
 			Name: s.Kind, Ph: "X",
 			Ts: s.Start * 1e6, Dur: (s.End - s.Start) * 1e6,
 			Pid: 1, Tid: tid,
 		})
+		mid := (s.Start + s.End) / 2 * 1e6
+		if s.FlowOut != 0 && claimed[s.FlowOut] {
+			events = append(events, evt{
+				Name: "d2h", Ph: "s", Cat: "dataflow",
+				Ts: mid, Pid: 1, Tid: tid, ID: s.FlowOut,
+			})
+		}
+		if s.FlowIn != 0 {
+			events = append(events, evt{
+				Name: "d2h", Ph: "f", Cat: "dataflow", Bp: "e",
+				Ts: mid, Pid: 1, Tid: tid, ID: s.FlowIn,
+			})
+		}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(events)
 }
 
-// TraceSummary prints one line per lane with span counts and busy time.
+// TraceSummary prints one line per lane with span counts and busy time:
+// the standard lanes first, then any other recorded lanes in sorted order.
 func (d *Device) TraceSummary(w io.Writer) {
 	type agg struct {
 		count int
@@ -83,7 +181,22 @@ func (d *Device) TraceSummary(w io.Writer) {
 		a.count++
 		a.busy += s.End - s.Start
 	}
-	for _, lane := range []string{"host", "gpu-compute", "gpu-copy"} {
+	known := []string{"host", "gpu-compute", "gpu-copy"}
+	rest := make([]string, 0, len(lanes))
+	for lane := range lanes {
+		isKnown := false
+		for _, k := range known {
+			if lane == k {
+				isKnown = true
+				break
+			}
+		}
+		if !isKnown {
+			rest = append(rest, lane)
+		}
+	}
+	sort.Strings(rest)
+	for _, lane := range append(known, rest...) {
 		if a := lanes[lane]; a != nil {
 			fmt.Fprintf(w, "  %-12s %6d spans, %.4fs busy\n", lane, a.count, a.busy)
 		}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/lapack"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -64,6 +65,10 @@ type Options struct {
 	// errors at iteration boundaries (the paper's failure model and the
 	// setting of Figure 2).
 	BeforeIteration func(info IterInfo, dA *gpu.Matrix, host *matrix.Matrix)
+	// Obs, if set, receives per-phase timers (panel, right_update,
+	// left_update, d2h_overlap, ...), per-operation-family seconds, and
+	// end-of-run lane gauges.
+	Obs *obs.Registry
 }
 
 // Result carries the factorization output and the simulated performance.
@@ -108,6 +113,9 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 	}
 	dev := opt.Device
 	pp := dev.Params
+	if opt.Obs != nil {
+		dev.SetObs(opt.Obs)
+	}
 
 	hostA := a.Clone()
 	tau := make([]float64, max(n-1, 1))
@@ -117,6 +125,7 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 	}
 
 	// Algorithm 2, line 1: A → d_A.
+	dev.SetPhase("setup")
 	dA := dev.Alloc(n, n)
 	dev.H2D(dA, 0, 0, hostA)
 
@@ -155,6 +164,7 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 
 		// Line 3: send the lower part of the panel to the host. It is
 		// only valid once the previous iteration's left update finished.
+		dev.SetPhase("panel")
 		panelLower := hostA.View(k, p, n-k, ib)
 		dev.Sync(dev.D2HAsync(panelLower, dA, k, p, prevLeft))
 
@@ -163,6 +173,7 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 		PanelFactor(dev, hostA, yHost, tHost, tau, dA, dVcol, dYcol, n, p, k, ib)
 
 		// Upload V and the factored panel, Y's lower rows, and T.
+		dev.SetPhase("right_update")
 		dev.H2D(dA, k, p, hostA.View(k, p, n-k, ib))
 		dev.H2D(dY, k, 0, yHost.View(k, 0, n-k, ib))
 		dev.H2D(dT, 0, 0, tHost.View(0, 0, ib, ib))
@@ -192,7 +203,9 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 		// synchronously after the updates (below).
 		finished := hostA.View(0, p, k, ib)
 		if !opt.DisableOverlap {
+			dev.SetPhase("d2h_overlap")
 			dev.D2HAsync(finished, dA, 0, p, aDone)
+			dev.SetPhase("right_update")
 		}
 
 		// EI corner trick: V's stored diagonal corner must read as 1
@@ -205,10 +218,12 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 		eG := dev.Gemm(blas.NoTrans, blas.Trans, n-k, n-p-ib, ib, -1, dY, k, 0, dA, p+ib, p, 1, dA, k, p+ib, eM)
 		eC := dev.Set(dA, p+ib, p+ib-1, ei, eG)
 		// Line 8: DLARFB left update of the trailing matrix.
+		dev.SetPhase("left_update")
 		prevLeft = dev.Larfb(blas.Trans, n-k, n-p-ib, ib, dA, k, p, dT, 0, 0, dA, k, p+ib, dW, eC)
 		if opt.DisableOverlap {
 			// Ablation: transfer the finished block synchronously after
 			// the trailing update instead of overlapping with it.
+			dev.SetPhase("d2h_overlap")
 			dev.Sync(dev.D2HAsync(finished, dA, 0, p, aDone, prevLeft))
 		}
 
@@ -221,6 +236,7 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 
 	// Bring the remaining trailing columns home and finish with the
 	// unblocked reduction on the host.
+	dev.SetPhase("cleanup")
 	if p < n {
 		rem := hostA.View(0, p, n, n-p)
 		dev.Sync(dev.D2HAsync(rem, dA, 0, p, prevLeft))
@@ -230,6 +246,8 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 		lapack.Dgehd2(n, p, hostA.Data, hostA.Stride, tau, work)
 	})
 	dev.DeviceSynchronize()
+	dev.SetPhase("")
+	dev.FinishRun()
 
 	res.SimSeconds = dev.Elapsed()
 	if res.SimSeconds > 0 {

@@ -32,6 +32,9 @@ func ReduceSym(a *matrix.Matrix, opt Options) (*SymResult, error) {
 	}
 	dev := opt.Device
 	pp := dev.Params
+	if opt.Obs != nil {
+		dev.SetObs(opt.Obs)
+	}
 
 	hostA := a.Clone()
 	res := &SymResult{
@@ -48,6 +51,7 @@ func ReduceSym(a *matrix.Matrix, opt Options) (*SymResult, error) {
 		return res, nil
 	}
 
+	dev.SetPhase("setup")
 	dA := dev.Alloc(n, n)
 	dev.H2D(dA, 0, 0, hostA)
 	dVcol := dev.Alloc(n, 1)
@@ -67,6 +71,7 @@ func ReduceSym(a *matrix.Matrix, opt Options) (*SymResult, error) {
 	for ; n-p > nx+nb; p += nb {
 		np := n - p
 		// Panel (lower part of columns p..p+nb-1) to the host.
+		dev.SetPhase("panel")
 		panel := hostA.View(p, p, np, nb)
 		dev.Sync(dev.D2HAsync(panel, dA, p, p, prevUpd))
 
@@ -75,6 +80,7 @@ func ReduceSym(a *matrix.Matrix, opt Options) (*SymResult, error) {
 
 		// Upload the factored panel and W's trailing rows, then apply the
 		// rank-2k trailing update on the device.
+		dev.SetPhase("trailing_update")
 		dev.H2D(dA, p, p, hostA.View(p, p, np, nb))
 		dev.H2D(dW, nb, 0, wHost.View(nb, 0, np-nb, nb))
 		prevUpd = dev.Syr2k(blas.Lower, np-nb, nb, -1, dA, p+nb, p, dW, nb, 0, 1, dA, p+nb, p+nb)
@@ -88,6 +94,7 @@ func ReduceSym(a *matrix.Matrix, opt Options) (*SymResult, error) {
 		prevUpd = dev.Set(dA, p+nb, p+nb-1, res.E[p+nb-1], prevUpd)
 	}
 	// Remaining block: host-side unblocked reduction.
+	dev.SetPhase("cleanup")
 	if p < n {
 		rem := hostA.View(p, p, n-p, n-p)
 		dev.Sync(dev.D2HAsync(rem, dA, p, p, prevUpd))
@@ -96,6 +103,8 @@ func ReduceSym(a *matrix.Matrix, opt Options) (*SymResult, error) {
 		lapack.Dsytd2(n-p, hostA.Data[p*hostA.Stride+p:], hostA.Stride, res.D[p:], res.E[p:], res.Tau[p:])
 	})
 	dev.DeviceSynchronize()
+	dev.SetPhase("")
+	dev.FinishRun()
 
 	res.SimSeconds = dev.Elapsed()
 	if res.SimSeconds > 0 {

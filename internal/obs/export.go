@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Export: Prometheus-style text exposition, JSON snapshot, and the
+// aggregation helpers the breakdown reports are built on.
+
+// Point is one series in a registry snapshot. For histograms Value is the
+// sample sum and Count the sample count.
+type Point struct {
+	Kind   string            `json:"kind"` // "counter" | "gauge" | "histogram"
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+	Count  uint64            `json:"count,omitempty"`
+}
+
+// Snapshot returns every series, sorted by (name, labels).
+func (r *Registry) Snapshot() []Point {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	var pts []Point
+	for _, c := range counters {
+		c.mu.Lock()
+		pts = append(pts, Point{Kind: "counter", Name: c.name, Labels: labelMap(c.labels), Value: c.v})
+		c.mu.Unlock()
+	}
+	for _, g := range gauges {
+		g.mu.Lock()
+		pts = append(pts, Point{Kind: "gauge", Name: g.name, Labels: labelMap(g.labels), Value: g.v})
+		g.mu.Unlock()
+	}
+	for _, h := range hists {
+		h.mu.Lock()
+		pts = append(pts, Point{Kind: "histogram", Name: h.name, Labels: labelMap(h.labels), Value: h.sum, Count: h.count})
+		h.mu.Unlock()
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Name != pts[j].Name {
+			return pts[i].Name < pts[j].Name
+		}
+		return labelString(pts[i].Labels) < labelString(pts[j].Labels)
+	})
+	return pts
+}
+
+func labelMap(ls []Label) map[string]string {
+	if len(ls) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(ls))
+	for _, l := range ls {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+func labelString(m map[string]string) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, escapeLabel(m[k]))
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func renderLabels(m map[string]string, extra ...Label) string {
+	all := make([]Label, 0, len(m)+len(extra))
+	for k, v := range m {
+		all = append(all, Label{Key: k, Value: v})
+	}
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, escapeLabel(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// SumBy aggregates the series of one metric by the value of a label key:
+// counters and gauges contribute their value, histograms their sample sum.
+// Series missing the key are grouped under "".
+func SumBy(r *Registry, name, labelKey string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, p := range r.Snapshot() {
+		if p.Name != name {
+			continue
+		}
+		out[p.Labels[labelKey]] += p.Value
+	}
+	return out
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (# TYPE comments, histograms as cumulative _bucket/_sum/_count).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	pts := r.Snapshot()
+	// Histograms need their buckets too; fetch instruments by series.
+	r.mu.Lock()
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, h := range r.hists {
+		hists[k] = h
+	}
+	r.mu.Unlock()
+
+	lastTyped := ""
+	for _, p := range pts {
+		if p.Name != lastTyped {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", p.Name, p.Kind); err != nil {
+				return err
+			}
+			lastTyped = p.Name
+		}
+		switch p.Kind {
+		case "counter", "gauge":
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", p.Name, renderLabels(p.Labels), fmtFloat(p.Value)); err != nil {
+				return err
+			}
+		case "histogram":
+			var labels []Label
+			for k, v := range p.Labels {
+				labels = append(labels, L(k, v))
+			}
+			h := hists[seriesKey(p.Name, labels)]
+			if h == nil {
+				continue
+			}
+			bounds, cum := h.Buckets()
+			for i, b := range bounds {
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					p.Name, renderLabels(p.Labels, L("le", fmtFloat(b))), cum[i]); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				p.Name, renderLabels(p.Labels, L("le", "+Inf")), cum[len(cum)-1]); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", p.Name, renderLabels(p.Labels), fmtFloat(p.Value)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", p.Name, renderLabels(p.Labels), p.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// histogramJSON is the JSON shape of one histogram series.
+type histogramJSON struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Sum     float64           `json:"sum"`
+	Count   uint64            `json:"count"`
+	Bounds  []float64         `json:"bounds"`
+	Buckets []uint64          `json:"cumulative_counts"`
+}
+
+// WriteJSON writes a machine-readable snapshot of the whole registry.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var out struct {
+		Counters   []Point         `json:"counters"`
+		Gauges     []Point         `json:"gauges"`
+		Histograms []histogramJSON `json:"histograms"`
+	}
+	out.Counters = []Point{}
+	out.Gauges = []Point{}
+	out.Histograms = []histogramJSON{}
+	for _, p := range r.Snapshot() {
+		switch p.Kind {
+		case "counter":
+			out.Counters = append(out.Counters, p)
+		case "gauge":
+			out.Gauges = append(out.Gauges, p)
+		case "histogram":
+			var labels []Label
+			for k, v := range p.Labels {
+				labels = append(labels, L(k, v))
+			}
+			r.mu.Lock()
+			h := r.hists[seriesKey(p.Name, labels)]
+			r.mu.Unlock()
+			if h == nil {
+				continue
+			}
+			bounds, cum := h.Buckets()
+			out.Histograms = append(out.Histograms, histogramJSON{
+				Name: p.Name, Labels: p.Labels, Sum: p.Value, Count: p.Count,
+				Bounds: bounds, Buckets: cum,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

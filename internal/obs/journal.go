@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// The FT event journal: an append-only sequence of typed records tracing
+// the fault-tolerance machinery — checksum checks, detections, locations,
+// corrections, reverse computations, checkpoint saves/restores, and
+// re-executions — each stamped with the blocked iteration, the protected
+// target (H or Q), the simulated time, and an outcome. internal/ft,
+// internal/ftsym and internal/fault append to it; one run exports as JSONL
+// for offline analysis alongside the metrics exposition.
+
+// Target identifies which protected memory a record concerns.
+type Target string
+
+const (
+	// TargetH is the device-resident data matrix (trailing matrix / H).
+	TargetH Target = "H"
+	// TargetQ is the host-resident Householder-vector storage.
+	TargetQ Target = "Q"
+)
+
+// Kind is the record type.
+type Kind string
+
+const (
+	// KindChecksumCheck is one end-of-iteration Sre/Sce comparison.
+	KindChecksumCheck Kind = "checksum_check"
+	// KindDetection is a checksum mismatch above threshold.
+	KindDetection Kind = "detection"
+	// KindLocation is the residual analysis pinpointing error positions.
+	KindLocation Kind = "location"
+	// KindCorrection is one corrected element (Row/Col/Value meaningful).
+	KindCorrection Kind = "correction"
+	// KindReverse is a reverse computation undoing the iteration's updates.
+	KindReverse Kind = "reverse_computation"
+	// KindCheckpointSave is a diskless panel checkpoint capture.
+	KindCheckpointSave Kind = "checkpoint_save"
+	// KindCheckpointRestore is a panel restore from the checkpoint.
+	KindCheckpointRestore Kind = "checkpoint_restore"
+	// KindReexecution is a repeated blocked iteration after recovery.
+	KindReexecution Kind = "reexecution"
+	// KindInjection is a fault planted by the campaign driver.
+	KindInjection Kind = "injection"
+	// KindSnapshotSave is a process-level snapshot capture (ft.Snapshot).
+	KindSnapshotSave Kind = "snapshot_save"
+	// KindSnapshotRestore is a resume from a process-level snapshot.
+	KindSnapshotRestore Kind = "snapshot_restore"
+)
+
+// Event is one journal record. Row and Col are -1 unless the record is
+// element-specific (corrections, injections). SimTime is the simulated
+// clock at append time (zero for host-only algorithms without a simulated
+// device, e.g. internal/ftsym).
+type Event struct {
+	Seq     int     `json:"seq"`
+	SimTime float64 `json:"sim_time"`
+	Kind    Kind    `json:"kind"`
+	Iter    int     `json:"iter"`
+	Target  Target  `json:"target,omitempty"`
+	Outcome string  `json:"outcome,omitempty"`
+	Row     int     `json:"row"`
+	Col     int     `json:"col"`
+	Value   float64 `json:"value,omitempty"`
+}
+
+// Ev returns an Event skeleton with Row/Col marked not-applicable.
+func Ev(kind Kind, iter int) Event {
+	return Event{Kind: kind, Iter: iter, Row: -1, Col: -1}
+}
+
+// Journal is an append-only, concurrency-safe event log. A nil *Journal
+// absorbs every call, so instrumented code needs no conditionals.
+type Journal struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewJournal returns an empty journal.
+func NewJournal() *Journal { return &Journal{} }
+
+// Append adds one record, assigning its sequence number. Safe on nil.
+func (j *Journal) Append(e Event) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	e.Seq = len(j.events)
+	j.events = append(j.events, e)
+	j.mu.Unlock()
+}
+
+// Len returns the number of records. Safe on nil.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.events)
+}
+
+// Events returns a copy of all records in append order. Safe on nil.
+func (j *Journal) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Event(nil), j.events...)
+}
+
+// Counts tallies records by kind. Safe on nil.
+func (j *Journal) Counts() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range j.Events() {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// WriteJSONL writes one JSON object per line in append order. Safe on nil
+// (writes nothing).
+func (j *Journal) WriteJSONL(w io.Writer) error {
+	for _, e := range j.Events() {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}

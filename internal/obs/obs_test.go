@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ft_detections_total")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters never decrease
+	if got := r.CounterValue("ft_detections_total"); got != 3 {
+		t.Fatalf("counter = %v, want 3", got)
+	}
+	// Same name+labels returns the same series.
+	r.Counter("ft_detections_total").Inc()
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter = %v, want 4", got)
+	}
+	// Distinct labels are distinct series.
+	r.Counter("ops_total", L("lane", "host")).Add(2)
+	r.Counter("ops_total", L("lane", "gpu-compute")).Add(5)
+	if got := r.CounterValue("ops_total", L("lane", "host")); got != 2 {
+		t.Fatalf("labeled counter = %v, want 2", got)
+	}
+	// Label order is irrelevant to series identity.
+	r.Counter("x", L("a", "1"), L("b", "2")).Inc()
+	r.Counter("x", L("b", "2"), L("a", "1")).Inc()
+	if got := r.CounterValue("x", L("a", "1"), L("b", "2")); got != 2 {
+		t.Fatalf("label order changed identity: %v", got)
+	}
+
+	g := r.Gauge("makespan_seconds")
+	g.Set(1.5)
+	g.Add(0.5)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %v, want 2", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("a").Inc()
+	r.Gauge("b").Set(1)
+	r.Histogram("c", DefaultDurationBuckets).Observe(1)
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot not nil")
+	}
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var j *Journal
+	j.Append(Ev(KindDetection, 0))
+	if j.Len() != 0 || j.Events() != nil {
+		t.Fatal("nil journal must absorb appends")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("phase_seconds", []float64{0.01, 0.1, 1}, L("phase", "panel"))
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.01+0.05+0.5+2; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	bounds, cum := h.Buckets()
+	if len(bounds) != 3 || len(cum) != 4 {
+		t.Fatalf("bounds %v cum %v", bounds, cum)
+	}
+	// 0.005 and 0.01 ≤ 0.01; 0.05 ≤ 0.1; 0.5 ≤ 1; 2 → +Inf.
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cumulative = %v, want %v", cum, want)
+		}
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ft_detections_total").Add(2)
+	r.Gauge("lane_busy_seconds", L("lane", "host")).Set(0.25)
+	r.Histogram("phase_seconds", []float64{0.1, 1}, L("phase", "panel")).Observe(0.05)
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ft_detections_total counter",
+		"ft_detections_total 2",
+		"# TYPE lane_busy_seconds gauge",
+		`lane_busy_seconds{lane="host"} 0.25`,
+		"# TYPE phase_seconds histogram",
+		`phase_seconds_bucket{le="0.1",phase="panel"} 1`,
+		`phase_seconds_bucket{le="+Inf",phase="panel"} 1`,
+		`phase_seconds_sum{phase="panel"} 0.05`,
+		`phase_seconds_count{phase="panel"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONExport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", L("k", "v")).Add(3)
+	r.Gauge("g").Set(7)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	var b bytes.Buffer
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Counters []struct {
+			Name   string            `json:"name"`
+			Labels map[string]string `json:"labels"`
+			Value  float64           `json:"value"`
+		} `json:"counters"`
+		Gauges     []json.RawMessage `json:"gauges"`
+		Histograms []struct {
+			Name    string    `json:"name"`
+			Sum     float64   `json:"sum"`
+			Count   uint64    `json:"count"`
+			Bounds  []float64 `json:"bounds"`
+			Buckets []uint64  `json:"cumulative_counts"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if len(out.Counters) != 1 || out.Counters[0].Value != 3 || out.Counters[0].Labels["k"] != "v" {
+		t.Fatalf("counters: %+v", out.Counters)
+	}
+	if len(out.Gauges) != 1 || len(out.Histograms) != 1 {
+		t.Fatalf("gauges %d, histograms %d", len(out.Gauges), len(out.Histograms))
+	}
+	if out.Histograms[0].Sum != 0.5 || out.Histograms[0].Count != 1 {
+		t.Fatalf("histogram: %+v", out.Histograms[0])
+	}
+}
+
+func TestSumBy(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("op_seconds_total", L("kind", "gemm")).Add(1)
+	r.Counter("op_seconds_total", L("kind", "gemm")).Add(2)
+	r.Counter("op_seconds_total", L("kind", "gemv")).Add(4)
+	r.Histogram("phase_seconds", DefaultDurationBuckets, L("phase", "panel")).Observe(0.5)
+	r.Histogram("phase_seconds", DefaultDurationBuckets, L("phase", "panel")).Observe(0.25)
+	r.Histogram("phase_seconds", DefaultDurationBuckets, L("phase", "left_update")).Observe(1)
+
+	kinds := SumBy(r, "op_seconds_total", "kind")
+	if kinds["gemm"] != 3 || kinds["gemv"] != 4 {
+		t.Fatalf("kinds: %v", kinds)
+	}
+	phases := SumBy(r, "phase_seconds", "phase")
+	if phases["panel"] != 0.75 || phases["left_update"] != 1 {
+		t.Fatalf("phases: %v", phases)
+	}
+}
+
+func TestJournalAppendCountsJSONL(t *testing.T) {
+	j := NewJournal()
+	e := Ev(KindInjection, 2)
+	e.Row, e.Col, e.Value, e.Target = 5, 9, 1.0, TargetH
+	j.Append(e)
+	d := Ev(KindDetection, 2)
+	d.SimTime = 0.5
+	d.Outcome = "mismatch"
+	j.Append(d)
+	c := Ev(KindCorrection, 2)
+	c.Row, c.Col, c.Value = 5, 9, 1.0
+	j.Append(c)
+
+	if j.Len() != 3 {
+		t.Fatalf("len = %d", j.Len())
+	}
+	counts := j.Counts()
+	if counts[KindDetection] != 1 || counts[KindCorrection] != 1 || counts[KindInjection] != 1 {
+		t.Fatalf("counts: %v", counts)
+	}
+	events := j.Events()
+	for i, ev := range events {
+		if ev.Seq != i {
+			t.Fatalf("seq %d at index %d", ev.Seq, i)
+		}
+	}
+	if events[0].Row != 5 || events[1].Row != -1 {
+		t.Fatalf("row stamping wrong: %+v", events[:2])
+	}
+
+	var b bytes.Buffer
+	if err := j.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&b)
+	lines := 0
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d invalid: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("%d JSONL lines", lines)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	j := NewJournal()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Counter("n").Inc()
+				r.Histogram("h", DefaultDurationBuckets, L("phase", "p")).Observe(0.001)
+				j.Append(Ev(KindChecksumCheck, i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.CounterValue("n"); got != 800 {
+		t.Fatalf("counter = %v", got)
+	}
+	if j.Len() != 800 {
+		t.Fatalf("journal len = %d", j.Len())
+	}
+}

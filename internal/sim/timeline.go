@@ -17,6 +17,7 @@ type Timeline struct {
 	name string
 	tail float64
 	busy float64 // accumulated busy seconds, for utilization reporting
+	ops  int64   // number of scheduled operations
 }
 
 // NewTimeline returns an empty timeline with the given display name.
@@ -33,6 +34,18 @@ func (t *Timeline) Tail() float64 { return t.tail }
 // Busy returns the accumulated busy time.
 func (t *Timeline) Busy() float64 { return t.busy }
 
+// Ops returns the number of operations scheduled so far.
+func (t *Timeline) Ops() int64 { return t.ops }
+
+// Utilization returns the busy fraction of the given makespan, in [0, 1];
+// zero when the makespan is zero.
+func (t *Timeline) Utilization(makespan float64) float64 {
+	if makespan <= 0 {
+		return 0
+	}
+	return t.busy / makespan
+}
+
 // Schedule places an operation of the given duration on the timeline,
 // starting no earlier than the timeline's tail and all dependencies.
 // It returns the operation's completion event.
@@ -46,6 +59,7 @@ func (t *Timeline) Schedule(duration float64, deps ...Event) Event {
 	end := start + duration
 	t.tail = end
 	t.busy += duration
+	t.ops++
 	return Event{At: end}
 }
 
@@ -61,6 +75,7 @@ func (t *Timeline) AdvanceTo(instant float64) {
 func (t *Timeline) Reset() {
 	t.tail = 0
 	t.busy = 0
+	t.ops = 0
 }
 
 // Makespan returns the maximum tail across the given timelines — the
