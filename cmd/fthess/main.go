@@ -17,6 +17,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/blas"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/ftsym"
@@ -77,6 +78,9 @@ func runSymmetric(n, nb int, seed uint64, inject string, iter int, metricsPath, 
 	opt := ftsym.Options{NB: nb}
 	if metricsPath != "" {
 		opt.Obs = obs.NewRegistry()
+		// Fold achieved host BLAS throughput (blas_flops_total,
+		// blas_op_seconds_total) into the same export.
+		defer blas.SetObs(blas.SetObs(opt.Obs))
 	}
 	if eventsPath != "" {
 		opt.Journal = &obs.Journal{}
@@ -139,6 +143,10 @@ func main() {
 	opt := core.Options{NB: *nb, CostOnly: *costOnly}
 	if *metricsPath != "" {
 		opt.Obs = obs.NewRegistry()
+		// Host BLAS throughput counters ride along in the same registry so
+		// the Prometheus export shows substrate GFLOP/s next to the modeled
+		// device numbers.
+		blas.SetObs(opt.Obs)
 	}
 	if *eventsPath != "" {
 		opt.Journal = &obs.Journal{}
@@ -243,6 +251,7 @@ func main() {
 	// The observability sinks describe the reduction that just ran; detach
 	// them so the -eig re-reduction below doesn't double-count into them.
 	opt.Obs, opt.Journal, opt.Device = nil, nil, nil
+	blas.SetObs(nil)
 
 	if *eig {
 		if *costOnly {

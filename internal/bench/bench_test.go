@@ -141,7 +141,8 @@ func TestBreakdownRuns(t *testing.T) {
 	var b bytes.Buffer
 	Breakdown(&b, 1022, 32, sim.K40c())
 	out := b.String()
-	for _, want := range []string{"gemm", "gemv", "h2d", "d2h", "host", "FT extra"} {
+	for _, want := range []string{"gemm", "gemv", "h2d", "d2h", "host", "FT extra",
+		"Host BLAS substrate", "GFLOP/s"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("breakdown missing %q:\n%s", want, out)
 		}

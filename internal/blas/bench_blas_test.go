@@ -1,0 +1,198 @@
+package blas
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/matrix"
+)
+
+// Substrate benchmarks for the blocked BLAS, one per shape class the
+// Hessenberg reduction actually produces (see DESIGN.md §Host BLAS):
+//
+//   - square:       the worst-case dense product, pure throughput
+//   - tall-skinny:  the per-panel update op(A)·V with m >> n (the shape the
+//     pre-blocking Dgemm could barely parallelize)
+//   - rank-nb:      the trailing-matrix update C -= Y·Wᵀ with k = nb
+//
+// Each benchmark reports achieved GFLOP/s; TestBenchBlasJSON regenerates
+// the BENCH_blas.json artifact comparing the blocked kernel against the
+// kept-private pre-blocking kernel (naiveGemm) shape by shape.
+
+type gemmShape struct {
+	name    string
+	m, n, k int
+}
+
+var benchShapes = []gemmShape{
+	{"square_512", 512, 512, 512},
+	{"tall_skinny_panel_4096x8x128", 4096, 8, 128},
+	{"rank_nb_trailing_1024x1024x32", 1024, 1024, 32},
+}
+
+func benchGemm(b *testing.B, m, n, k int, f func(m, n, k int, a, bb, c *matrix.Matrix)) {
+	a := matrix.Random(m, k, 1)
+	bb := matrix.Random(k, n, 2)
+	c := matrix.New(m, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(m, n, k, a, bb, c)
+	}
+	gflops := 2 * float64(m) * float64(n) * float64(k) * float64(b.N) / b.Elapsed().Seconds() / 1e9
+	b.ReportMetric(gflops, "GFLOP/s")
+}
+
+func BenchmarkDgemmSquare512(b *testing.B) {
+	s := benchShapes[0]
+	benchGemm(b, s.m, s.n, s.k, func(m, n, k int, a, bb, c *matrix.Matrix) {
+		Dgemm(NoTrans, NoTrans, m, n, k, 1, a.Data, a.Stride, bb.Data, bb.Stride, 0, c.Data, c.Stride)
+	})
+}
+
+func BenchmarkDgemmTallSkinnyPanel(b *testing.B) {
+	s := benchShapes[1]
+	benchGemm(b, s.m, s.n, s.k, func(m, n, k int, a, bb, c *matrix.Matrix) {
+		Dgemm(NoTrans, NoTrans, m, n, k, 1, a.Data, a.Stride, bb.Data, bb.Stride, 0, c.Data, c.Stride)
+	})
+}
+
+func BenchmarkDgemmRankNBTrailing(b *testing.B) {
+	s := benchShapes[2]
+	benchGemm(b, s.m, s.n, s.k, func(m, n, k int, a, bb, c *matrix.Matrix) {
+		Dgemm(NoTrans, NoTrans, m, n, k, 1, a.Data, a.Stride, bb.Data, bb.Stride, 0, c.Data, c.Stride)
+	})
+}
+
+// BenchmarkDgemmNaive512 is the pre-blocking kernel on the square shape —
+// the baseline the BENCH_blas.json speedups are measured against.
+func BenchmarkDgemmNaive512(b *testing.B) {
+	s := benchShapes[0]
+	benchGemm(b, s.m, s.n, s.k, func(m, n, k int, a, bb, c *matrix.Matrix) {
+		naiveGemm(NoTrans, NoTrans, m, n, k, 1, a.Data, a.Stride, bb.Data, bb.Stride, 0, c.Data, c.Stride)
+	})
+}
+
+func BenchmarkDgemv(b *testing.B) {
+	const m, n = 2048, 2048
+	a := matrix.Random(m, n, 3)
+	x := matrix.Random(n, 1, 4)
+	y := make([]float64, m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dgemv(NoTrans, m, n, 1, a.Data, a.Stride, x.Data, 1, 0, y, 1)
+	}
+	b.ReportMetric(2*float64(m)*float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+func BenchmarkDsyr2k(b *testing.B) {
+	const n, k = 1024, 32
+	a := matrix.Random(n, k, 5)
+	bb := matrix.Random(n, k, 6)
+	c := matrix.New(n, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dsyr2k(Lower, NoTrans, n, k, 1, a.Data, a.Stride, bb.Data, bb.Stride, 0, c.Data, c.Stride)
+	}
+	b.ReportMetric(2*float64(n)*float64(n)*float64(k)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+// timeGemm returns the best-of-three GFLOP/s of f on an m×n×k product
+// (one untimed warm-up run first).
+func timeGemm(m, n, k int, f func()) float64 {
+	f()
+	best := time.Duration(1<<62 - 1)
+	for r := 0; r < 3; r++ {
+		t0 := time.Now()
+		f()
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return 2 * float64(m) * float64(n) * float64(k) / best.Seconds() / 1e9
+}
+
+// TestBenchBlasJSON regenerates BENCH_blas.json at the repository root: a
+// machine-readable before/after comparison of the host GEMM substrate. For
+// each shape it reports the pre-blocking kernel, the blocked kernel pinned
+// serial, and the blocked kernel at the full worker ceiling, plus the
+// parallel task counts that explain why the tall-skinny panel shape can now
+// engage every core (the pre-blocking path offered only min(p, n) column
+// chunks).
+func TestBenchBlasJSON(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock artifact: skipped under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("wall-clock artifact: skipped in -short mode")
+	}
+
+	type row struct {
+		Shape            string  `json:"shape"`
+		M                int     `json:"m"`
+		N                int     `json:"n"`
+		K                int     `json:"k"`
+		NaiveGFLOPS      float64 `json:"naive_gflops"`
+		BlockedGFLOPS    float64 `json:"blocked_gflops"`
+		ParallelGFLOPS   float64 `json:"parallel_gflops"`
+		SpeedupVsNaive   float64 `json:"speedup_vs_naive"`
+		ParallelTasks    int     `json:"parallel_tasks"`
+		PrevColumnChunks int     `json:"prev_parallel_chunks"`
+	}
+	type artifact struct {
+		GOMAXPROCS int   `json:"gomaxprocs"`
+		NumCPU     int   `json:"numcpu"`
+		AVXKernel  bool  `json:"avx_kernel"`
+		Rows       []row `json:"shapes"`
+	}
+
+	p := runtime.GOMAXPROCS(0)
+	out := artifact{GOMAXPROCS: p, NumCPU: runtime.NumCPU(), AVXKernel: useAVXKernel}
+	for _, s := range benchShapes {
+		a := matrix.Random(s.m, s.k, 1)
+		bb := matrix.Random(s.k, s.n, 2)
+		c := matrix.New(s.m, s.n)
+
+		naive := timeGemm(s.m, s.n, s.k, func() {
+			naiveGemm(NoTrans, NoTrans, s.m, s.n, s.k, 1, a.Data, a.Stride, bb.Data, bb.Stride, 0, c.Data, c.Stride)
+		})
+		orig := SetMaxProcs(1)
+		serial := timeGemm(s.m, s.n, s.k, func() {
+			Dgemm(NoTrans, NoTrans, s.m, s.n, s.k, 1, a.Data, a.Stride, bb.Data, bb.Stride, 0, c.Data, c.Stride)
+		})
+		SetMaxProcs(p)
+		parallel := timeGemm(s.m, s.n, s.k, func() {
+			Dgemm(NoTrans, NoTrans, s.m, s.n, s.k, 1, a.Data, a.Stride, bb.Data, bb.Stride, 0, c.Data, c.Stride)
+		})
+		SetMaxProcs(orig)
+
+		mBlocks := (s.m + gemmMC - 1) / gemmMC
+		nBlocks := (s.n + gemmNC - 1) / gemmNC
+		out.Rows = append(out.Rows, row{
+			Shape: s.name, M: s.m, N: s.n, K: s.k,
+			NaiveGFLOPS:      naive,
+			BlockedGFLOPS:    serial,
+			ParallelGFLOPS:   parallel,
+			SpeedupVsNaive:   parallel / naive,
+			ParallelTasks:    mBlocks * nBlocks,
+			PrevColumnChunks: min(p, s.n),
+		})
+	}
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_blas.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The acceptance bar for this substrate: the blocked kernel must beat
+	// the pre-blocking kernel by ≥2× on the square shape.
+	if sq := out.Rows[0]; sq.SpeedupVsNaive < 2 {
+		t.Errorf("square-shape speedup %.2fx below the 2x bar (naive %.2f, parallel %.2f GFLOP/s)",
+			sq.SpeedupVsNaive, sq.NaiveGFLOPS, sq.ParallelGFLOPS)
+	}
+}

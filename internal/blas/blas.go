@@ -10,8 +10,14 @@
 // internal/lapack, and the checksum-maintenance proofs of the paper, assume
 // those semantics.
 //
-// DGEMM additionally parallelizes across goroutines for large problems; see
-// SetMaxProcs.
+// Performance architecture: Dgemm is a BLIS-style blocked kernel — MC/KC/NC
+// cache blocking over packed panels (pack.go), a register-blocked MR×NR
+// micro-kernel unique across all four transpose cases (microkernel.go) —
+// and the compute-heavy routines (Dgemm, Dgemv, Dger, Dsyr2k, Dtrmm) shard
+// large problems onto one shared bounded worker pool (pool.go). Parallel
+// shards write disjoint outputs with unchanged per-element operation order,
+// so results are bitwise identical at every SetMaxProcs setting. SetObs
+// optionally records achieved host GFLOP/s into the observability registry.
 package blas
 
 import "fmt"

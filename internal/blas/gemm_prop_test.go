@@ -1,0 +1,162 @@
+package blas
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// Property test for the blocked Dgemm: every transpose case, over sizes
+// chosen to hit the awkward paths — odd and prime dimensions that leave
+// ragged MR/NR edge tiles, and sizes straddling the MC/KC/NC cache-block
+// boundaries — checked against the kept-private pre-blocking kernel
+// (naiveGemm), on the serial path, the forced pool path, and both
+// micro-kernel implementations.
+
+// propSizes are small odd/prime/power-of-two dimensions; every (m, n, k)
+// triple over them is tested.
+var propSizes = []int{1, 2, 3, 5, 7, 11, 13, 16, 17}
+
+// propEdgeShapes straddle the blocking parameters: one past a micro-tile,
+// exactly one cache block, one past a cache block, and multi-block m with
+// leftover k.
+var propEdgeShapes = [][3]int{
+	{gemmMR, gemmNR, gemmKC},               // exactly one micro-tile, full k block
+	{gemmMC, gemmNR, gemmKC},               // exactly one MC×KC A block
+	{gemmMC + 3, gemmNR + 1, gemmKC + 1},   // one past every boundary at once
+	{2*gemmMC + 1, 3, gemmKC},              // multiple m blocks, ragged last
+	{5, gemmNC + 1, 7},                     // multiple n blocks, tiny m and k
+	{gemmMR - 1, gemmNR - 1, 2*gemmKC + 5}, // pure edge tile, deep k
+}
+
+// checkGemmAgainstNaive runs one (shape, transpose) case through Dgemm and
+// compares against naiveGemm. The blocked kernel accumulates in a different
+// association order (and through FMA on amd64), so comparison is by
+// tolerance scaled with the inner-product length.
+func checkGemmAgainstNaive(t *testing.T, tA, tB Transpose, m, n, k int) {
+	t.Helper()
+	const alpha, beta = 1.3, -0.7
+	ar, ac := m, k
+	if tA == Trans {
+		ar, ac = k, m
+	}
+	br, bc := k, n
+	if tB == Trans {
+		br, bc = n, k
+	}
+	seed := uint64(m*1000003 + n*1009 + k*13)
+	a := matrix.Random(ar, ac, seed)
+	b := matrix.Random(br, bc, seed+1)
+	c0 := matrix.Random(m, n, seed+2)
+
+	want := c0.Clone()
+	naiveGemm(tA, tB, m, n, k, alpha, a.Data, a.Stride, b.Data, b.Stride, beta, want.Data, want.Stride)
+	got := c0.Clone()
+	Dgemm(tA, tB, m, n, k, alpha, a.Data, a.Stride, b.Data, b.Stride, beta, got.Data, got.Stride)
+
+	tol := 1e-12 * float64(k+1)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			w, g := want.At(i, j), got.At(i, j)
+			if math.Abs(w-g) > tol*(math.Abs(w)+1) {
+				t.Fatalf("Dgemm(%v,%v) m=%d n=%d k=%d: C(%d,%d) = %v, naive = %v",
+					tA, tB, m, n, k, i, j, g, w)
+			}
+		}
+	}
+}
+
+func runGemmProperty(t *testing.T, shapes [][3]int) {
+	for _, tA := range []Transpose{NoTrans, Trans} {
+		for _, tB := range []Transpose{NoTrans, Trans} {
+			for _, s := range shapes {
+				checkGemmAgainstNaive(t, tA, tB, s[0], s[1], s[2])
+			}
+		}
+	}
+}
+
+// gemmPropConfigs runs fn under every combination of execution path
+// (serial / forced-parallel) and micro-kernel implementation
+// (vectorized / portable Go) available on this machine.
+func gemmPropConfigs(t *testing.T, fn func(t *testing.T)) {
+	kernels := []bool{useAVXKernel}
+	if useAVXKernel {
+		kernels = append(kernels, false) // also cover the portable kernel
+	}
+	for _, avx := range kernels {
+		for _, par := range []bool{false, true} {
+			name := fmt.Sprintf("kernel=%s/parallel=%v", map[bool]string{true: "avx", false: "go"}[avx], par)
+			t.Run(name, func(t *testing.T) {
+				origKernel := useAVXKernel
+				origProcs := SetMaxProcs(1)
+				origThresh := parallelGemmThreshold
+				defer func() {
+					useAVXKernel = origKernel
+					SetMaxProcs(origProcs)
+					parallelGemmThreshold = origThresh
+				}()
+				useAVXKernel = avx
+				if par {
+					SetMaxProcs(4)
+					parallelGemmThreshold = 1
+				}
+				fn(t)
+			})
+		}
+	}
+}
+
+func TestDgemmPropertyOddPrimeSizes(t *testing.T) {
+	var shapes [][3]int
+	for _, m := range propSizes {
+		for _, n := range propSizes {
+			for _, k := range propSizes {
+				shapes = append(shapes, [3]int{m, n, k})
+			}
+		}
+	}
+	gemmPropConfigs(t, func(t *testing.T) { runGemmProperty(t, shapes) })
+}
+
+func TestDgemmPropertyBlockBoundaries(t *testing.T) {
+	gemmPropConfigs(t, func(t *testing.T) { runGemmProperty(t, propEdgeShapes) })
+}
+
+// TestDgemmPropertyPaddedStride checks the blocked kernel against the naive
+// one when all three matrices live in larger parent allocations (ld >
+// rows), as every View-based call from the LAPACK layer does.
+func TestDgemmPropertyPaddedStride(t *testing.T) {
+	gemmPropConfigs(t, func(t *testing.T) {
+		const m, n, k = 37, 29, 41
+		const lda, ldb, ldc = m + 5, k + 3, m + 9
+		const alpha, beta = 0.9, 0.4
+		a := matrix.Random(lda, k, 51)
+		b := matrix.Random(ldb, n, 52)
+		c0 := matrix.Random(ldc, n, 53)
+		want := c0.Clone()
+		naiveGemm(NoTrans, NoTrans, m, n, k, alpha, a.Data, lda, b.Data, ldb, beta, want.Data, ldc)
+		got := c0.Clone()
+		Dgemm(NoTrans, NoTrans, m, n, k, alpha, a.Data, lda, b.Data, ldb, beta, got.Data, ldc)
+		tol := 1e-12 * float64(k+1)
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				w, g := want.At(i, j), got.At(i, j)
+				if math.Abs(w-g) > tol*(math.Abs(w)+1) {
+					t.Fatalf("padded-stride C(%d,%d) = %v, naive = %v", i, j, g, w)
+				}
+			}
+		}
+		// Rows below the logical m in each column are padding and must be
+		// untouched.
+		for j := 0; j < n; j++ {
+			for i := m; i < ldc; i++ {
+				if got.At(i, j) != c0.At(i, j) {
+					t.Fatalf("Dgemm wrote past row %d into padding at (%d,%d)", m, i, j)
+				}
+			}
+		}
+	})
+}

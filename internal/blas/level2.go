@@ -1,6 +1,16 @@
 package blas
 
 // Level-2 BLAS: matrix-vector operations over column-major storage.
+// Dgemv and Dger dispatch onto the shared worker pool above
+// parallelL2Threshold flops: Dgemv shards rows of y (NoTrans) or columns
+// of A (Trans), Dger shards columns of A. Shards write disjoint output
+// ranges with unchanged per-element operation order, so results are
+// bitwise identical to serial execution.
+
+// parallelL2Threshold is the flop count (2mn) above which the level-2
+// routines shard across the pool; a variable so tests can force the
+// parallel path.
+var parallelL2Threshold = 1 << 20
 
 // Dgemv computes y := alpha*op(A)*x + beta*y where A is m×n.
 func Dgemv(trans Transpose, m, n int, alpha float64, a []float64, lda int, x []float64, incX int, beta float64, y []float64, incY int) {
@@ -27,28 +37,59 @@ func Dgemv(trans Transpose, m, n int, alpha float64, a []float64, lda int, x []f
 	if alpha == 0 {
 		return
 	}
+	if done := opTimer("gemv", 2*float64(m)*float64(n)); done != nil {
+		defer done()
+	}
+	p := procs()
+	parallel := p > 1 && 2*m*n >= parallelL2Threshold
 	if trans == NoTrans {
-		// y += alpha * A * x, one axpy per column of A.
-		for j, jx := 0, 0; j < n; j, jx = j+1, jx+incX {
-			t := alpha * x[jx]
-			if t == 0 {
-				continue
-			}
-			col := a[j*lda : j*lda+m]
-			if incY == 1 {
-				for i := 0; i < m; i++ {
-					y[i] += t * col[i]
-				}
-			} else {
-				for i, iy := 0, 0; i < m; i, iy = i+1, iy+incY {
-					y[iy] += t * col[i]
-				}
-			}
+		if parallel && m > 1 {
+			chunks := min(p, m)
+			parallelFor(chunks, func(w int) {
+				gemvNoTransRows(m, n, alpha, a, lda, x, incX, y, incY, w*m/chunks, (w+1)*m/chunks)
+			})
+			return
 		}
+		gemvNoTransRows(m, n, alpha, a, lda, x, incX, y, incY, 0, m)
 		return
 	}
-	// y += alpha * Aᵀ * x, one dot per column of A.
-	for j, jy := 0, 0; j < n; j, jy = j+1, jy+incY {
+	if parallel && n > 1 {
+		chunks := min(p, n)
+		parallelFor(chunks, func(w int) {
+			gemvTransCols(m, n, alpha, a, lda, x, incX, y, incY, w*n/chunks, (w+1)*n/chunks)
+		})
+		return
+	}
+	gemvTransCols(m, n, alpha, a, lda, x, incX, y, incY, 0, n)
+}
+
+// gemvNoTransRows accumulates rows [i0, i1) of y += alpha*A*x, one axpy
+// segment per column of A.
+func gemvNoTransRows(m, n int, alpha float64, a []float64, lda int, x []float64, incX int, y []float64, incY, i0, i1 int) {
+	for j, jx := 0, 0; j < n; j, jx = j+1, jx+incX {
+		t := alpha * x[jx]
+		if t == 0 {
+			continue
+		}
+		col := a[j*lda : j*lda+m]
+		if incY == 1 {
+			yv := y[i0:i1]
+			cv := col[i0:i1]
+			for i := range yv {
+				yv[i] += t * cv[i]
+			}
+		} else {
+			for i, iy := i0, i0*incY; i < i1; i, iy = i+1, iy+incY {
+				y[iy] += t * col[i]
+			}
+		}
+	}
+}
+
+// gemvTransCols accumulates elements [j0, j1) of y += alpha*Aᵀ*x, one dot
+// per column of A.
+func gemvTransCols(m, n int, alpha float64, a []float64, lda int, x []float64, incX int, y []float64, incY, j0, j1 int) {
+	for j, jy := j0, j0*incY; j < j1; j, jy = j+1, jy+incY {
 		col := a[j*lda : j*lda+m]
 		sum := 0.0
 		if incX == 1 {
@@ -72,7 +113,23 @@ func Dger(m, n int, alpha float64, x []float64, incX int, y []float64, incY int,
 	if m == 0 || n == 0 || alpha == 0 {
 		return
 	}
-	for j, jy := 0, 0; j < n; j, jy = j+1, jy+incY {
+	if done := opTimer("ger", 2*float64(m)*float64(n)); done != nil {
+		defer done()
+	}
+	p := procs()
+	if p > 1 && 2*m*n >= parallelL2Threshold && n > 1 {
+		chunks := min(p, n)
+		parallelFor(chunks, func(w int) {
+			gerCols(m, n, alpha, x, incX, y, incY, a, lda, w*n/chunks, (w+1)*n/chunks)
+		})
+		return
+	}
+	gerCols(m, n, alpha, x, incX, y, incY, a, lda, 0, n)
+}
+
+// gerCols applies the rank-1 update to columns [j0, j1) of A.
+func gerCols(m, n int, alpha float64, x []float64, incX int, y []float64, incY int, a []float64, lda, j0, j1 int) {
+	for j, jy := j0, j0*incY; j < j1; j, jy = j+1, jy+incY {
 		t := alpha * y[jy]
 		if t == 0 {
 			continue

@@ -1,0 +1,53 @@
+package blas
+
+// Hardware dispatch for the Dgemm micro-kernel on amd64. The packed layouts
+// written by packA/packB line up with 256-bit vectors when MR = NR = 4: one
+// k step of a packed A micro-panel is exactly one YMM load, and the four
+// packed B values broadcast against it, so the AVX2+FMA kernel in
+// microkernel_amd64.s computes the whole 4×4 tile with four FMA chains per
+// k step (eight with the ×2 unroll) instead of sixteen scalar multiply-adds.
+//
+// useAVXKernel is a variable, not a constant, so tests can force the
+// portable Go path and cross-check the two implementations.
+var useAVXKernel = cpuSupportsAVX2FMA()
+
+// cpuSupportsAVX2FMA reports whether both the CPU and the OS support the
+// AVX2+FMA kernel: AVX, FMA, and OSXSAVE from CPUID leaf 1, YMM state
+// enabled in XCR0, and AVX2 from leaf 7.
+func cpuSupportsAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	_, _, c1, _ := cpuid(1, 0)
+	if c1&fma == 0 || c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX) must both be set or the OS does not
+	// preserve YMM registers across context switches.
+	xlo, _ := xgetbv()
+	if xlo&0x6 != 0x6 {
+		return false
+	}
+	const avx2 = 1 << 5
+	_, b7, _, _ := cpuid(7, 0)
+	return b7&avx2 != 0
+}
+
+// microKernelAVX computes the full MR×NR tile update C += alpha·op(A)·op(B)
+// over kc packed steps, exactly like microKernelGo but vectorized.
+// Implemented in microkernel_amd64.s.
+//
+//go:noescape
+func microKernelAVX(kc int, alpha float64, pa, pb, c []float64, ldc int)
+
+//go:noescape
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbv() (eax, edx uint32)

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package blas
+
+// Portable fallback: architectures without the assembly micro-kernel always
+// take the Go path. The var (rather than const) keeps the dispatch sites
+// identical across build targets.
+var useAVXKernel = false
+
+func microKernelAVX(kc int, alpha float64, pa, pb, c []float64, ldc int) {
+	microKernelGo(kc, alpha, pa, pb, c, ldc)
+}

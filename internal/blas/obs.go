@@ -1,0 +1,57 @@
+package blas
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Optional throughput instrumentation: when a registry is attached via
+// SetObs, the compute-heavy routines record achieved host flops
+// (blas_flops_total) and wall-clock seconds per operation family
+// (blas_op_seconds_total{op=...}), so bench.Breakdown and the -metrics
+// exports can report substrate GFLOP/s next to the modeled numbers.
+// Detached (the default), the cost is one atomic load per call.
+
+type blasObs struct {
+	reg   *obs.Registry
+	flops *obs.Counter
+	secs  map[string]*obs.Counter
+}
+
+var obsState atomic.Pointer[blasObs]
+
+// SetObs attaches a metrics registry to the package (nil detaches) and
+// returns the previously attached registry so callers can restore it.
+func SetObs(r *obs.Registry) *obs.Registry {
+	var prev *obs.Registry
+	if s := obsState.Load(); s != nil {
+		prev = s.reg
+	}
+	if r == nil {
+		obsState.Store(nil)
+		return prev
+	}
+	s := &blasObs{reg: r, flops: r.Counter("blas_flops_total"), secs: map[string]*obs.Counter{}}
+	for _, op := range []string{"gemm", "gemv", "ger", "syr2k", "trmm"} {
+		s.secs[op] = r.Counter("blas_op_seconds_total", obs.L("op", op))
+	}
+	obsState.Store(s)
+	return prev
+}
+
+// opTimer starts timing one top-level BLAS call worth flops floating-point
+// operations. It returns nil when no registry is attached; otherwise the
+// returned func records the elapsed wall time and the flop count.
+func opTimer(op string, flops float64) func() {
+	s := obsState.Load()
+	if s == nil {
+		return nil
+	}
+	t0 := time.Now()
+	return func() {
+		s.secs[op].Add(time.Since(t0).Seconds())
+		s.flops.Add(flops)
+	}
+}

@@ -1,0 +1,102 @@
+package blas
+
+import "sync"
+
+// Panel packing for the blocked Dgemm (BLIS-style). The macro-kernel only
+// ever sees op(A) and op(B) through these packed buffers, so all four
+// transpose cases are folded into the copy and the micro-kernel is unique.
+//
+// Layout:
+//
+//   - packA writes an mc×kc block of op(A) as ⌈mc/gemmMR⌉ consecutive
+//     micro-panels; micro-panel i holds rows [i·MR, i·MR+MR) in k-major
+//     order (MR contiguous row values per k step). Short edge panels are
+//     zero-padded to MR so the micro-kernel never branches on m.
+//   - packB writes a kc×nc block of op(B) as ⌈nc/gemmNR⌉ micro-panels;
+//     micro-panel j holds columns [j·NR, j·NR+NR) in k-major order (NR
+//     contiguous column values per k step), zero-padded to NR.
+//
+// Buffers are recycled through sync.Pools sized for the worst case
+// (MC·KC and NC·KC doubles), so steady-state Dgemm does no allocation.
+
+var packAPool = sync.Pool{New: func() any {
+	buf := make([]float64, gemmMC*gemmKC)
+	return &buf
+}}
+
+var packBPool = sync.Pool{New: func() any {
+	buf := make([]float64, gemmNC*gemmKC)
+	return &buf
+}}
+
+// packA packs the mc×kc block of op(A) with top-left element (i0, p0) —
+// indices in op(A) coordinates — into buf. op(A)[i,l] is a[l*lda+i] for
+// NoTrans and a[i*lda+l] for Trans.
+func packA(tA Transpose, a []float64, lda, i0, p0, mc, kc int, buf []float64) {
+	for ir, pi := 0, 0; ir < mc; ir, pi = ir+gemmMR, pi+1 {
+		rows := mc - ir
+		if rows > gemmMR {
+			rows = gemmMR
+		}
+		base := pi * kc * gemmMR
+		if tA == NoTrans {
+			for p := 0; p < kc; p++ {
+				src := a[(p0+p)*lda+i0+ir:]
+				dst := buf[base+p*gemmMR : base+p*gemmMR+gemmMR]
+				for r := 0; r < rows; r++ {
+					dst[r] = src[r]
+				}
+				for r := rows; r < gemmMR; r++ {
+					dst[r] = 0
+				}
+			}
+		} else {
+			for p := 0; p < kc; p++ {
+				dst := buf[base+p*gemmMR : base+p*gemmMR+gemmMR]
+				for r := 0; r < rows; r++ {
+					dst[r] = a[(i0+ir+r)*lda+p0+p]
+				}
+				for r := rows; r < gemmMR; r++ {
+					dst[r] = 0
+				}
+			}
+		}
+	}
+}
+
+// packB packs the kc×nc block of op(B) with top-left element (p0, j0) —
+// indices in op(B) coordinates — into buf. op(B)[l,j] is b[j*ldb+l] for
+// NoTrans and b[l*ldb+j] for Trans.
+func packB(tB Transpose, b []float64, ldb, p0, j0, kc, nc int, buf []float64) {
+	for jr, pj := 0, 0; jr < nc; jr, pj = jr+gemmNR, pj+1 {
+		cols := nc - jr
+		if cols > gemmNR {
+			cols = gemmNR
+		}
+		base := pj * kc * gemmNR
+		if tB == NoTrans {
+			for c := 0; c < cols; c++ {
+				src := b[(j0+jr+c)*ldb+p0:]
+				for p := 0; p < kc; p++ {
+					buf[base+p*gemmNR+c] = src[p]
+				}
+			}
+			for c := cols; c < gemmNR; c++ {
+				for p := 0; p < kc; p++ {
+					buf[base+p*gemmNR+c] = 0
+				}
+			}
+		} else {
+			for p := 0; p < kc; p++ {
+				src := b[(p0+p)*ldb+j0+jr:]
+				dst := buf[base+p*gemmNR : base+p*gemmNR+gemmNR]
+				for c := 0; c < cols; c++ {
+					dst[c] = src[c]
+				}
+				for c := cols; c < gemmNR; c++ {
+					dst[c] = 0
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package blas
+
+// raceEnabled reports whether the race detector is compiled in; the
+// wall-clock benchmarks skip artifact regeneration under its ~10-20×
+// slowdown so BENCH_blas.json only ever holds representative numbers.
+const raceEnabled = true

@@ -80,12 +80,22 @@ func Dsyr2(uplo Uplo, n int, alpha float64, x []float64, incX int, y []float64, 
 	}
 }
 
+// parallelSyr2kThreshold is the flop count (2n²k) above which Dsyr2k
+// shards column blocks across the worker pool; a variable so tests can
+// force the parallel path.
+var parallelSyr2kThreshold = 1 << 21
+
 // Dsyr2k performs the symmetric rank-2k update
 //
 //	C := alpha·A·Bᵀ + alpha·B·Aᵀ + beta·C  (trans == NoTrans)
 //
 // on the uplo triangle of the n×n matrix C, with A and B n×k.
 // (The Trans variant is not needed by this codebase and is rejected.)
+//
+// Columns of C update independently, so large problems shard column blocks
+// across the worker pool; the triangular per-column cost is balanced by
+// the pool's dynamic index distribution. Results are bitwise identical to
+// serial execution.
 func Dsyr2k(uplo Uplo, trans Transpose, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
 	if trans != NoTrans {
 		badDim("Dsyr2k", "only NoTrans supported")
@@ -96,7 +106,25 @@ func Dsyr2k(uplo Uplo, trans Transpose, n, k int, alpha float64, a []float64, ld
 	if n == 0 {
 		return
 	}
-	for j := 0; j < n; j++ {
+	if done := opTimer("syr2k", 2*float64(n)*float64(n)*float64(k)); done != nil {
+		defer done()
+	}
+	p := procs()
+	if p > 1 && 2*n*n*k >= parallelSyr2kThreshold && n > 1 {
+		// More chunks than workers: dynamic distribution evens out the
+		// triangular column costs.
+		chunks := min(4*p, n)
+		parallelFor(chunks, func(w int) {
+			syr2kCols(uplo, n, k, alpha, a, lda, b, ldb, beta, c, ldc, w*n/chunks, (w+1)*n/chunks)
+		})
+		return
+	}
+	syr2kCols(uplo, n, k, alpha, a, lda, b, ldb, beta, c, ldc, 0, n)
+}
+
+// syr2kCols applies the rank-2k update to columns [j0, j1) of C.
+func syr2kCols(uplo Uplo, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc, j0, j1 int) {
+	for j := j0; j < j1; j++ {
 		lo, hi := 0, j+1
 		if uplo == Lower {
 			lo, hi = j, n

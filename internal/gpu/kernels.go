@@ -9,6 +9,14 @@ import (
 // (FIFO), charges the cost model, and — in Real mode — executes the
 // arithmetic on the device buffers. All kernels return their completion
 // event so transfers can depend on them.
+//
+// In Real mode the arithmetic runs on the host BLAS substrate, which is
+// itself blocked and pool-parallel (internal/blas): large device Gemm
+// calls shard their tile grid across the shared worker pool, bounded by
+// blas.SetMaxProcs. Timing remains governed solely by the cost model —
+// the simulated clock never observes host wall time — so the pool is a
+// pure wall-clock accelerator for Real-mode runs, and results stay
+// bitwise identical at every SetMaxProcs setting.
 
 // launch enqueues a kernel of the given duration on the compute stream,
 // accounting its cost under the given operation family.

@@ -17,6 +17,13 @@
 //
 // The remaining small trailing matrix is reduced on the host with the
 // unblocked algorithm, as LAPACK's DGEHRD does.
+//
+// All real arithmetic — the host-side panel factorization and, in Real
+// mode, the device kernels — executes on the shared internal/blas
+// substrate. Its worker pool shards the tall-skinny panel products
+// (m ≈ N, n ≤ nb) over a 2-D tile grid, so panel-heavy steps parallelize
+// on the host even though their column count is far below the core count;
+// blas.SetMaxProcs bounds that parallelism without affecting results.
 package hybrid
 
 import (
