@@ -1,13 +1,25 @@
-// Package campaign runs Monte-Carlo soft-error campaigns against the
-// fault-tolerant reduction: errors arrive as a Poisson process over the
-// blocked iterations (the paper's Section I motivates the work with
-// DRAM/GPU FIT rates — 51.7 errors/week on ASC Q, 2×10⁻⁵ per MemtestG80
-// iteration), strike a region chosen proportionally to its memory
-// footprint, and flip a random bit of the IEEE-754 representation.
+// Package campaign is the reliability harness of the reproduction: a
+// parallel, deterministic, sweep-capable Monte-Carlo soft-error campaign
+// engine for the fault-tolerant reduction (the statistical counterpart of
+// the paper's Section VI evaluation).
 //
-// Each trial is classified by outcome, giving the detection-coverage and
-// recovery statistics that a reliability engineer would ask of the
-// paper's scheme.
+// Errors arrive as a Poisson process over the blocked iterations (the
+// paper's Section I motivates the work with DRAM/GPU FIT rates — 51.7
+// errors/week on ASC Q, 2×10⁻⁵ per MemtestG80 iteration), strike a region
+// chosen proportionally to its memory footprint (or pinned by a
+// fault.Region sweep axis), and flip a random bit of the IEEE-754
+// representation. Each trial is classified by outcome, giving the
+// detection-coverage and recovery-overhead statistics that a reliability
+// engineer would ask of the paper's scheme (Tables II-III, Figures 5-6).
+//
+// Determinism contract (DESIGN.md §8): every trial's random stream is
+// derived solely from (campaign seed, cell index, trial index), never from
+// scheduling, so a sweep produces bitwise-identical trial records,
+// aggregate reports, and BENCH_campaign.json artifacts at any worker
+// count. Trials fan out across a bounded worker pool (the internal/blas
+// pool pattern) and their JSONL records are flushed in canonical order as
+// the completed prefix grows, which is what makes `-resume` from a partial
+// file sound.
 package campaign
 
 import (
@@ -17,10 +29,8 @@ import (
 	"math"
 
 	"repro/internal/fault"
-	"repro/internal/ft"
-	"repro/internal/gpu"
-	"repro/internal/lapack"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -43,6 +53,8 @@ const (
 	// Uncorrectable: detection fired but the error pattern could not be
 	// attributed (rectangle/ambiguous), reported rather than mis-corrected.
 	Uncorrectable
+	// numOutcomes bounds the Outcome enum for aggregation arrays.
+	numOutcomes = int(Uncorrectable) + 1
 )
 
 func (o Outcome) String() string {
@@ -61,7 +73,18 @@ func (o Outcome) String() string {
 	return fmt.Sprintf("Outcome(%d)", int(o))
 }
 
-// Config parameterizes a campaign.
+// ParseOutcome inverts Outcome.String (used when resuming from JSONL).
+func ParseOutcome(s string) (Outcome, error) {
+	for o := CleanPass; o <= Uncorrectable; o++ {
+		if o.String() == s {
+			return o, nil
+		}
+	}
+	return CleanPass, fmt.Errorf("campaign: unknown outcome %q", s)
+}
+
+// Config parameterizes a single-cell campaign (the Run entry point).
+// Sweeps over grids of these parameters use the Sweep type instead.
 type Config struct {
 	// N, NB: problem size and block size.
 	N, NB int
@@ -74,23 +97,33 @@ type Config struct {
 	// MinBit..MaxBit bound the flipped bit (default 20..62: from deep
 	// mantissa to the exponent, excluding the sign for variety).
 	MinBit, MaxBit uint
+	// Region restricts where errors strike (default fault.RegionAll:
+	// footprint-weighted over all areas).
+	Region fault.Region
+	// Workers bounds the trial-level parallelism (default 1; results are
+	// bitwise identical at any value).
+	Workers int
 	// ResidualTol classifies a result as correct (default 1e-12).
 	ResidualTol float64
 	// Params calibrates the simulated device (sim.K40c() if zero).
 	Params sim.Params
+	// Obs, if set, receives campaign_trials_total{outcome}, campaign
+	// timing and injection counters.
+	Obs *obs.Registry
 }
 
 // Trial records one run's outcome.
 type Trial struct {
 	Outcome    Outcome
-	Injections []ft.Injection
+	Seed       uint64
+	Injections []InjectionSummary
 	Detections int
 	Recoveries int
 	Residual   float64
 	Err        error
 }
 
-// Report aggregates a campaign.
+// Report aggregates a single-cell campaign.
 type Report struct {
 	Config     Config
 	Trials     []Trial
@@ -98,11 +131,43 @@ type Report struct {
 	Injections int
 }
 
-// Run executes the campaign (real arithmetic).
+// Run executes a single-cell campaign (real arithmetic) on the shared
+// sweep engine: one cell, Config.Workers-wide, deterministic in the seed.
 func Run(cfg Config) (*Report, error) {
 	if cfg.N <= 0 || cfg.Trials <= 0 {
 		return nil, errors.New("campaign: N and Trials must be positive")
 	}
+	applyConfigDefaults(&cfg)
+
+	s := &Sweep{
+		Ns:            []int{cfg.N},
+		NBs:           []int{cfg.NB},
+		Lambdas:       []float64{cfg.Lambda},
+		Regions:       []fault.Region{cfg.Region},
+		BitRanges:     [][2]uint{{cfg.MinBit, cfg.MaxBit}},
+		TrialsPerCell: cfg.Trials,
+		Seed:          cfg.Seed,
+		Workers:       cfg.Workers,
+		ResidualTol:   cfg.ResidualTol,
+		Params:        cfg.Params,
+		Obs:           cfg.Obs,
+	}
+	sr, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Config: cfg, ByOutcome: map[Outcome]int{}}
+	for _, res := range sr.results[0] {
+		t := res.trial
+		rep.ByOutcome[t.Outcome]++
+		rep.Injections += len(t.Injections)
+		rep.Trials = append(rep.Trials, t)
+	}
+	return rep, nil
+}
+
+// applyConfigDefaults fills the zero values of a validated Config.
+func applyConfigDefaults(cfg *Config) {
 	if cfg.NB <= 0 {
 		cfg.NB = 32
 	}
@@ -118,88 +183,27 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Params == (sim.Params{}) {
 		cfg.Params = sim.K40c()
 	}
-
-	rep := &Report{Config: cfg, ByOutcome: map[Outcome]int{}}
-	rng := matrix.NewRNG(cfg.Seed ^ 0xc0ffee)
-	iters := fault.BlockedIterations(cfg.N, cfg.NB)
-	a := matrix.Random(cfg.N, cfg.N, cfg.Seed+1)
-
-	for trial := 0; trial < cfg.Trials; trial++ {
-		plans := samplePlans(rng, cfg, iters)
-		var hook ft.Hook
-		var in *fault.Injector
-		if len(plans) > 0 {
-			in = fault.NewSchedule(plans...)
-			hook = in
-		}
-		res, err := ft.Reduce(a, ft.Options{
-			NB:     cfg.NB,
-			Device: gpu.New(cfg.Params, gpu.Real),
-			Hook:   hook,
-		})
-		t := Trial{Err: err}
-		if in != nil {
-			t.Injections = in.Log
-			rep.Injections += len(in.Log)
-		}
-		if err != nil {
-			if errors.Is(err, ft.ErrUncorrectable) || errors.Is(err, ft.ErrDetectionStorm) {
-				t.Outcome = Uncorrectable
-			} else {
-				return nil, fmt.Errorf("campaign trial %d: %w", trial, err)
-			}
-		} else {
-			t.Detections = res.Detections
-			t.Recoveries = res.Recoveries
-			t.Residual = lapack.FactorizationResidual(a, res.Q(), res.H())
-			correct := t.Residual <= cfg.ResidualTol
-			handled := res.Detections > 0 || res.QCorrections > 0
-			switch {
-			case len(t.Injections) == 0:
-				t.Outcome = CleanPass
-			case handled && correct:
-				t.Outcome = Recovered
-			case correct:
-				t.Outcome = SilentBenign
-			default:
-				t.Outcome = SilentCorrupt
-			}
-		}
-		rep.ByOutcome[t.Outcome]++
-		rep.Trials = append(rep.Trials, t)
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
 	}
-	return rep, nil
 }
 
 // samplePlans draws a Poisson number of single-error plans, each at a
-// uniform iteration, an area weighted by its footprint, and a random bit.
-func samplePlans(rng *matrix.RNG, cfg Config, iters int) []fault.Plan {
-	k := poisson(rng, cfg.Lambda)
+// uniform iteration, an area weighted by its footprint within the region,
+// and a random bit. The rng is the trial's private stream, so the draw is
+// independent of every other trial.
+func samplePlans(rng *matrix.RNG, cell Cell, iters int) []fault.Plan {
+	k := poisson(rng, cell.Lambda)
 	var plans []fault.Plan
 	for e := 0; e < k; e++ {
 		iter := rng.Intn(iters)
-		p := iter * cfg.NB
-		kRows := p + 1
-		// Footprints at that iteration: Area1 is the top strip of the
-		// trailing columns, Area2 the lower trailing block, Area3 the
-		// finished Householder storage.
-		w1 := float64(kRows) * float64(cfg.N-p)
-		w2 := float64(cfg.N-kRows) * float64(cfg.N-p)
-		w3 := float64(p) * float64(cfg.N-p) / 2
-		r := rng.Float64() * (w1 + w2 + w3)
-		area := fault.Area1
-		switch {
-		case r < w1:
-			area = fault.Area1
-		case r < w1+w2:
-			area = fault.Area2
-		default:
-			area = fault.Area3
-			if p == 0 {
-				area = fault.Area2
-			}
+		if cell.Region == fault.RegionQ && iters > 1 {
+			// Area 3 needs at least one finished panel.
+			iter = 1 + rng.Intn(iters-1)
 		}
-		bit := cfg.MinBit + uint(rng.Intn(int(cfg.MaxBit-cfg.MinBit+1)))
+		p := iter * cell.NB
+		area := sampleArea(rng, cell.Region, cell.N, p)
+		bit := cell.MinBit + uint(rng.Intn(int(cell.MaxBit-cell.MinBit+1)))
 		plans = append(plans, fault.Plan{
 			Area:       area,
 			TargetIter: iter,
@@ -209,6 +213,44 @@ func samplePlans(rng *matrix.RNG, cfg Config, iters int) []fault.Plan {
 		})
 	}
 	return plans
+}
+
+// sampleArea picks the struck area for an error at panel column p,
+// restricted to the cell's region and weighted by memory footprint.
+func sampleArea(rng *matrix.RNG, region fault.Region, n, p int) fault.Area {
+	switch region {
+	case fault.RegionQ:
+		if p == 0 {
+			// No finished Householder columns exist yet; the nearest
+			// host-bound data is the lower trailing block.
+			return fault.Area2
+		}
+		return fault.Area3
+	case fault.RegionPanel:
+		return fault.AreaPanel
+	}
+	kRows := p + 1
+	// Footprints at that iteration: Area1 is the top strip of the
+	// trailing columns, Area2 the lower trailing block, Area3 the
+	// finished Householder storage.
+	w1 := float64(kRows) * float64(n-p)
+	w2 := float64(n-kRows) * float64(n-p)
+	w3 := float64(p) * float64(n-p) / 2
+	if region == fault.RegionH {
+		w3 = 0
+	}
+	r := rng.Float64() * (w1 + w2 + w3)
+	switch {
+	case r < w1:
+		return fault.Area1
+	case r < w1+w2:
+		return fault.Area2
+	default:
+		if p == 0 {
+			return fault.Area2
+		}
+		return fault.Area3
+	}
 }
 
 // poisson samples Poisson(lambda) with Knuth's method (lambda is small).
@@ -228,10 +270,10 @@ func poisson(rng *matrix.RNG, lambda float64) int {
 	}
 }
 
-// Print writes the aggregate report.
+// Print writes the aggregate report of a single-cell campaign.
 func (r *Report) Print(w io.Writer) {
-	fmt.Fprintf(w, "Monte-Carlo soft-error campaign: N=%d nb=%d, %d trials, λ=%.2f errors/run (bit flips, bits %d..%d)\n",
-		r.Config.N, r.Config.NB, len(r.Trials), r.Config.Lambda, r.Config.MinBit, r.Config.MaxBit)
+	fmt.Fprintf(w, "Monte-Carlo soft-error campaign: N=%d nb=%d, %d trials, λ=%.2f errors/run (region %s, bit flips, bits %d..%d)\n",
+		r.Config.N, r.Config.NB, len(r.Trials), r.Config.Lambda, r.Config.Region, r.Config.MinBit, r.Config.MaxBit)
 	fmt.Fprintf(w, "total injections: %d\n", r.Injections)
 	for _, o := range []Outcome{CleanPass, Recovered, SilentBenign, SilentCorrupt, Uncorrectable} {
 		fmt.Fprintf(w, "  %-14s %4d trials (%.1f%%)\n", o, r.ByOutcome[o],

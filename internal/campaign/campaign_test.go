@@ -2,10 +2,12 @@ package campaign
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/matrix"
 )
 
@@ -38,10 +40,10 @@ func TestPoissonZeroish(t *testing.T) {
 
 func TestSamplePlansShape(t *testing.T) {
 	rng := matrix.NewRNG(3)
-	cfg := Config{N: 254, NB: 32, Lambda: 3, MinBit: 20, MaxBit: 62}
+	cell := Cell{N: 254, NB: 32, Lambda: 3, MinBit: 20, MaxBit: 62}
 	total := 0
 	for i := 0; i < 200; i++ {
-		for _, p := range samplePlans(rng, cfg, 6) {
+		for _, p := range samplePlans(rng, cell, 6) {
 			total++
 			if p.TargetIter < 0 || p.TargetIter >= 6 {
 				t.Fatalf("iteration out of range: %+v", p)
@@ -53,6 +55,48 @@ func TestSamplePlansShape(t *testing.T) {
 	}
 	if total < 400 || total > 800 {
 		t.Fatalf("λ=3 over 200 runs gave %d plans, expected ≈600", total)
+	}
+}
+
+func TestSamplePlansRegions(t *testing.T) {
+	for region, allowed := range map[fault.Region]map[fault.Area]bool{
+		fault.RegionH:     {fault.Area1: true, fault.Area2: true},
+		fault.RegionQ:     {fault.Area3: true},
+		fault.RegionPanel: {fault.AreaPanel: true},
+	} {
+		rng := matrix.NewRNG(11)
+		cell := Cell{N: 254, NB: 32, Lambda: 2, MinBit: 20, MaxBit: 62, Region: region}
+		seen := 0
+		for i := 0; i < 100; i++ {
+			for _, p := range samplePlans(rng, cell, 6) {
+				seen++
+				if !allowed[p.Area] {
+					t.Fatalf("region %s sampled area %s", region, p.Area)
+				}
+				if region == fault.RegionQ && p.TargetIter == 0 {
+					t.Fatalf("region q sampled iteration 0")
+				}
+			}
+		}
+		if seen == 0 {
+			t.Fatalf("region %s sampled no plans", region)
+		}
+	}
+}
+
+func TestDeriveTrialSeedIndependent(t *testing.T) {
+	seen := map[uint64]bool{}
+	for cell := 0; cell < 8; cell++ {
+		for trial := 0; trial < 64; trial++ {
+			s := deriveTrialSeed(42, cell, trial)
+			if seen[s] {
+				t.Fatalf("seed collision at cell %d trial %d", cell, trial)
+			}
+			seen[s] = true
+			if s != deriveTrialSeed(42, cell, trial) {
+				t.Fatal("seed derivation is not a pure function")
+			}
+		}
 	}
 }
 
@@ -84,6 +128,24 @@ func TestRunCampaignSmall(t *testing.T) {
 	rep.Print(&b)
 	if !strings.Contains(b.String(), "recovered") {
 		t.Fatalf("report output:\n%s", b.String())
+	}
+}
+
+func TestJSONFloatRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1.5e-17, math.Inf(1), math.Inf(-1), math.NaN()} {
+		rec := TrialRecord{Residual: JSONFloat(v)}
+		var buf bytes.Buffer
+		if err := writeTrialRecord(&buf, rec); err != nil {
+			t.Fatalf("residual %v does not serialize: %v", v, err)
+		}
+		var back TrialRecord
+		if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &back); err != nil {
+			t.Fatal(err)
+		}
+		got := float64(back.Residual)
+		if got != v && !(math.IsNaN(got) && math.IsNaN(v)) {
+			t.Fatalf("residual %v round-tripped to %v", v, got)
+		}
 	}
 }
 

@@ -1,0 +1,262 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fault"
+	"repro/internal/ft"
+	"repro/internal/gpu"
+	"repro/internal/lapack"
+	"repro/internal/matrix"
+	"repro/internal/obs"
+)
+
+// The trial engine. Parallelism never influences results: each trial's
+// random stream is derived from (sweep seed, cell index, trial index)
+// alone, trials write only their own result slot, and the JSONL sink is
+// fed by a contiguous-prefix flusher that emits records in canonical
+// (cell-major, trial-minor) order regardless of completion order. A
+// -workers 1 and a -workers 64 run of the same sweep therefore produce
+// identical bytes everywhere but the wall clock.
+
+// trialResult pairs the machine-readable record with the in-memory trial.
+type trialResult struct {
+	record  TrialRecord
+	trial   Trial
+	resumed bool
+	err     error
+}
+
+// deriveTrialSeed maps (sweep seed, cell, trial) to an independent random
+// stream via two SplitMix64 scrambles. Scheduling never touches it.
+func deriveTrialSeed(seed uint64, cell, trial int) uint64 {
+	r := matrix.NewRNG(seed ^ 0x6a09e667f3bcc909)
+	base := r.Uint64()
+	h := matrix.NewRNG(base ^ uint64(cell+1)*0x9e3779b97f4a7c15 ^ uint64(trial+1)*0xd1342543de82ef95)
+	h.Uint64()
+	return h.Uint64()
+}
+
+// matrixFor returns (caching) the shared read-only input matrix of order n.
+func (s *Sweep) matrixFor(n int) *matrix.Matrix {
+	if s.mats == nil {
+		s.mats = map[int]*matrix.Matrix{}
+	}
+	if s.mats[n] == nil {
+		s.mats[n] = matrix.Random(n, n, s.Seed+1)
+	}
+	return s.mats[n]
+}
+
+// baseKey identifies a clean-run baseline configuration.
+type baseKey struct{ n, nb int }
+
+// baselines runs one clean (no-injection) reduction per distinct (N, NB)
+// and records its simulated makespan — the denominator of each cell's
+// recovery-overhead ratio. Serial and deterministic.
+func (s *Sweep) baselines(cells []Cell) map[baseKey]float64 {
+	out := map[baseKey]float64{}
+	for _, c := range cells {
+		key := baseKey{c.N, c.NB}
+		if _, ok := out[key]; ok {
+			continue
+		}
+		res, err := ft.Reduce(s.matrixFor(c.N), ft.Options{
+			NB:     c.NB,
+			Device: gpu.New(s.Params, gpu.Real),
+		})
+		if err == nil {
+			out[key] = res.SimSeconds
+		}
+	}
+	return out
+}
+
+// runTrial executes one trial from its derived seed. journal, when
+// non-nil, captures the FT event journal (triage re-runs).
+func (s *Sweep) runTrial(cell Cell, trial int, a *matrix.Matrix, journal *obs.Journal) trialResult {
+	seed := deriveTrialSeed(s.Seed, cell.Index, trial)
+	rng := matrix.NewRNG(seed)
+	iters := fault.BlockedIterations(cell.N, cell.NB)
+	var plans []fault.Plan
+	if iters > 0 {
+		plans = samplePlans(rng, cell, iters)
+	}
+
+	rec := TrialRecord{
+		Cell: cell.Index, N: cell.N, NB: cell.NB, Lambda: cell.Lambda,
+		Region: cell.Region, MinBit: cell.MinBit, MaxBit: cell.MaxBit,
+		Trial: trial, Seed: seed,
+	}
+	for _, p := range plans {
+		rec.Plans = append(rec.Plans, InjectionSummary{
+			Iter: p.TargetIter, Area: p.Area.String(), Bit: p.Bit,
+		})
+	}
+
+	var hook ft.Hook
+	var in *fault.Injector
+	if len(plans) > 0 {
+		in = fault.NewSchedule(plans...)
+		in.Journal = journal
+		hook = in
+	}
+	res, err := ft.Reduce(a, ft.Options{
+		NB:      cell.NB,
+		Device:  gpu.New(s.Params, gpu.Real),
+		Hook:    hook,
+		Journal: journal,
+	})
+
+	t := Trial{Seed: seed, Injections: rec.Plans, Err: err}
+	if in != nil {
+		rec.Injections = len(in.Log)
+	}
+	if err != nil {
+		if errors.Is(err, ft.ErrUncorrectable) || errors.Is(err, ft.ErrDetectionStorm) {
+			t.Outcome = Uncorrectable
+			rec.Detections = res.Detections
+			rec.Recoveries = res.Recoveries
+			rec.Reexecutions = res.Reexecutions
+			t.Err = nil
+		} else {
+			rec.Err = err.Error()
+			rec.Outcome = "error"
+			return trialResult{record: rec, trial: t, err: fmt.Errorf("campaign cell %d trial %d: %w", cell.Index, trial, err)}
+		}
+	} else {
+		t.Detections = res.Detections
+		t.Recoveries = res.Recoveries
+		rec.Detections = res.Detections
+		rec.Recoveries = res.Recoveries
+		rec.Reexecutions = res.Reexecutions
+		rec.QCorrections = res.QCorrections
+		rec.SimSeconds = res.SimSeconds
+		t.Residual = lapack.FactorizationResidual(a, res.Q(), res.H())
+		rec.Residual = JSONFloat(t.Residual)
+		correct := t.Residual <= s.ResidualTol
+		handled := res.Detections > 0 || res.QCorrections > 0
+		switch {
+		case rec.Injections == 0:
+			t.Outcome = CleanPass
+		case handled && correct:
+			t.Outcome = Recovered
+		case correct:
+			t.Outcome = SilentBenign
+		default:
+			t.Outcome = SilentCorrupt
+		}
+	}
+	rec.Outcome = t.Outcome.String()
+	rec.out = t.Outcome
+	return trialResult{record: rec, trial: t}
+}
+
+// runTrials fans the sweep's trials out over the worker pool and streams
+// completed records (canonical order, contiguous prefix) to TrialSink.
+func (s *Sweep) runTrials(cells []Cell) ([][]trialResult, error) {
+	nTrials := s.TrialsPerCell
+	total := len(cells) * nTrials
+	results := make([][]trialResult, len(cells))
+	for i := range results {
+		results[i] = make([]trialResult, nTrials)
+	}
+
+	// Seed the result grid with resumed records; collect the rest as
+	// pending work items.
+	type item struct{ cell, trial int }
+	var pending []item
+	completed := make([]bool, total)
+	for ci, cell := range cells {
+		for t := 0; t < nTrials; t++ {
+			rec, ok := s.Resume[TrialKey{Cell: ci, Trial: t}]
+			if ok && rec.Err == "" {
+				if rec.N != cell.N || rec.NB != cell.NB || rec.Lambda != cell.Lambda ||
+					rec.Region != cell.Region || rec.MinBit != cell.MinBit || rec.MaxBit != cell.MaxBit {
+					return nil, fmt.Errorf("campaign: resume record for cell %d trial %d does not match the sweep grid (have N=%d nb=%d λ=%g %s bits %d..%d)",
+						ci, t, rec.N, rec.NB, rec.Lambda, rec.Region, rec.MinBit, rec.MaxBit)
+				}
+				results[ci][t] = trialResult{record: rec, trial: rec.toTrial(), resumed: true}
+				completed[ci*nTrials+t] = true
+			} else {
+				pending = append(pending, item{ci, t})
+			}
+		}
+	}
+
+	// Pre-generate the shared inputs serially (trials only read them).
+	for _, c := range cells {
+		s.matrixFor(c.N)
+	}
+
+	var (
+		mu       sync.Mutex
+		cursor   = 0 // canonical flush position
+		done     = total - len(pending)
+		writeErr error
+	)
+	flush := func() {
+		for cursor < total && completed[cursor] {
+			res := results[cursor/nTrials][cursor%nTrials]
+			if !res.resumed && s.TrialSink != nil && writeErr == nil {
+				writeErr = writeTrialRecord(s.TrialSink, res.record)
+			}
+			cursor++
+		}
+	}
+	mu.Lock()
+	flush() // a fully resumed prefix advances the cursor immediately
+	mu.Unlock()
+
+	workers := s.Workers
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	body := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(pending) {
+				return
+			}
+			it := pending[i]
+			res := s.runTrial(cells[it.cell], it.trial, s.matrixFor(cells[it.cell].N), nil)
+			mu.Lock()
+			results[it.cell][it.trial] = res
+			completed[it.cell*nTrials+it.trial] = true
+			done++
+			flush()
+			if s.Progress != nil {
+				s.Progress(done, total)
+			}
+			mu.Unlock()
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go body()
+	}
+	wg.Wait()
+
+	if writeErr != nil {
+		return nil, fmt.Errorf("campaign: writing trial record: %w", writeErr)
+	}
+	// Report the first failure in canonical order, so the error (like the
+	// data) is independent of scheduling.
+	for ci := range results {
+		for _, res := range results[ci] {
+			if res.err != nil {
+				return nil, res.err
+			}
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,122 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"io"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// The machine-readable trial stream: one JSON object per trial, written in
+// canonical (cell-major, trial-minor) order. The file doubles as the
+// resume journal — LoadTrialJSONL turns a partial file back into the
+// Sweep.Resume map, and a resumed sweep appends only the missing records.
+
+// JSONFloat is a float64 that round-trips the non-finite values JSON
+// cannot represent: an exponent-bit flip can push a trial's residual to
+// ±Inf or NaN (the detector refuses such runs, but the record must still
+// serialize). See obs.Float for the encoding.
+type JSONFloat = obs.Float
+
+// InjectionSummary describes one planned error of a trial: enough, with
+// the trial seed, to replay the trial exactly.
+type InjectionSummary struct {
+	Iter int    `json:"iter"`
+	Area string `json:"area"`
+	Bit  uint   `json:"bit"`
+}
+
+// TrialRecord is one JSONL line: the cell coordinates, the trial's derived
+// seed, and everything measured.
+type TrialRecord struct {
+	Cell   int          `json:"cell"`
+	N      int          `json:"n"`
+	NB     int          `json:"nb"`
+	Lambda float64      `json:"lambda"`
+	Region fault.Region `json:"region"`
+	MinBit uint         `json:"min_bit"`
+	MaxBit uint         `json:"max_bit"`
+	Trial  int          `json:"trial"`
+	Seed   uint64       `json:"seed"`
+
+	Outcome string             `json:"outcome"`
+	Plans   []InjectionSummary `json:"plans,omitempty"`
+	// Injections counts performed corruptions (a plan can be void, e.g.
+	// Area 3 before any panel has finished).
+	Injections   int       `json:"injections"`
+	Detections   int       `json:"detections"`
+	Recoveries   int       `json:"recoveries"`
+	Reexecutions int       `json:"reexecutions"`
+	QCorrections int       `json:"q_corrections"`
+	Residual     JSONFloat `json:"residual"`
+	SimSeconds   float64   `json:"sim_seconds"`
+	Err          string    `json:"err,omitempty"`
+
+	out Outcome
+}
+
+// outcome returns the parsed Outcome (set at creation or load time).
+func (r TrialRecord) outcome() Outcome { return r.out }
+
+// toTrial reconstructs the in-memory Trial view of a resumed record.
+func (r TrialRecord) toTrial() Trial {
+	t := Trial{
+		Outcome:    r.out,
+		Seed:       r.Seed,
+		Injections: r.Plans,
+		Detections: r.Detections,
+		Recoveries: r.Recoveries,
+		Residual:   float64(r.Residual),
+	}
+	if r.Err != "" {
+		t.Err = errors.New(r.Err)
+	}
+	return t
+}
+
+// writeTrialRecord emits one JSONL line.
+func writeTrialRecord(w io.Writer, rec TrialRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// LoadTrialJSONL reads a (possibly partial) trial stream back into the
+// resume map keyed by (cell, trial). Unparsable lines — e.g. a record
+// truncated by an interrupted run — and records that ended in an error are
+// skipped, so the corresponding trials re-execute.
+func LoadTrialJSONL(r io.Reader) (map[TrialKey]TrialRecord, error) {
+	out := map[TrialKey]TrialRecord{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec TrialRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue
+		}
+		if rec.Err != "" {
+			continue
+		}
+		o, err := ParseOutcome(rec.Outcome)
+		if err != nil {
+			continue
+		}
+		rec.out = o
+		out[TrialKey{Cell: rec.Cell, Trial: rec.Trial}] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

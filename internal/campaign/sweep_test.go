@@ -1,0 +1,212 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// testSweep is a small grid that still exercises multiple cells, regions,
+// and enough trials to inject errors.
+func testSweep(workers int, sink *bytes.Buffer) *Sweep {
+	s := &Sweep{
+		Ns:            []int{96, 126},
+		NBs:           []int{16},
+		Lambdas:       []float64{0.5, 1.5},
+		Regions:       []fault.Region{fault.RegionAll, fault.RegionQ},
+		TrialsPerCell: 4,
+		Seed:          9,
+		Workers:       workers,
+	}
+	if sink != nil {
+		s.TrialSink = sink
+	}
+	return s
+}
+
+func runSweepOrFatal(t *testing.T, s *Sweep) (*SweepReport, string) {
+	t.Helper()
+	rep, err := RunSweep(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	rep.Print(&b)
+	var bench bytes.Buffer
+	if err := rep.WriteBenchJSON(&bench); err != nil {
+		t.Fatal(err)
+	}
+	return rep, b.String() + "\x00" + bench.String()
+}
+
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	var j1, j4 bytes.Buffer
+	_, out1 := runSweepOrFatal(t, testSweep(1, &j1))
+	rep4, out4 := runSweepOrFatal(t, testSweep(4, &j4))
+
+	if j1.String() != j4.String() {
+		t.Fatalf("JSONL differs between -workers 1 and -workers 4:\n%s\n---\n%s", j1.String(), j4.String())
+	}
+	if out1 != out4 {
+		t.Fatalf("aggregate report differs between worker counts:\n%s\n---\n%s", out1, out4)
+	}
+	if rep4.TotalTrials != 8*4 {
+		t.Fatalf("expected 32 trials, got %d", rep4.TotalTrials)
+	}
+	if rep4.Outcome(SilentCorrupt) != 0 {
+		t.Fatalf("silent corruption in test sweep: %+v", rep4.ByName)
+	}
+	if rep4.Injections == 0 {
+		t.Fatal("sweep injected nothing")
+	}
+}
+
+func TestSweepResumeFromPrefix(t *testing.T) {
+	var full bytes.Buffer
+	runSweepOrFatal(t, testSweep(2, &full))
+	lines := strings.SplitAfter(full.String(), "\n")
+	lines = lines[:len(lines)-1] // drop the empty tail
+	if len(lines) != 32 {
+		t.Fatalf("expected 32 JSONL lines, got %d", len(lines))
+	}
+
+	// Restart from the first 10 lines plus a truncated 11th (as an
+	// interrupted run would leave behind).
+	partial := strings.Join(lines[:10], "") + lines[10][:len(lines[10])/2]
+	resume, err := LoadTrialJSONL(strings.NewReader(partial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resume) != 10 {
+		t.Fatalf("resume loaded %d records, want 10 (truncated line skipped)", len(resume))
+	}
+
+	var appended bytes.Buffer
+	s := testSweep(3, &appended)
+	s.Resume = resume
+	runSweepOrFatal(t, s)
+	got := strings.Join(lines[:10], "") + appended.String()
+	if got != full.String() {
+		t.Fatalf("resumed run did not complete the stream:\n%q\nwant\n%q", got, full.String())
+	}
+}
+
+func TestSweepResumeGridMismatch(t *testing.T) {
+	var full bytes.Buffer
+	runSweepOrFatal(t, testSweep(1, &full))
+	resume, err := LoadTrialJSONL(strings.NewReader(full.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSweep(1, nil)
+	s.Ns = []int{96, 158} // different grid: records no longer line up
+	s.Resume = resume
+	if _, err := RunSweep(s); err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("grid mismatch not rejected: %v", err)
+	}
+}
+
+func TestSweepObsMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := testSweep(2, nil)
+	s.Obs = reg
+	rep, err := RunSweep(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for o := CleanPass; o <= Uncorrectable; o++ {
+		total += reg.CounterValue("campaign_trials_total", obs.L("outcome", o.String()))
+	}
+	if int(total) != rep.TotalTrials {
+		t.Fatalf("campaign_trials_total %v != %d trials", total, rep.TotalTrials)
+	}
+	if reg.CounterValue("campaign_injections_total") != float64(rep.Injections) {
+		t.Fatal("campaign_injections_total mismatch")
+	}
+	if reg.CounterValue("campaign_cells_total") != 8 {
+		t.Fatalf("campaign_cells_total = %v", reg.CounterValue("campaign_cells_total"))
+	}
+	if reg.GaugeValue("campaign_seconds") <= 0 {
+		t.Fatal("campaign_seconds not set")
+	}
+}
+
+func TestSweepOverheadAndCoverage(t *testing.T) {
+	s := &Sweep{
+		Ns: []int{126}, NBs: []int{16}, Lambdas: []float64{1.5},
+		TrialsPerCell: 12, Seed: 4, Workers: 2,
+	}
+	rep, err := RunSweep(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Cells[0]
+	if c.BaselineSimSeconds <= 0 {
+		t.Fatal("no clean baseline recorded")
+	}
+	if c.FaultedTrials == 0 {
+		t.Fatal("λ=1.5 over 12 trials injected nothing")
+	}
+	if c.Coverage < 0 || c.Coverage > 1 {
+		t.Fatalf("coverage %v out of range", c.Coverage)
+	}
+	// Faulted runs carry recovery work, so their mean simulated time must
+	// be at or above the clean baseline whenever recoveries happened.
+	if c.Recoveries > 0 && c.MeanFaultedSimSeconds < c.BaselineSimSeconds {
+		t.Fatalf("mean faulted %v < baseline %v despite %d recoveries",
+			c.MeanFaultedSimSeconds, c.BaselineSimSeconds, c.Recoveries)
+	}
+}
+
+func TestTriageCapturesJournal(t *testing.T) {
+	s := testSweep(1, nil)
+	if err := s.validate(); err != nil {
+		t.Fatal(err)
+	}
+	cells := s.cells()
+	cell := cells[0]
+	// Fabricate a "failed" record for trial 2 and triage it: the re-run
+	// must replay the same seed and capture the FT event journal.
+	res := s.runTrial(cell, 2, s.matrixFor(cell.N), nil)
+	repro := s.triage(cell, res.record)
+	if repro.Seed != res.record.Seed {
+		t.Fatalf("triage seed %d != trial seed %d", repro.Seed, res.record.Seed)
+	}
+	if repro.Rerun != res.record.Outcome {
+		t.Fatalf("triage re-run outcome %q != original %q (determinism broken)", repro.Rerun, res.record.Outcome)
+	}
+	if len(repro.Events) == 0 {
+		t.Fatal("triage captured no FT events")
+	}
+	if len(res.record.Plans) > 0 {
+		found := false
+		for _, e := range repro.Events {
+			if e.Kind == obs.KindInjection {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("journal has no injection events despite planned errors")
+		}
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	bad := []*Sweep{
+		{},
+		{Ns: []int{126}},
+		{Ns: []int{-1}, TrialsPerCell: 1},
+		{Ns: []int{126}, TrialsPerCell: 1, Lambdas: []float64{-2}},
+		{Ns: []int{126}, TrialsPerCell: 1, BitRanges: [][2]uint{{40, 20}}},
+		{Ns: []int{126}, TrialsPerCell: 1, BitRanges: [][2]uint{{20, 64}}},
+	}
+	for i, s := range bad {
+		if _, err := s.Run(); err == nil {
+			t.Fatalf("invalid sweep %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package campaign
+
+import (
+	"repro/internal/obs"
+)
+
+// Triage of failed trials. A SilentCorrupt or Uncorrectable trial is the
+// signal the whole campaign exists to find, so the engine does not leave
+// it as a bare counter: it emits a minimal reproduction record — the
+// derived seed plus the planned (iteration, area, bit) list replays the
+// trial exactly — and re-runs that single trial with the internal/obs FT
+// event journal attached, so the protection machinery's step-by-step
+// behavior (checksum checks, detections, reversals, corrections) is on
+// file before anyone starts debugging.
+
+// Repro is the minimal reproduction record of one failed trial.
+type Repro struct {
+	Cell    Cell               `json:"cell"`
+	Trial   int                `json:"trial"`
+	Seed    uint64             `json:"seed"`
+	Outcome string             `json:"outcome"`
+	Rerun   string             `json:"rerun_outcome"`
+	Plans   []InjectionSummary `json:"plans"`
+	// Residual is the failed run's factorization residual (0 when the run
+	// aborted with ErrUncorrectable before producing a factorization).
+	Residual JSONFloat `json:"residual"`
+	// Events is the FT event journal captured on the automatic re-run:
+	// injections, checksum checks, detections, reversals, checkpoint
+	// restores, corrections, re-executions, in simulated-time order.
+	Events []obs.Event `json:"events"`
+}
+
+// triage re-runs one failed trial with a journal attached and packages
+// the minimal repro. Deterministic: the re-run replays the same seed.
+func (s *Sweep) triage(cell Cell, rec TrialRecord) Repro {
+	j := obs.NewJournal()
+	res := s.runTrial(cell, rec.Trial, s.matrixFor(cell.N), j)
+	return Repro{
+		Cell:     cell,
+		Trial:    rec.Trial,
+		Seed:     rec.Seed,
+		Outcome:  rec.Outcome,
+		Rerun:    res.record.Outcome,
+		Plans:    res.record.Plans,
+		Residual: rec.Residual,
+		Events:   j.Events(),
+	}
+}

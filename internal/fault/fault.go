@@ -18,6 +18,7 @@
 package fault
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/ft"
@@ -37,6 +38,13 @@ const (
 	Area2 Area = 2
 	// Area3 is the finished Householder-vector region on the host.
 	Area3 Area = 3
+	// AreaPanel is the sub-region of Area 2 holding the panel columns the
+	// upcoming iteration factorizes — the data that is about to be sent to
+	// the host and diskless-checkpointed, so an error here is captured by
+	// the checkpoint itself and must be caught by the checksum location
+	// step rather than the restore (an extension of the paper's A1/A2/A3
+	// taxonomy used by the campaign engine's region sweeps).
+	AreaPanel Area = 4
 )
 
 func (a Area) String() string {
@@ -47,8 +55,79 @@ func (a Area) String() string {
 		return "Area2"
 	case Area3:
 		return "Area3"
+	case AreaPanel:
+		return "Panel"
 	}
 	return fmt.Sprintf("Area(%d)", int(a))
+}
+
+// Region groups the injection areas by the memory they live in, the
+// granularity at which the campaign engine sweeps targets: the paper's
+// Tables II-III split results by H-side (trailing matrix, Areas 1-2)
+// versus Q-side (host Householder store, Area 3) protection.
+type Region int
+
+const (
+	// RegionAll samples all areas, weighted by their memory footprint.
+	RegionAll Region = iota
+	// RegionH restricts injections to the device trailing matrix
+	// (Areas 1 and 2), the data protected by the Sre/Sce checksums.
+	RegionH
+	// RegionQ restricts injections to the host Householder storage
+	// (Area 3), protected by the end-of-run Q checksums.
+	RegionQ
+	// RegionPanel restricts injections to the active panel columns
+	// (AreaPanel), stressing the diskless-checkpoint path.
+	RegionPanel
+)
+
+func (r Region) String() string {
+	switch r {
+	case RegionAll:
+		return "all"
+	case RegionH:
+		return "h"
+	case RegionQ:
+		return "q"
+	case RegionPanel:
+		return "panel"
+	}
+	return fmt.Sprintf("Region(%d)", int(r))
+}
+
+// ParseRegion inverts Region.String.
+func ParseRegion(s string) (Region, error) {
+	switch s {
+	case "all":
+		return RegionAll, nil
+	case "h":
+		return RegionH, nil
+	case "q":
+		return RegionQ, nil
+	case "panel":
+		return RegionPanel, nil
+	}
+	return RegionAll, fmt.Errorf("fault: unknown region %q (want all|h|q|panel)", s)
+}
+
+// MarshalJSON encodes a Region as its name, keeping campaign artifacts
+// readable and stable across enum reordering.
+func (r Region) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.String())
+}
+
+// UnmarshalJSON decodes a Region name.
+func (r *Region) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseRegion(s)
+	if err != nil {
+		return err
+	}
+	*r = parsed
+	return nil
 }
 
 // Moment names when during the factorization the error strikes, matching
@@ -198,6 +277,10 @@ func positions(plan Plan, n, p, nb int) []Pos {
 		case Area2:
 			// Lower trailing part.
 			pos = Pos{Row: k + rng.Intn(n-k), Col: p + rng.Intn(n-p)}
+		case AreaPanel:
+			// The panel columns of the lower trailing part — about to be
+			// transferred to the host and checkpointed.
+			pos = Pos{Row: k + rng.Intn(n-k), Col: p + rng.Intn(nb)}
 		default: // Area3
 			// Finished Householder storage: column c < p, row ≥ c+2.
 			if p == 0 {
@@ -288,7 +371,7 @@ func (in *Injector) inject(dev *gpu.Device, dA *gpu.Matrix, host *matrix.Matrix,
 	if target == ft.TargetQ {
 		ev.Target = obs.TargetQ
 	}
-	ev.Row, ev.Col, ev.Value = pos.Row, pos.Col, delta
+	ev.Row, ev.Col, ev.Value = pos.Row, pos.Col, obs.Float(delta)
 	in.Journal.Append(ev)
 }
 

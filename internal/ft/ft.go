@@ -156,6 +156,12 @@ type Result struct {
 	Detections int
 	// Recoveries counts successful reverse+correct+re-execute cycles.
 	Recoveries int
+	// Reexecutions counts blocked iterations repeated after recovery
+	// (equals the ft_reexecutions_total counter).
+	Reexecutions int
+	// Checkpoints counts diskless panel-checkpoint captures (equals the
+	// ft_checkpoints_total counter).
+	Checkpoints int
 	// CorrectedH lists the corrected device-matrix positions.
 	CorrectedH []Injection
 	// QCorrections counts elements repaired by the Q checksum check.
@@ -370,7 +376,7 @@ func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) 
 			r.count("ft_detections_total")
 			det := obs.Ev(obs.KindDetection, iter)
 			det.Target = obs.TargetH
-			det.Value = r.lastDetectGap
+			det.Value = obs.Float(r.lastDetectGap)
 			r.journal(det)
 			if attempt >= opt.MaxRecoveries {
 				return r.res, fmt.Errorf("%w (iteration %d)", ErrDetectionStorm, iter)
@@ -394,7 +400,7 @@ func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) 
 		r.count("ft_detections_total")
 		det := obs.Ev(obs.KindDetection, iter)
 		det.Target = obs.TargetH
-		det.Value = r.lastDetectGap
+		det.Value = obs.Float(r.lastDetectGap)
 		det.Outcome = "post-process"
 		r.journal(det)
 		retryOpt := opt
@@ -488,6 +494,7 @@ func (r *reducer) iteration(iter, p, ib int, prevLeft sim.Event, redo bool) (sim
 			r.hostA.View(k, p, n-k, ib).CopyFrom(r.ckPanel.View(k, 0, n-k, ib))
 		})
 		r.count("ft_reexecutions_total")
+		r.res.Reexecutions++
 		re := obs.Ev(obs.KindReexecution, iter)
 		re.Target = obs.TargetH
 		r.journal(re)
@@ -508,6 +515,7 @@ func (r *reducer) iteration(iter, p, ib int, prevLeft sim.Event, redo bool) (sim
 		ckSeg := r.ckChkRow.View(0, 0, 1, ib)
 		dev.Sync(dev.D2HAsync(ckSeg, r.dA, n, p, prevLeft))
 		r.count("ft_checkpoints_total")
+		r.res.Checkpoints++
 		ck := obs.Ev(obs.KindCheckpointSave, iter)
 		ck.Target = obs.TargetH
 		r.journal(ck)

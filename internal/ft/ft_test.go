@@ -248,6 +248,31 @@ func TestAmbiguousPatternRejected(t *testing.T) {
 	}
 }
 
+func TestNonFiniteCorruptionNeverSilent(t *testing.T) {
+	// An exponent-bit flip can turn an element into ±Inf or NaN, driving
+	// both checksum totals non-finite — where |Sre−Sce| = NaN compares
+	// false against every τ and the unguarded detector goes blind. The
+	// pollution is irreversible (Inf−Inf = NaN defeats reverse
+	// computation), so the contract is: detect and refuse, never return a
+	// silently corrupted factorization. Found by a cmd/campaign sweep.
+	n := 126
+	for _, delta := range []float64{math.Inf(1), math.NaN()} {
+		a := matrix.Random(n, n, 12)
+		hook := &pokeHook{iter: 1, pokes: []Injection{{Row: 80, Col: 70, Delta: delta}}}
+		res, err := Reduce(a, Options{NB: 16, Device: newDev(), Hook: hook})
+		if err == nil {
+			r := lapack.FactorizationResidual(a, res.Q(), res.H())
+			t.Fatalf("delta %v: non-finite corruption returned without error (residual %v)", delta, r)
+		}
+		if !errors.Is(err, ErrUncorrectable) && !errors.Is(err, ErrDetectionStorm) {
+			t.Fatalf("delta %v: unexpected error %v", delta, err)
+		}
+		if res.Detections == 0 {
+			t.Fatalf("delta %v: detector stayed blind", delta)
+		}
+	}
+}
+
 // stormHook always reports a pending error (cost-only), forcing endless
 // detection.
 type stormHook struct{}

@@ -119,7 +119,7 @@ func (q *qChecksums) verifyAndCorrect(dev *gpu.Device, hostA *matrix.Matrix, lim
 			if r != nil {
 				ev := obs.Ev(obs.KindCorrection, iter)
 				ev.Target = obs.TargetQ
-				ev.Row, ev.Col, ev.Value = i, c, delta
+				ev.Row, ev.Col, ev.Value = i, c, obs.Float(delta)
 				r.journal(ev)
 			}
 		}

@@ -40,11 +40,19 @@ func (r *reducer) detectAt(iter int) bool {
 		}
 		r.lastDetectGap = math.Abs(sre - sce)
 		mismatch = r.lastDetectGap > r.tauDet
+		// Overflow blindness: a flip landing in the exponent can drive a
+		// value — and with it both running totals — to ±Inf or NaN, where
+		// Inf−Inf = NaN compares false against every τ. A clean reduction
+		// keeps both totals finite (‖A‖₁ is bounded), so a non-finite
+		// total is itself proof of corruption.
+		if math.IsNaN(r.lastDetectGap) || math.IsInf(sre, 0) || math.IsInf(sce, 0) {
+			mismatch = true
+		}
 	}
 	r.count("ft_checksum_checks_total")
 	ev := obs.Ev(obs.KindChecksumCheck, iter)
 	ev.Target = obs.TargetH
-	ev.Value = r.lastDetectGap
+	ev.Value = obs.Float(r.lastDetectGap)
 	ev.Outcome = "clean"
 	if mismatch {
 		ev.Outcome = "mismatch"
@@ -190,7 +198,7 @@ func (r *reducer) locateAndCorrect(iter, split, panel int, patchPanel bool) erro
 		r.count("ft_corrections_total")
 		corr := obs.Ev(obs.KindCorrection, iter)
 		corr.Target = obs.TargetH
-		corr.Row, corr.Col, corr.Value = i, j, delta
+		corr.Row, corr.Col, corr.Value = i, j, obs.Float(delta)
 		r.journal(corr)
 	}
 

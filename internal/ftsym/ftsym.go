@@ -90,6 +90,9 @@ type Result struct {
 	Detections int
 	Recoveries int
 	Corrected  []ft.Injection
+	// Reexecutions counts blocked iterations repeated after recovery
+	// (equals the ftsym_reexecutions_total counter).
+	Reexecutions int
 }
 
 // Q forms the orthogonal factor explicitly.
@@ -179,6 +182,7 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 		for attempt := 0; ; attempt++ {
 			np := n - p
 			if attempt > 0 {
+				res.Reexecutions++
 				opt.Obs.Counter("ftsym_reexecutions_total").Inc()
 				opt.Journal.Append(obs.Ev(obs.KindReexecution, iter))
 			}
@@ -335,7 +339,11 @@ func detect(w *matrix.Matrix, chk []float64, p, nb int, tol float64) bool {
 		}
 	}
 	for i := p + nb; i < n; i++ {
-		if math.Abs(fresh[i]-chk[i]) > tol {
+		// NaN (e.g. Inf−Inf after an exponent-bit flip overflows the
+		// block) compares false against every tol; a non-finite row sum
+		// is itself proof of corruption.
+		d := math.Abs(fresh[i] - chk[i])
+		if d > tol || math.IsNaN(d) {
 			return true
 		}
 	}
@@ -368,7 +376,7 @@ func locateAndCorrect(w *matrix.Matrix, ckPanel *matrix.Matrix, chk []float64, r
 		res.Corrected = append(res.Corrected, ft.Injection{Row: i, Col: j, Delta: delta, Target: ft.TargetH, Iter: iter})
 		opt.Obs.Counter("ftsym_corrections_total").Inc()
 		corr := obs.Ev(obs.KindCorrection, iter)
-		corr.Row, corr.Col, corr.Value = i, j, delta
+		corr.Row, corr.Col, corr.Value = i, j, obs.Float(delta)
 		opt.Journal.Append(corr)
 	}
 	switch {

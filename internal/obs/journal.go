@@ -2,7 +2,9 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"math"
 	"sync"
 )
 
@@ -65,7 +67,54 @@ type Event struct {
 	Outcome string  `json:"outcome,omitempty"`
 	Row     int     `json:"row"`
 	Col     int     `json:"col"`
-	Value   float64 `json:"value,omitempty"`
+	Value   Float   `json:"value,omitempty"`
+}
+
+// Float is a float64 that round-trips the non-finite values JSON cannot
+// represent. Journaled quantities can legitimately be non-finite — the
+// detection gap |Sre−Sce| is ±Inf or NaN after an overflow-inducing bit
+// flip — and a journal that fails to serialize exactly when something
+// interesting happened would be useless. Non-finite values encode as the
+// strings "+Inf", "-Inf", "NaN"; everything else as a plain number.
+type Float float64
+
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+func (f *Float) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "+Inf":
+			*f = Float(math.Inf(1))
+		case "-Inf":
+			*f = Float(math.Inf(-1))
+		case "NaN":
+			*f = Float(math.NaN())
+		default:
+			return fmt.Errorf("obs: bad float %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = Float(v)
+	return nil
 }
 
 // Ev returns an Event skeleton with Row/Col marked not-applicable.

@@ -1,0 +1,57 @@
+#!/bin/sh
+# docs_lint.sh — fail CI when the prose drifts from the code.
+#
+# 1. Every `./cmd/...` or `./examples/...` package referenced by an
+#    embedded command in README.md / EXPERIMENTS.md / DESIGN.md must
+#    exist and build.
+# 2. Every internal/* package must carry a non-empty package doc
+#    comment (the reliability story is documented at the source).
+#
+# Run from the repository root: ./scripts/docs_lint.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+fail=0
+
+docs="README.md EXPERIMENTS.md DESIGN.md"
+
+# --- embedded commands must reference real, buildable packages --------
+pkgs=$(grep -ho '\./\(cmd\|examples\)/[a-z0-9_]*' $docs | sort -u)
+if [ -z "$pkgs" ]; then
+    echo "docs_lint: no ./cmd or ./examples references found — lint is broken" >&2
+    exit 1
+fi
+for p in $pkgs; do
+    if [ ! -d "$p" ]; then
+        echo "docs_lint: $docs reference $p but it does not exist" >&2
+        fail=1
+        continue
+    fi
+    if ! go build "$p" 2>/dev/null; then
+        echo "docs_lint: documented package $p does not build" >&2
+        go build "$p" >&2 || true
+        fail=1
+    fi
+done
+echo "docs_lint: $(echo "$pkgs" | wc -l) documented packages build"
+
+# --- experiment selectors named in the docs must exist in the harness --
+exps=$(grep -ho '\-exp [a-zA-Z0-9]*' $docs | awk '{print $2}' | sort -u)
+for e in $exps; do
+    if ! grep -rq "\"$e\"" cmd/experiments internal/bench; then
+        echo "docs_lint: docs mention -exp $e but the harness does not" >&2
+        fail=1
+    fi
+done
+
+# --- every internal package needs a package doc -----------------------
+for d in internal/*/; do
+    pkg=$(basename "$d")
+    if ! grep -rql "^// Package $pkg" "$d"; then
+        echo "docs_lint: internal/$pkg has no package doc comment" >&2
+        fail=1
+    fi
+done
+echo "docs_lint: all internal packages carry package docs"
+
+exit $fail
