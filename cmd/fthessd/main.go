@@ -1,0 +1,83 @@
+// Command fthessd serves Hessenberg / tridiagonal reductions over HTTP:
+// a bounded job scheduler in front of the simulated hybrid platform, with
+// fault injection, Matrix Market uploads, Prometheus metrics, and
+// graceful draining on SIGINT/SIGTERM.
+//
+// Examples:
+//
+//	fthessd -addr :8080 -capacity 2 -queue 16
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"n":256,"algorithm":"ft"}'
+//	curl -s localhost:8080/v1/jobs/j1
+//	curl -s localhost:8080/v1/jobs/j1/result
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/blas"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	capacity := flag.Int("capacity", 2, "max concurrent reductions")
+	queue := flag.Int("queue", 16, "queued jobs beyond capacity before 429")
+	maxn := flag.Int("maxn", 4096, "largest matrix order a job may request")
+	maxBody := flag.Int64("max-body", 8<<20, "request body limit in bytes (bounds uploads)")
+	drain := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+	threads := flag.Int("threads", 0, "host BLAS worker threads (0 = GOMAXPROCS)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected argument %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+	if *threads > 0 {
+		blas.SetMaxProcs(*threads)
+	}
+
+	srv := serve.New(serve.Config{
+		Capacity:     *capacity,
+		QueueDepth:   *queue,
+		MaxN:         *maxn,
+		MaxBodyBytes: *maxBody,
+	})
+	// Fold host BLAS throughput into the same /metrics exposition.
+	blas.SetObs(srv.Registry())
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		log.Printf("shutting down: draining in-flight jobs (timeout %s)", *drain)
+		sd, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(sd); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		if err := srv.Shutdown(sd); err != nil {
+			log.Printf("scheduler drain hit the deadline; in-flight jobs were cancelled: %v", err)
+		}
+	}()
+
+	log.Printf("fthessd listening on %s (capacity=%d queue=%d maxn=%d)",
+		*addr, *capacity, *queue, *maxn)
+	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("listen: %v", err)
+	}
+	<-drained
+	log.Printf("fthessd stopped")
+}

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -54,6 +55,14 @@ func (a Algorithm) String() string {
 
 // Options configures a reduction.
 type Options struct {
+	// Ctx, when non-nil, makes the reduction cancellable: the hybrid
+	// algorithms (FaultTolerant, Baseline) poll it at every blocked
+	// iteration boundary and between panel columns, so cancelling the
+	// context makes Reduce return ctx.Err() (context.Canceled or
+	// context.DeadlineExceeded) within one iteration, with the device
+	// and the shared BLAS pool left reusable. CPUOnly checks once, up
+	// front (its single LAPACK call is not interruptible).
+	Ctx context.Context
 	// Algorithm defaults to FaultTolerant.
 	Algorithm Algorithm
 	// NB is the block size (32, the paper's choice, if zero).
@@ -147,13 +156,19 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 		if n != a.Cols {
 			return nil, errors.New("core: matrix must be square")
 		}
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		packed := a.Clone()
 		tau := make([]float64, max(n-1, 1))
 		lapack.Dgehrd(n, nb, packed.Data, packed.Stride, tau)
 		return &Result{Algorithm: CPUOnly, N: n, NB: nb, Packed: packed, Tau: tau}, nil
 	case Baseline:
 		res, err := hybrid.Reduce(a, hybrid.Options{
-			NB: nb, Device: opt.device(), DisableOverlap: opt.DisableOverlap,
+			Ctx: opt.Ctx,
+			NB:  nb, Device: opt.device(), DisableOverlap: opt.DisableOverlap,
 			Obs: opt.Obs,
 		})
 		if err != nil {
@@ -166,7 +181,8 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 		}, nil
 	default:
 		res, err := ft.Reduce(a, ft.Options{
-			NB: nb, Device: opt.device(),
+			Ctx: opt.Ctx,
+			NB:  nb, Device: opt.device(),
 			ThresholdFactor:    opt.ThresholdFactor,
 			FinalHCheck:        opt.FinalHCheck,
 			DisableQProtection: opt.DisableQProtection,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/ftsym"
@@ -12,6 +13,10 @@ import (
 // SymOptions configures the symmetric (tridiagonalization) path — the
 // paper's future-work factorization family.
 type SymOptions struct {
+	// Ctx, when non-nil, makes the reduction cancellable at blocked
+	// iteration boundaries; ReduceSym then returns ctx.Err() within one
+	// iteration of cancellation. See Options.Ctx.
+	Ctx context.Context
 	// NB is the block size (32 if zero).
 	NB int
 	// FaultTolerant selects the resilient host algorithm (internal/ftsym);
@@ -63,7 +68,7 @@ func ReduceSym(a *matrix.Matrix, opt SymOptions) (*SymResult, error) {
 		if opt.CostOnly {
 			return nil, errors.New("core: the fault-tolerant symmetric path is host-side (no cost-only mode)")
 		}
-		res, err := ftsym.Reduce(a, ftsym.Options{NB: nb, Hook: opt.Hook})
+		res, err := ftsym.Reduce(a, ftsym.Options{Ctx: opt.Ctx, NB: nb, Hook: opt.Hook})
 		if err != nil {
 			return nil, err
 		}
@@ -75,7 +80,7 @@ func ReduceSym(a *matrix.Matrix, opt SymOptions) (*SymResult, error) {
 		}, nil
 	}
 	base := Options{NB: nb, CostOnly: opt.CostOnly}
-	res, err := hybrid.ReduceSym(a, hybrid.Options{NB: nb, Device: base.device()})
+	res, err := hybrid.ReduceSym(a, hybrid.Options{Ctx: opt.Ctx, NB: nb, Device: base.device()})
 	if err != nil {
 		return nil, err
 	}

@@ -31,6 +31,7 @@
 package ft
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -105,6 +106,12 @@ type Hook interface {
 
 // Options configures the fault-tolerant reduction.
 type Options struct {
+	// Ctx, when non-nil, cancels the reduction: it is checked at every
+	// blocked-iteration boundary (including re-execution attempts) and
+	// between panel columns, so cancellation is observed within one
+	// iteration and Reduce returns ctx.Err(). Device allocations are
+	// freed and the BLAS pool left idle, so both stay reusable.
+	Ctx context.Context
 	// NB is the block size (hybrid.DefaultNB if zero).
 	NB int
 	// Device is the simulated accelerator. Required.
@@ -269,6 +276,11 @@ func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) 
 			opt.Obs.Counter(name)
 		}
 	}
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	dev.SetContext(ctx)
 
 	r := &reducer{
 		opt:   opt,
@@ -347,6 +359,9 @@ func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) 
 		iter = snap.Iter
 	}
 	for ; n-1-p > nx; p += nb {
+		if err := ctx.Err(); err != nil {
+			return r.res, err
+		}
 		ib := min(nb, n-1-p)
 
 		if opt.Hook != nil {
@@ -415,6 +430,9 @@ func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) 
 		return retry, nil
 	}
 
+	if err := ctx.Err(); err != nil {
+		return r.res, err
+	}
 	// Optional whole-matrix verification of the device-resident H data.
 	if opt.FinalHCheck {
 		dev.SetPhase("final_check")
@@ -524,7 +542,9 @@ func (r *reducer) iteration(iter, p, ib int, prevLeft sim.Event, redo bool) (sim
 	// Line 5: hybrid panel factorization (CPU + device GEMV), identical to
 	// the non-fault-tolerant algorithm.
 	dev.SetPhase("panel")
-	hybrid.PanelFactor(dev, r.hostA, r.yHost, r.tHost, r.tau, r.dataView(), r.dVcol, r.dYcol, n, p, k, ib)
+	if err := hybrid.PanelFactor(dev, r.hostA, r.yHost, r.tHost, r.tau, r.dataView(), r.dVcol, r.dYcol, n, p, k, ib); err != nil {
+		return prevLeft, err
+	}
 
 	// Maintain the Q checksums on the otherwise idle CPU (Section IV-E,
 	// Figure 5) — overlapped with the device work below.

@@ -29,6 +29,7 @@
 package ftsym
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -60,6 +61,12 @@ type Hook interface {
 
 // Options configures the resilient reduction.
 type Options struct {
+	// Ctx, when non-nil, cancels the reduction: it is checked at every
+	// blocked-iteration boundary (including recovery re-executions), so
+	// cancellation is observed within one iteration and Reduce returns
+	// ctx.Err(). This is a host-only algorithm; the BLAS pool is left
+	// idle and reusable.
+	Ctx context.Context
 	// NB is the block size (32 if zero).
 	NB int
 	// ThresholdFactor scales τ = ThresholdFactor·ε·N·‖A‖₁ (default 200).
@@ -164,10 +171,17 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 	wPanel := matrix.New(n, nb) // DLATRD's W factor (retained for reversal)
 	ckPanel := matrix.New(n, nb)
 
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	nx := max(nb, 2)
 	p := 0
 	iter := 0
 	for ; n-p > nx+nb; p += nb {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		if opt.Hook != nil {
 			opt.Hook.BeforeIteration(iter, p, w)
 		}
@@ -180,6 +194,9 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 		opt.Journal.Append(obs.Ev(obs.KindCheckpointSave, iter))
 
 		for attempt := 0; ; attempt++ {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
 			np := n - p
 			if attempt > 0 {
 				res.Reexecutions++
@@ -240,6 +257,9 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 			res.D[j] = w.At(j, j)
 		}
 		iter++
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
 	}
 	// Unblocked remainder.
 	lapack.Dsytd2(n-p, w.Data[p*w.Stride+p:], w.Stride, res.D[p:], res.E[p:], res.Tau[p:])

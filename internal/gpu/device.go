@@ -21,7 +21,9 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/matrix"
 	"repro/internal/obs"
@@ -76,6 +78,17 @@ type Device struct {
 	phase      string
 	opCounters map[string]*obs.Counter
 	phaseHists map[string]*obs.Histogram
+	// phasePub mirrors phase for concurrent readers: the serving layer
+	// polls it from HTTP handlers while the owning goroutine runs the
+	// reduction. account() keeps using the plain field — the device is
+	// otherwise single-goroutine and the hot path must stay lock-free.
+	phasePub atomic.Value
+	// ctx, when set, is the cancellation signal the iteration loops of
+	// hybrid/ft poll at their boundaries (and PanelFactor per panel
+	// column). The simulated device executes eagerly — no goroutines,
+	// no in-flight work between operations — so honoring ctx at those
+	// points drains both streams by construction.
+	ctx context.Context
 
 	// Flow tracking links each async D2H copy span to the host-op span
 	// that consumes it (rendered as flow arrows in the Chrome trace).
@@ -161,7 +174,39 @@ func (d *Device) Obs() *obs.Registry { return d.obs }
 func (d *Device) SetPhase(name string) string {
 	prev := d.phase
 	d.phase = name
+	d.phasePub.Store(name)
 	return prev
+}
+
+// Phase reports the phase most recently set via SetPhase. Unlike every
+// other Device method it is safe to call concurrently with a running
+// reduction, which is how the serving layer exposes job progress.
+func (d *Device) Phase() string {
+	if v := d.phasePub.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// SetContext attaches a cancellation context to the device. The hybrid
+// and fault-tolerant reductions install their context here on entry so
+// that every layer holding a *Device — down to the per-column device
+// GEMV loop of the panel factorization — can poll one signal. nil
+// detaches (never cancelled).
+func (d *Device) SetContext(ctx context.Context) {
+	d.ctx = ctx
+}
+
+// CtxErr returns the attached context's error (context.Canceled or
+// context.DeadlineExceeded), or nil when no context is attached or it is
+// still live. Cancellation points check this between operations; because
+// the simulated streams execute eagerly there is nothing in flight to
+// abandon, so returning at a check point leaves the device reusable.
+func (d *Device) CtxErr() error {
+	if d.ctx == nil {
+		return nil
+	}
+	return d.ctx.Err()
 }
 
 // account feeds one charged cost into the attached registry under the

@@ -1,0 +1,44 @@
+package gpu_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/hybrid"
+	"repro/internal/leakcheck"
+	"repro/internal/matrix"
+	"repro/internal/sim"
+)
+
+// TestDeviceTeardownNoLeak: a full hybrid reduction allocates device
+// matrices, drives the three simulated lanes, and fans work out to the
+// BLAS pool; once it returns, nothing it started may still be running
+// (the pool's resident workers are filtered by leakcheck as by-design).
+func TestDeviceTeardownNoLeak(t *testing.T) {
+	leakcheck.Check(t)
+	dev := gpu.New(sim.K40c(), gpu.Real)
+	a := matrix.Random(64, 64, 1)
+	if _, err := hybrid.Reduce(a, hybrid.Options{NB: 8, Device: dev}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeviceTeardownAfterCancelNoLeak: tearing down mid-reduction via
+// context cancel must be just as clean — the device's deferred frees run
+// and no goroutine or pool work item is left behind.
+func TestDeviceTeardownAfterCancelNoLeak(t *testing.T) {
+	leakcheck.Check(t)
+	dev := gpu.New(sim.K40c(), gpu.Real)
+	a := matrix.Random(64, 64, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := hybrid.Reduce(a, hybrid.Options{Ctx: ctx, NB: 8, Device: dev}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled hybrid.Reduce: %v", err)
+	}
+	// The same device must still be usable for a full run.
+	if _, err := hybrid.Reduce(a, hybrid.Options{NB: 8, Device: dev}); err != nil {
+		t.Fatalf("reuse after cancel: %v", err)
+	}
+}

@@ -27,6 +27,7 @@
 package hybrid
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/blas"
@@ -56,6 +57,13 @@ type IterInfo struct {
 
 // Options configures the reduction.
 type Options struct {
+	// Ctx, when non-nil, cancels the reduction: it is checked at every
+	// blocked-iteration boundary and between panel columns, so
+	// cancellation is observed within one iteration and Reduce returns
+	// ctx.Err() (context.Canceled / context.DeadlineExceeded). The
+	// device allocations are freed and the BLAS pool is left idle, so
+	// both stay reusable after a cancelled run.
+	Ctx context.Context
 	// NB is the block size (DefaultNB if zero).
 	NB int
 	// Device is the simulated accelerator to run on. Required.
@@ -123,6 +131,11 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 	if opt.Obs != nil {
 		dev.SetObs(opt.Obs)
 	}
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	dev.SetContext(ctx)
 
 	hostA := a.Clone()
 	tau := make([]float64, max(n-1, 1))
@@ -161,6 +174,9 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 	p := 0
 	iter := 0
 	for ; n-1-p > nx; p += nb {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ib := min(nb, n-1-p)
 		k := p + 1
 
@@ -177,7 +193,9 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 
 		// Line 4: hybrid panel factorization (CPU + per-column device
 		// GEMV against the trailing matrix).
-		PanelFactor(dev, hostA, yHost, tHost, tau, dA, dVcol, dYcol, n, p, k, ib)
+		if err := PanelFactor(dev, hostA, yHost, tHost, tau, dA, dVcol, dYcol, n, p, k, ib); err != nil {
+			return nil, err
+		}
 
 		// Upload V and the factored panel, Y's lower rows, and T.
 		dev.SetPhase("right_update")
@@ -241,6 +259,9 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 	}
 	res.BlockedIters = iter
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Bring the remaining trailing columns home and finish with the
 	// unblocked reduction on the host.
 	dev.SetPhase("cleanup")
@@ -281,7 +302,12 @@ func cleanupCost(pp sim.Params, n, p int) float64 {
 // and the factored columns into hostA, the reflector scalars into
 // tau[p..p+ib-1], T into t, and Y's rows k..n-1 into y. The large
 // matrix-vector product against the trailing matrix runs on the device.
-func PanelFactor(dev *gpu.Device, hostA, y, t *matrix.Matrix, tau []float64, dA *gpu.Matrix, dVcol, dYcol *gpu.Matrix, n, p, k, ib int) {
+//
+// The device's attached context (Device.SetContext) is polled before
+// each panel column; on cancellation PanelFactor abandons the
+// half-factorized panel and returns the context error — the caller is
+// expected to discard the whole computation.
+func PanelFactor(dev *gpu.Device, hostA, y, t *matrix.Matrix, tau []float64, dA *gpu.Matrix, dVcol, dYcol *gpu.Matrix, n, p, k, ib int) error {
 	pp := dev.Params
 	a := hostA.Data
 	lda := hostA.Stride
@@ -293,6 +319,9 @@ func PanelFactor(dev *gpu.Device, hostA, y, t *matrix.Matrix, tau []float64, dA 
 	ytmpM := matrix.FromColMajor(n-k, 1, max(n-k, 1), ytmp)
 
 	for i := 0; i < ib; i++ {
+		if err := dev.CtxErr(); err != nil {
+			return err
+		}
 		c := p + i
 		if i > 0 {
 			// Update column i with the previous reflectors (Y part):
@@ -371,4 +400,5 @@ func PanelFactor(dev *gpu.Device, hostA, y, t *matrix.Matrix, tau []float64, dA 
 	dev.HostOp(pp.VecHost(1), func() {
 		a[(p+ib-1)*lda+k+ib-1] = ei
 	})
+	return nil
 }

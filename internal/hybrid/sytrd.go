@@ -1,6 +1,7 @@
 package hybrid
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/blas"
@@ -35,6 +36,11 @@ func ReduceSym(a *matrix.Matrix, opt Options) (*SymResult, error) {
 	if opt.Obs != nil {
 		dev.SetObs(opt.Obs)
 	}
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	dev.SetContext(ctx)
 
 	hostA := a.Clone()
 	res := &SymResult{
@@ -69,6 +75,9 @@ func ReduceSym(a *matrix.Matrix, opt Options) (*SymResult, error) {
 	var prevUpd sim.Event
 	p := 0
 	for ; n-p > nx+nb; p += nb {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		np := n - p
 		// Panel (lower part of columns p..p+nb-1) to the host.
 		dev.SetPhase("panel")
@@ -92,6 +101,9 @@ func ReduceSym(a *matrix.Matrix, opt Options) (*SymResult, error) {
 			res.D[j] = hostA.At(j, j)
 		}
 		prevUpd = dev.Set(dA, p+nb, p+nb-1, res.E[p+nb-1], prevUpd)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// Remaining block: host-side unblocked reduction.
 	dev.SetPhase("cleanup")

@@ -1,0 +1,101 @@
+// Package leakcheck is a stdlib-only goroutine-leak detector for tests,
+// in the spirit of go.uber.org/goleak but without the dependency: it
+// snapshots the goroutine count when a test starts and fails the test if,
+// after retries, more goroutines than that are still alive at cleanup.
+//
+// Goroutines that are resident by design are filtered out by stack
+// substring rather than counted: the shared BLAS worker pool parks its
+// workers forever (internal/blas never shrinks the pool), the testing
+// package keeps runner goroutines alive between subtests, and the
+// runtime's own service goroutines never exit. Everything else — HTTP
+// handlers, scheduler workers, reduction goroutines — must be gone by the
+// end of the test, which is exactly the cancellation contract the serving
+// layer promises.
+package leakcheck
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ignoredStacks lists stack substrings of goroutines that are allowed to
+// outlive a test.
+var ignoredStacks = []string{
+	// The shared BLAS pool parks resident workers for the process
+	// lifetime; they are idle capacity, not leaks.
+	"repro/internal/blas.poolEnsure",
+	// The leak checker's own stack-capture goroutine view.
+	"repro/internal/leakcheck.stacks",
+	// Testing-framework plumbing (parallel runners, timeouts, fuzz
+	// workers) is managed by the testing package itself.
+	"testing.(*T).Run",
+	"testing.(*M).",
+	"testing.runTests",
+	"testing.runFuzzing",
+	// Runtime service goroutines.
+	"runtime.goexit0",
+	"runtime.gc",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime/trace",
+	// os/signal's notifier, started once by signal.Notify.
+	"os/signal.loop",
+	"os/signal.signal_recv",
+}
+
+// stacks returns the stack dumps of all live goroutines that are not on
+// the ignore list.
+func stacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if g == "" || ignored(g) {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+func ignored(stack string) bool {
+	for _, pat := range ignoredStacks {
+		if strings.Contains(stack, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// Check snapshots the live goroutines and registers a cleanup that fails
+// t if, 5 seconds after the test body finishes, more non-ignored
+// goroutines are alive than at the snapshot. Call it first in the test so
+// its cleanup runs last (cleanups run in reverse registration order) —
+// after deferred server shutdowns and httptest closes.
+func Check(t testing.TB) {
+	before := len(stacks())
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var leaked []string
+		for {
+			leaked = stacks()
+			if len(leaked) <= before || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if len(leaked) > before {
+			t.Errorf("leakcheck: %d goroutine(s) before, %d after; leaked stacks:\n%s",
+				before, len(leaked), strings.Join(leaked, "\n\n"))
+		}
+	})
+}

@@ -103,6 +103,11 @@ func (m *Matrix) Col(j int) []float64 {
 	if j < 0 || j >= m.Cols {
 		panic(fmt.Sprintf("matrix: column %d out of range %d", j, m.Cols))
 	}
+	if m.Rows == 0 {
+		// A 0×c matrix has no backing storage to alias (New keeps a
+		// minimum stride of 1 for BLAS compatibility).
+		return nil
+	}
 	return m.Data[j*m.Stride : j*m.Stride+m.Rows]
 }
 

@@ -32,11 +32,31 @@ func WriteMatrixMarket(w io.Writer, m *Matrix) error {
 	return bw.Flush()
 }
 
+// DefaultMaxReadElements bounds the dense size ReadMatrixMarket will
+// materialize (rows×cols), defending callers that parse untrusted
+// streams — the job-serving layer accepts uploads — against a two-line
+// header demanding a multi-terabyte allocation. 1<<26 elements is a
+// 512 MiB float64 matrix (N ≈ 8190 square), beyond every workload in
+// this repository's real-arithmetic range.
+const DefaultMaxReadElements = 1 << 26
+
 // ReadMatrixMarket parses a Matrix Market stream into a dense matrix.
 // Supported: "array" and "coordinate" formats, field "real" or "integer",
 // symmetry "general", "symmetric", or "skew-symmetric" (expanded to a
-// full dense matrix). Pattern and complex fields are rejected.
+// full dense matrix). Pattern and complex fields are rejected. Matrices
+// larger than DefaultMaxReadElements are rejected; use
+// ReadMatrixMarketLimit to choose a different bound.
 func ReadMatrixMarket(r io.Reader) (*Matrix, error) {
+	return ReadMatrixMarketLimit(r, DefaultMaxReadElements)
+}
+
+// ReadMatrixMarketLimit is ReadMatrixMarket with an explicit bound on
+// rows×cols (maxElems ≤ 0 means DefaultMaxReadElements). The bound is
+// enforced before any allocation sized from the untrusted header.
+func ReadMatrixMarketLimit(r io.Reader, maxElems int64) (*Matrix, error) {
+	if maxElems <= 0 {
+		maxElems = DefaultMaxReadElements
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 
@@ -89,6 +109,12 @@ func ReadMatrixMarket(r io.Reader) (*Matrix, error) {
 		if err1 != nil || err2 != nil || rows < 0 || cols < 0 {
 			return nil, fmt.Errorf("matrix: bad array dimensions %q", sizeLine)
 		}
+		if symmetry != "general" && rows != cols {
+			return nil, fmt.Errorf("matrix: %s symmetry requires a square matrix, got %dx%d", symmetry, rows, cols)
+		}
+		if int64(rows) > maxElems || int64(cols) > maxElems || int64(rows)*int64(cols) > maxElems {
+			return nil, fmt.Errorf("matrix: %dx%d exceeds the %d-element read limit", rows, cols, maxElems)
+		}
 		m := New(rows, cols)
 		// Column-major stream; symmetric variants store the lower triangle.
 		for j := 0; j < cols; j++ {
@@ -126,6 +152,12 @@ func ReadMatrixMarket(r io.Reader) (*Matrix, error) {
 	nnz, err3 := strconv.Atoi(dims[2])
 	if err1 != nil || err2 != nil || err3 != nil || rows < 0 || cols < 0 || nnz < 0 {
 		return nil, fmt.Errorf("matrix: bad coordinate dimensions %q", sizeLine)
+	}
+	if symmetry != "general" && rows != cols {
+		return nil, fmt.Errorf("matrix: %s symmetry requires a square matrix, got %dx%d", symmetry, rows, cols)
+	}
+	if int64(rows) > maxElems || int64(cols) > maxElems || int64(rows)*int64(cols) > maxElems {
+		return nil, fmt.Errorf("matrix: %dx%d exceeds the %d-element read limit", rows, cols, maxElems)
 	}
 	m := New(rows, cols)
 	for k := 0; k < nnz; k++ {

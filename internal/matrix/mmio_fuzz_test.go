@@ -1,0 +1,62 @@
+package matrix
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzReadMatrixMarket feeds arbitrary bytes to the Matrix Market reader
+// — the parser behind the job service's upload path — and requires that
+// it never panics, never materializes a matrix beyond the element limit,
+// and that anything it does accept survives a write/re-read round trip
+// bit for bit.
+func FuzzReadMatrixMarket(f *testing.F) {
+	seeds := []string{
+		"%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"%%MatrixMarket matrix array real symmetric\n3 3\n1\n2\n3\n4\n5\n6\n",
+		"%%MatrixMarket matrix array real skew-symmetric\n3 3\n0\n1\n2\n0\n3\n0\n",
+		"%%MatrixMarket matrix coordinate real general\n3 4 2\n1 1 1.5\n3 4 -2e-3\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 1.5\n3 3 -2e-3\n",
+		"%%MatrixMarket matrix coordinate integer general\n2 3 1\n1 3 7\n",
+		"%%MatrixMarket matrix array real general\n% comment\n\n2 1\n1e308\nnan\n",
+		"%%MatrixMarket matrix array real general\n9999999999 9999999999\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
+		"%%MatrixMarket matrix array complex general\n1 1\n1 0\n",
+		"garbage\n1 1\n1\n",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	const limit = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadMatrixMarketLimit(bytes.NewReader(data), limit)
+		if err != nil {
+			return
+		}
+		if int64(m.Rows)*int64(m.Cols) > limit {
+			t.Fatalf("reader materialized %dx%d past the %d-element limit", m.Rows, m.Cols, limit)
+		}
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, m); err != nil {
+			t.Fatalf("write-back of accepted matrix: %v", err)
+		}
+		m2, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			t.Fatalf("re-read of written matrix: %v", err)
+		}
+		if m2.Rows != m.Rows || m2.Cols != m.Cols {
+			t.Fatalf("round trip changed shape: %dx%d -> %dx%d", m.Rows, m.Cols, m2.Rows, m2.Cols)
+		}
+		for j := 0; j < m.Cols; j++ {
+			for i := 0; i < m.Rows; i++ {
+				a, b := m.At(i, j), m2.At(i, j)
+				if math.Float64bits(a) != math.Float64bits(b) && !(math.IsNaN(a) && math.IsNaN(b)) {
+					t.Fatalf("round trip changed (%d,%d): %x -> %x", i, j,
+						math.Float64bits(a), math.Float64bits(b))
+				}
+			}
+		}
+	})
+}

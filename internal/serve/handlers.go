@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to do on error
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs             submit a reduction job (202, or 429/503)
+//	GET    /v1/jobs/{id}        job status + live phase
+//	GET    /v1/jobs/{id}/result finished job's result (409 until done)
+//	DELETE /v1/jobs/{id}        cancel (or forget a finished job)
+//	GET    /metrics             Prometheus exposition (obs + serve_*)
+//	GET    /healthz             liveness
+//	GET    /readyz              readiness (503 while draining)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			writeError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ready\n"))
+	})
+	return mux
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	req, err := DecodeJobRequest(body, s.cfg.MaxN)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	a, err := req.Matrix(s.cfg.MaxN)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	j, err := s.Submit(req, a)
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.mu.Lock()
+	st := j.statusLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	s.mu.Lock()
+	st := j.statusLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	s.mu.Lock()
+	state, res := j.state, j.result
+	var jerr error = j.err
+	s.mu.Unlock()
+	switch state {
+	case StateQueued, StateRunning:
+		writeError(w, http.StatusConflict, "job is "+state+"; result not ready")
+	case StateCancelled:
+		writeError(w, http.StatusGone, "job was cancelled")
+	case StateFailed:
+		writeError(w, http.StatusInternalServerError, jerr.Error())
+	default:
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	state, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"state": state})
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/matrix"
+)
+
+// Job states, as reported by GET /v1/jobs/{id}.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Job is one reduction request moving through the scheduler. All mutable
+// fields are guarded by the owning Server's mutex, except the device
+// pointer (atomic, so the status handler can read the live phase while
+// the reduction runs).
+type Job struct {
+	ID  string
+	req *JobRequest
+	a   *matrix.Matrix
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	dev atomic.Pointer[gpu.Device]
+
+	// Guarded by Server.mu.
+	state    string
+	err      error
+	result   *JobResult
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	// done is closed when the job reaches a terminal state.
+	done chan struct{}
+}
+
+func (j *Job) setDevice(d *gpu.Device) { j.dev.Store(d) }
+
+// phase returns the reduction phase currently executing on the job's
+// simulated device ("" before the device exists or for host-only paths).
+func (j *Job) phase() string {
+	if d := j.dev.Load(); d != nil {
+		return d.Phase()
+	}
+	return ""
+}
+
+// JobStatus is the wire form of GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Phase is the live reduction phase (e.g. "panel", "update") while
+	// the job runs on the simulated device.
+	Phase    string `json:"phase,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Created  string `json:"created"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
+}
+
+// statusLocked snapshots the job; the caller holds Server.mu.
+func (j *Job) statusLocked() JobStatus {
+	st := JobStatus{
+		ID:      j.ID,
+		State:   j.state,
+		Created: j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if j.state == StateRunning {
+		st.Phase = j.phase()
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		st.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		st.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	return st
+}

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/matrix"
+)
+
+// Algorithm names accepted on the wire (JobRequest.Algorithm).
+const (
+	AlgFT       = "ft"
+	AlgBaseline = "baseline"
+	AlgCPU      = "cpu"
+)
+
+// Request-size guardrails: everything sized from an untrusted request is
+// bounded before allocation.
+const (
+	// maxNB caps the block size; workspaces are N×NB so an absurd NB is
+	// an allocation amplifier, and the algorithms gain nothing past the
+	// panel widths the paper studies.
+	maxNB = 512
+	// maxFaults caps the injection schedule length per job.
+	maxFaults = 64
+)
+
+// FaultSpec is the wire form of one fault.Plan: a transient error
+// injected at the start of a blocked iteration.
+type FaultSpec struct {
+	// Area is the Figure 2(a) region: 1 (upper trailing), 2 (lower
+	// trailing), 3 (host Q store), 4 (active panel).
+	Area int `json:"area"`
+	// Iter is the blocked iteration at whose boundary the error strikes.
+	Iter int `json:"iter"`
+	// Count is the number of simultaneous errors (default 1).
+	Count int `json:"count,omitempty"`
+	// Delta is the additive magnitude (default 1.0; ignored for bit flips).
+	Delta float64 `json:"delta,omitempty"`
+	// BitFlip flips Bit of the IEEE-754 word instead of adding Delta.
+	BitFlip bool `json:"bit_flip,omitempty"`
+	Bit     uint `json:"bit,omitempty"`
+	// Seed drives the deterministic position sampling.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+func (f FaultSpec) plan() fault.Plan {
+	return fault.Plan{
+		Area: fault.Area(f.Area), TargetIter: f.Iter, Count: f.Count,
+		Delta: f.Delta, BitFlip: f.BitFlip, Bit: f.Bit, Seed: f.Seed,
+	}
+}
+
+// JobRequest is the body of POST /v1/jobs. Fields mirror core.Options /
+// core.SymOptions; the input matrix is either generated from (N, Seed) or
+// uploaded inline as a Matrix Market document.
+type JobRequest struct {
+	// Algorithm is "ft" (default), "baseline", or "cpu".
+	Algorithm string `json:"algorithm,omitempty"`
+	// Symmetric selects the tridiagonalization path (core.ReduceSym);
+	// the input is generated symmetric, or the uploaded matrix's lower
+	// triangle is referenced.
+	Symmetric bool `json:"symmetric,omitempty"`
+	// N is the matrix order for generated inputs (ignored when
+	// MatrixMarket is set, except that a non-zero N must then match).
+	N int `json:"n,omitempty"`
+	// NB is the block size (32 if zero).
+	NB int `json:"nb,omitempty"`
+	// Seed drives the deterministic input generator.
+	Seed uint64 `json:"seed,omitempty"`
+	// CostOnly models time only (device algorithms).
+	CostOnly bool `json:"cost_only,omitempty"`
+	// Pass-through fault-tolerance knobs (see core.Options).
+	ThresholdFactor    float64 `json:"threshold_factor,omitempty"`
+	FinalHCheck        bool    `json:"final_h_check,omitempty"`
+	DisableQProtection bool    `json:"disable_q_protection,omitempty"`
+	DisableOverlap     bool    `json:"disable_overlap,omitempty"`
+	// Faults schedules transient-error injections (algorithm "ft" only).
+	Faults []FaultSpec `json:"faults,omitempty"`
+	// MatrixMarket, when non-empty, is the input matrix as an inline
+	// Matrix Market document (array or coordinate format).
+	MatrixMarket string `json:"matrix_market,omitempty"`
+}
+
+// DecodeJobRequest parses and validates a job request. The decoder is
+// strict — unknown fields, trailing data, and out-of-range values are
+// errors — so that a 400 is the only possible outcome of a bad body; it
+// never panics, whatever the input (fuzzed in request_fuzz_test.go).
+func DecodeJobRequest(r io.Reader, maxN int) (*JobRequest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	req := &JobRequest{}
+	if err := dec.Decode(req); err != nil {
+		return nil, fmt.Errorf("decode job request: %w", err)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); !errors.Is(err, io.EOF) {
+		return nil, errors.New("decode job request: trailing data after JSON body")
+	}
+	if err := req.validate(maxN); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+func (r *JobRequest) validate(maxN int) error {
+	switch r.Algorithm {
+	case "", AlgFT, AlgBaseline, AlgCPU:
+	default:
+		return fmt.Errorf("unknown algorithm %q (want ft|baseline|cpu)", r.Algorithm)
+	}
+	if r.MatrixMarket == "" && r.N < 1 {
+		return errors.New("n must be >= 1 (or upload a matrix_market document)")
+	}
+	if r.N > maxN {
+		return fmt.Errorf("n=%d exceeds this server's limit of %d", r.N, maxN)
+	}
+	if r.NB < 0 || r.NB > maxNB {
+		return fmt.Errorf("nb=%d out of range [0,%d]", r.NB, maxNB)
+	}
+	if r.ThresholdFactor < 0 {
+		return fmt.Errorf("threshold_factor=%g must be >= 0", r.ThresholdFactor)
+	}
+	if len(r.Faults) > maxFaults {
+		return fmt.Errorf("%d faults exceed the limit of %d", len(r.Faults), maxFaults)
+	}
+	if len(r.Faults) > 0 {
+		if r.Symmetric {
+			return errors.New("fault injection is not supported on the symmetric path")
+		}
+		if r.Algorithm == AlgBaseline || r.Algorithm == AlgCPU {
+			return errors.New("fault injection requires algorithm \"ft\"")
+		}
+	}
+	for i, f := range r.Faults {
+		if f.Area < int(fault.Area1) || f.Area > int(fault.AreaPanel) {
+			return fmt.Errorf("faults[%d]: area=%d out of range [1,4]", i, f.Area)
+		}
+		if f.Iter < 0 {
+			return fmt.Errorf("faults[%d]: iter must be >= 0", i)
+		}
+		if f.Count < 0 || f.Count > 16 {
+			return fmt.Errorf("faults[%d]: count=%d out of range [0,16]", i, f.Count)
+		}
+		if f.Bit > 63 {
+			return fmt.Errorf("faults[%d]: bit=%d out of range [0,63]", i, f.Bit)
+		}
+	}
+	return nil
+}
+
+// Matrix materializes the job's input: the uploaded Matrix Market
+// document if present (bounded by maxN×maxN elements before any
+// allocation), otherwise the deterministic generator at order N.
+func (r *JobRequest) Matrix(maxN int) (*matrix.Matrix, error) {
+	if r.MatrixMarket != "" {
+		a, err := matrix.ReadMatrixMarketLimit(strings.NewReader(r.MatrixMarket), int64(maxN)*int64(maxN))
+		if err != nil {
+			return nil, err
+		}
+		if a.Rows != a.Cols {
+			return nil, fmt.Errorf("uploaded matrix is %dx%d, not square", a.Rows, a.Cols)
+		}
+		if a.Rows < 1 {
+			return nil, errors.New("uploaded matrix is empty")
+		}
+		if a.Rows > maxN {
+			return nil, fmt.Errorf("uploaded matrix order %d exceeds this server's limit of %d", a.Rows, maxN)
+		}
+		if r.N != 0 && r.N != a.Rows {
+			return nil, fmt.Errorf("n=%d does not match the uploaded %dx%d matrix", r.N, a.Rows, a.Cols)
+		}
+		return a, nil
+	}
+	a := matrix.Random(r.N, r.N, r.Seed)
+	if r.Symmetric {
+		for j := 0; j < r.N; j++ {
+			for i := 0; i < j; i++ {
+				a.Set(i, j, a.At(j, i))
+			}
+		}
+	}
+	return a, nil
+}
+
+func (r *JobRequest) algorithm() string {
+	if r.Algorithm == "" {
+		return AlgFT
+	}
+	return r.Algorithm
+}

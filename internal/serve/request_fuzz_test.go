@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzJobRequest hammers the job-request decoder: whatever the body, the
+// only outcomes are a validated request or an error — never a panic, and
+// never an accepted request that escapes the server's size limits (the
+// properties the 400-only contract of POST /v1/jobs rests on).
+func FuzzJobRequest(f *testing.F) {
+	seeds := []string{
+		`{"n":8}`,
+		`{"n":16,"algorithm":"baseline","nb":4,"seed":42}`,
+		`{"n":12,"algorithm":"ft","faults":[{"area":2,"iter":1,"count":2,"delta":0.5,"seed":7}]}`,
+		`{"n":12,"faults":[{"area":3,"iter":2,"bit_flip":true,"bit":52}]}`,
+		`{"n":24,"symmetric":true,"cost_only":false,"threshold_factor":300}`,
+		`{"algorithm":"cpu","matrix_market":"%%MatrixMarket matrix array real general\n2 2\n1\n0\n0\n1\n"}`,
+		`{"matrix_market":"%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 1.5\n3 3 -2e-3\n"}`,
+		`{"n":-3}`,
+		`{"n":8,"unknown":true}`,
+		`{"n":8}{"n":9}`,
+		`{"n":1e9}`,
+		`[1,2,3]`,
+		`"just a string"`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	const maxN = 64
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeJobRequest(bytes.NewReader(data), maxN)
+		if err != nil {
+			return
+		}
+		a, err := req.Matrix(maxN)
+		if err != nil {
+			return
+		}
+		if a.Rows != a.Cols || a.Rows < 1 || a.Rows > maxN {
+			t.Fatalf("accepted request materialized a %dx%d matrix (maxN %d): %q",
+				a.Rows, a.Cols, maxN, data)
+		}
+		if req.NB < 0 || req.NB > maxNB {
+			t.Fatalf("accepted request with nb=%d: %q", req.NB, data)
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/lapack"
+	"repro/internal/matrix"
+	"repro/internal/obs"
+)
+
+// JobResult is the wire form of GET /v1/jobs/{id}/result. Residuals use
+// obs.Float so that non-finite values — a cost-only run has no numerics,
+// and an unrecovered fault can blow a residual up to ±Inf — survive the
+// JSON round trip instead of failing to encode (encoding/json rejects
+// IEEE specials on a bare float64).
+type JobResult struct {
+	ID        string `json:"id"`
+	Algorithm string `json:"algorithm"`
+	Symmetric bool   `json:"symmetric,omitempty"`
+	N         int    `json:"n"`
+	NB        int    `json:"nb"`
+
+	// Simulated performance (zero for the CPU path).
+	SimSeconds  obs.Float `json:"sim_seconds"`
+	ModelGFLOPS obs.Float `json:"model_gflops"`
+
+	// Resilience statistics (fault-tolerant paths).
+	Detections   int `json:"detections"`
+	Recoveries   int `json:"recoveries"`
+	Corrections  int `json:"corrections"`
+	QCorrections int `json:"q_corrections"`
+
+	// Numerical quality against the submitted matrix: ‖A−QHQᵀ‖₁/(N‖A‖₁)
+	// and ‖QQᵀ−I‖₁/N. NaN for cost-only runs, which skip the arithmetic.
+	Residual      obs.Float `json:"residual"`
+	Orthogonality obs.Float `json:"orthogonality"`
+}
+
+// generalResult builds the response for the Hessenberg paths.
+func generalResult(j *Job, res *core.Result) *JobResult {
+	out := &JobResult{
+		ID:        j.ID,
+		Algorithm: j.req.algorithm(),
+		N:         res.N,
+		NB:        res.NB,
+
+		SimSeconds:  obs.Float(res.SimSeconds),
+		ModelGFLOPS: obs.Float(res.ModelGFLOPS),
+
+		Detections:   res.Detections,
+		Recoveries:   res.Recoveries,
+		Corrections:  len(res.CorrectedH),
+		QCorrections: res.QCorrections,
+
+		Residual:      obs.Float(math.NaN()),
+		Orthogonality: obs.Float(math.NaN()),
+	}
+	if !j.req.CostOnly {
+		out.Residual = obs.Float(res.Residual(j.a))
+		out.Orthogonality = obs.Float(res.Orthogonality())
+	}
+	return out
+}
+
+// symResult builds the response for the tridiagonalization path.
+func symResult(j *Job, res *core.SymResult) *JobResult {
+	out := &JobResult{
+		ID:        j.ID,
+		Algorithm: j.req.algorithm(),
+		Symmetric: true,
+		N:         res.N,
+		NB:        res.NB,
+
+		SimSeconds:  obs.Float(res.SimSeconds),
+		ModelGFLOPS: obs.Float(res.ModelGFLOPS),
+
+		Detections:  res.Detections,
+		Recoveries:  res.Recoveries,
+		Corrections: res.Corrections,
+
+		Residual:      obs.Float(math.NaN()),
+		Orthogonality: obs.Float(math.NaN()),
+	}
+	if !j.req.CostOnly {
+		q := res.Q()
+		out.Residual = obs.Float(lapack.FactorizationResidual(j.a, q, tridiag(res.N, res.D, res.E)))
+		out.Orthogonality = obs.Float(lapack.OrthogonalityResidual(q))
+	}
+	return out
+}
+
+// tridiag assembles the dense tridiagonal factor from its diagonals.
+func tridiag(n int, d, e []float64) *matrix.Matrix {
+	t := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		t.Set(i, i, d[i])
+		if i+1 < n {
+			t.Set(i+1, i, e[i])
+			t.Set(i, i+1, e[i])
+		}
+	}
+	return t
+}

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestResultNonFiniteRoundTrip pins the fix this layer depends on: a
+// JobResult whose residuals are ±Inf/NaN must survive JSON exactly —
+// encoding/json rejects IEEE specials on bare float64s, which would turn
+// a legitimately diverged reduction into a 500.
+func TestResultNonFiniteRoundTrip(t *testing.T) {
+	cases := []struct {
+		name     string
+		residual float64
+	}{
+		{"+Inf", math.Inf(1)},
+		{"-Inf", math.Inf(-1)},
+		{"NaN", math.NaN()},
+		{"finite", 1.2345678901234567e-15},
+		{"subnormal", math.SmallestNonzeroFloat64},
+		{"maxfloat", math.MaxFloat64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := &JobResult{ID: "j1", Algorithm: AlgFT, N: 8, NB: 4}
+			in.Residual = obs.Float(tc.residual)
+			in.Orthogonality = obs.Float(-tc.residual)
+			b, err := json.Marshal(in)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			var out JobResult
+			if err := json.Unmarshal(b, &out); err != nil {
+				t.Fatalf("unmarshal %s: %v", b, err)
+			}
+			checkSameFloat(t, "residual", float64(in.Residual), float64(out.Residual))
+			checkSameFloat(t, "orthogonality", float64(in.Orthogonality), float64(out.Orthogonality))
+		})
+	}
+}
+
+func checkSameFloat(t *testing.T, what string, want, got float64) {
+	t.Helper()
+	if math.IsNaN(want) {
+		if !math.IsNaN(got) {
+			t.Fatalf("%s: want NaN, got %v", what, got)
+		}
+		return
+	}
+	if math.Float64bits(want) != math.Float64bits(got) {
+		t.Fatalf("%s: %x -> %x", what, math.Float64bits(want), math.Float64bits(got))
+	}
+}

@@ -1,0 +1,357 @@
+// Package serve is the job-serving layer: a bounded scheduler plus an
+// HTTP API (stdlib net/http only) that runs Hessenberg / tridiagonal
+// reductions as asynchronous jobs. Capacity bounds how many reductions
+// run concurrently, a FIFO queue of fixed depth absorbs bursts, and
+// everything beyond that is rejected immediately with 429 — the
+// backpressure contract a shared reduction service needs so one client
+// cannot wedge the simulated device farm.
+//
+// Cancellation is first-class: DELETE aborts a queued or running job, and
+// a running reduction observes its context within one blocked iteration
+// (see core.Options.Ctx), so the capacity slot comes back promptly and no
+// goroutine outlives its job. Shutdown stops intake, cancels the queue,
+// drains in-flight reductions under a deadline, and cancels them if the
+// deadline passes.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/gpu"
+	"repro/internal/matrix"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Submission failure modes, surfaced by the HTTP layer as 429 / 503.
+var (
+	// ErrQueueFull means capacity and the wait queue are both exhausted.
+	ErrQueueFull = errors.New("serve: job queue is full")
+	// ErrDraining means the server is shutting down and rejects new work.
+	ErrDraining = errors.New("serve: server is draining")
+)
+
+// Config sizes a Server. Zero values pick the defaults.
+type Config struct {
+	// Capacity is the number of reductions that may run concurrently
+	// (default 2).
+	Capacity int
+	// QueueDepth is how many accepted jobs may wait beyond Capacity
+	// before submissions get 429 (default 16).
+	QueueDepth int
+	// MaxN caps the matrix order a request may ask for (default 4096).
+	MaxN int
+	// MaxBodyBytes caps the request body, uploads included
+	// (default 8 MiB).
+	MaxBodyBytes int64
+	// Registry receives the serve_* metrics and the per-run reduction
+	// metrics of every job (a fresh registry if nil). Exposed at /metrics.
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Capacity <= 0 {
+		c.Capacity = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// Server owns the job table and the worker pool. Create with New, wire
+// Handler into an http.Server, and call Shutdown to drain.
+type Server struct {
+	cfg Config
+	reg *obs.Registry
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	nextID   int
+	queue    chan *Job
+	inflight int
+	draining bool
+
+	wg        sync.WaitGroup
+	drainOnce sync.Once
+
+	gQueue    *obs.Gauge
+	gInflight *obs.Gauge
+	hSeconds  *obs.Histogram
+
+	// Test seams (nil outside tests): observe slot occupancy and mutate
+	// the per-job reduction options (e.g. to install a blocking hook).
+	testBeforeRun     func(j *Job)
+	testAfterRun      func(j *Job)
+	testMutateOptions func(j *Job, opt *core.Options)
+}
+
+// New builds a Server and starts its Capacity worker goroutines.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		reg:       cfg.Registry,
+		jobs:      make(map[string]*Job),
+		queue:     make(chan *Job, cfg.QueueDepth),
+		gQueue:    cfg.Registry.Gauge("serve_queue_depth"),
+		gInflight: cfg.Registry.Gauge("serve_inflight"),
+		hSeconds: cfg.Registry.Histogram("serve_job_seconds",
+			[]float64{0.01, 0.05, 0.25, 1, 5, 30, 120, 600}),
+	}
+	s.wg.Add(cfg.Capacity)
+	for i := 0; i < cfg.Capacity; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Registry exposes the server's metrics registry (for /metrics and tests).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Submit enqueues a validated request with its materialized input. It
+// never blocks: the job is accepted into the FIFO queue or rejected with
+// ErrQueueFull / ErrDraining.
+func (s *Server) Submit(req *JobRequest, a *matrix.Matrix) (*Job, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		req: req, a: a,
+		ctx: ctx, cancel: cancel,
+		state:   StateQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		cancel()
+		s.jobCounter("rejected_draining").Inc()
+		return nil, ErrDraining
+	}
+	select {
+	case s.queue <- j:
+	default:
+		cancel()
+		s.jobCounter("rejected_full").Inc()
+		return nil, ErrQueueFull
+	}
+	s.nextID++
+	j.ID = fmt.Sprintf("j%d", s.nextID)
+	s.jobs[j.ID] = j
+	s.gQueue.Add(1)
+	s.jobCounter("accepted").Inc()
+	return j, nil
+}
+
+// Job looks up a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel aborts the job: a queued job terminates immediately, a running
+// one observes its context within one blocked iteration. Finished jobs
+// are removed from the table instead. The returned state is the job's
+// state after the call; ok is false for unknown IDs.
+func (s *Server) Cancel(id string) (state string, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return "", false
+	}
+	switch j.state {
+	case StateQueued:
+		// The job stays in the channel; the worker that pops it sees the
+		// terminal state and skips it.
+		s.finishLocked(j, nil, context.Canceled)
+		s.gQueue.Add(-1)
+	case StateRunning:
+		j.cancel()
+	default:
+		delete(s.jobs, id)
+	}
+	return j.state, true
+}
+
+// Shutdown stops intake, discards still-queued jobs (they report
+// cancelled), and waits for in-flight reductions to finish. If ctx
+// expires first the in-flight jobs are cancelled — they unwind within one
+// blocked iteration — and Shutdown still waits for the workers to exit
+// before returning ctx.Err(), so no job goroutine outlives the call.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		for _, j := range s.jobs {
+			if j.state == StateQueued {
+				s.finishLocked(j, nil, context.Canceled)
+				s.gQueue.Add(-1)
+			}
+		}
+		close(s.queue)
+		s.mu.Unlock()
+	})
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			if j.state == StateRunning {
+				j.cancel()
+			}
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Shutdown has begun (readiness probe).
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.run(j)
+	}
+}
+
+func (s *Server) run(j *Job) {
+	s.mu.Lock()
+	if j.state != StateQueued {
+		// Cancelled while waiting; the slot goes straight to the next job.
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	s.gQueue.Add(-1)
+	s.inflight++
+	s.gInflight.Add(1)
+	s.mu.Unlock()
+
+	if s.testBeforeRun != nil {
+		s.testBeforeRun(j)
+	}
+	res, err := s.execute(j)
+
+	s.mu.Lock()
+	s.inflight--
+	s.gInflight.Add(-1)
+	s.finishLocked(j, res, err)
+	s.mu.Unlock()
+	s.hSeconds.Observe(time.Since(j.started).Seconds())
+
+	if s.testAfterRun != nil {
+		s.testAfterRun(j)
+	}
+}
+
+// finishLocked moves a job to its terminal state; the caller holds s.mu.
+func (s *Server) finishLocked(j *Job, res *JobResult, err error) {
+	j.result, j.err = res, err
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCancelled
+	default:
+		j.state = StateFailed
+	}
+	j.cancel()
+	close(j.done)
+	s.jobCounter(j.state).Inc()
+}
+
+func (s *Server) jobCounter(status string) *obs.Counter {
+	return s.reg.Counter("serve_jobs_total", obs.L("status", status))
+}
+
+// execute runs the reduction for one job on the worker goroutine.
+func (s *Server) execute(j *Job) (*JobResult, error) {
+	req := j.req
+	if req.Symmetric {
+		res, err := core.ReduceSym(j.a, core.SymOptions{
+			Ctx: j.ctx, NB: req.NB,
+			FaultTolerant: req.algorithm() == AlgFT,
+			CostOnly:      req.CostOnly,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return symResult(j, res), nil
+	}
+
+	opt := core.Options{
+		Ctx: j.ctx, NB: req.NB,
+		CostOnly:           req.CostOnly,
+		ThresholdFactor:    req.ThresholdFactor,
+		FinalHCheck:        req.FinalHCheck,
+		DisableQProtection: req.DisableQProtection,
+		DisableOverlap:     req.DisableOverlap,
+		Obs:                s.reg,
+	}
+	switch req.algorithm() {
+	case AlgBaseline:
+		opt.Algorithm = core.Baseline
+	case AlgCPU:
+		opt.Algorithm = core.CPUOnly
+	default:
+		opt.Algorithm = core.FaultTolerant
+	}
+	if len(req.Faults) > 0 {
+		plans := make([]fault.Plan, len(req.Faults))
+		for i, f := range req.Faults {
+			plans[i] = f.plan()
+		}
+		opt.Hook = fault.NewSchedule(plans...)
+	}
+	if opt.Algorithm != core.CPUOnly {
+		mode := gpu.Real
+		if req.CostOnly {
+			mode = gpu.CostOnly
+		}
+		// A per-job device: its Phase() feeds the status endpoint while
+		// the reduction runs.
+		dev := gpu.New(sim.K40c(), mode)
+		opt.Device = dev
+		j.setDevice(dev)
+	}
+	if s.testMutateOptions != nil {
+		s.testMutateOptions(j, &opt)
+	}
+	res, err := core.Reduce(j.a, opt)
+	if err != nil {
+		return nil, err
+	}
+	return generalResult(j, res), nil
+}
