@@ -12,6 +12,8 @@
 //	campaign -n 126,190,254 -lambda 0.5,1,2 -trials 200 -workers 8 \
 //	    -out campaign.jsonl -bench BENCH_campaign.json
 //	campaign ... -resume            # skips trials already in -out
+//	campaign -n 190 -devices 0,2,4  # sweep the device-pool axis too
+//	                                # (0 = single device, k = k-GPU pool)
 //
 // Exit codes: 0 — campaign ran, no silent corruption; 1 — campaign ran
 // and found silent corruption (the failure mode the scheme exists to
@@ -52,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	lambdas := fs.String("lambda", "1.0", "expected soft errors per run (Poisson), comma-separated sweep grid")
 	regions := fs.String("region", "all", "target region(s): all|h|q|panel, comma-separated sweep grid")
 	bits := fs.String("bits", "20..62", "flipped-bit range(s) min..max, comma-separated sweep grid")
+	devices := fs.String("devices", "0", "device-pool size(s), comma-separated sweep grid (0 = single device)")
 	trials := fs.Int("trials", 50, "trials per sweep cell")
 	seed := fs.Uint64("seed", 1, "campaign seed (fixes every trial at any worker count)")
 	workers := fs.Int("workers", 1, "worker-pool width (results are identical at any value)")
@@ -83,6 +86,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(stderr, err)
 	}
 	if s.BitRanges, err = parseBitRanges(*bits); err != nil {
+		return fail(stderr, err)
+	}
+	if s.DeviceCounts, err = parseInts(*devices); err != nil {
 		return fail(stderr, err)
 	}
 

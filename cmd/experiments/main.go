@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|tableI|fig2|fig6|tableII|tableIII|ablation|breakdown|multierror|trace|timeline")
+	exp := flag.String("exp", "all", "experiment: all|tableI|fig2|fig6|tableII|tableIII|ablation|breakdown|multierror|multigpu|trace|timeline")
 	nb := flag.Int("nb", 32, "block size")
 	sizesFlag := flag.String("sizes", "", "comma-separated matrix sizes (overrides defaults)")
 	paper := flag.Bool("paper", false, "use the paper's full size grid for fig6 (cost-only, still fast)")
@@ -77,6 +77,13 @@ func main() {
 			bench.Breakdown(out, fig6Sizes[len(fig6Sizes)-1], *nb, params)
 		case "multierror":
 			bench.MultiError(out, 158, *nb, 10, *seed)
+		case "multigpu":
+			art, err := bench.MultiGPU(2048, 16, []int{1, 2, 4}, params)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "multigpu: %v\n", err)
+				os.Exit(2)
+			}
+			bench.MultiGPUReport(out, art)
 		case "trace":
 			bench.Trace(out, 158, *nb)
 		case "timeline":
@@ -89,7 +96,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"tableI", "fig2", "fig6", "tables", "ablation", "breakdown", "multierror", "trace", "timeline"} {
+		for _, name := range []string{"tableI", "fig2", "fig6", "tables", "ablation", "breakdown", "multierror", "multigpu", "trace", "timeline"} {
 			run(name)
 		}
 		return

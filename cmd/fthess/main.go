@@ -8,17 +8,23 @@
 //	fthess -n 512 -alg baseline            # fault-prone MAGMA-style run
 //	fthess -n 512 -inject area2 -iter 3    # inject one error, watch recovery
 //	fthess -n 4030 -costonly               # model-only timing at paper scale
+//	fthess -n 2048 -devices 4 -costonly    # 4-GPU pool, sharded trailing update
+//	fthess -n 256 -devices 2 -checksum     # pool run + result digest (CI probe)
 //	fthess -n 256 -eig                     # full eigenvalue pipeline
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"repro/internal/blas"
 	"repro/internal/core"
+	"repro/internal/devpool"
 	"repro/internal/fault"
 	"repro/internal/ftsym"
 	"repro/internal/gpu"
@@ -120,6 +126,8 @@ func main() {
 	alg := flag.String("alg", "ft", "algorithm: ft|baseline|cpu")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	costOnly := flag.Bool("costonly", false, "model time only (no arithmetic)")
+	devices := flag.Int("devices", 0, "simulated GPU pool size (0 = single device; ft/baseline only)")
+	checksum := flag.Bool("checksum", false, "print a SHA-256 over the packed result and tau (bit-identical across -devices)")
 	inject := flag.String("inject", "", "inject one error: area1|area2|area3")
 	count := flag.Int("count", 1, "number of simultaneous errors")
 	iter := flag.Int("iter", 1, "iteration at whose start to inject")
@@ -136,11 +144,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-trace is not available on the -sym path (host-only execution)")
 			os.Exit(2)
 		}
+		if *devices > 0 {
+			fmt.Fprintln(os.Stderr, "-devices is not available on the -sym path (host-only execution)")
+			os.Exit(2)
+		}
 		runSymmetric(*n, *nb, *seed, *inject, *iter, *metricsPath, *eventsPath)
 		return
 	}
 
-	opt := core.Options{NB: *nb, CostOnly: *costOnly}
+	if *devices < 0 {
+		fmt.Fprintf(os.Stderr, "-devices %d must be >= 0\n", *devices)
+		os.Exit(2)
+	}
+	opt := core.Options{NB: *nb, CostOnly: *costOnly, DeviceCount: *devices}
 	if *metricsPath != "" {
 		opt.Obs = obs.NewRegistry()
 		// Host BLAS throughput counters ride along in the same registry so
@@ -152,14 +168,26 @@ func main() {
 		opt.Journal = &obs.Journal{}
 	}
 	var dev *gpu.Device
+	var poolDevs []*gpu.Device
 	if *tracePath != "" {
 		mode := gpu.Real
 		if *costOnly {
 			mode = gpu.CostOnly
 		}
-		dev = gpu.New(sim.K40c(), mode)
-		dev.EnableTrace()
-		opt.Device = dev
+		if *devices > 0 {
+			// Explicit pool so every device records its own trace lanes;
+			// the merged export shows one host lane plus three per device.
+			poolDevs = make([]*gpu.Device, *devices)
+			for i := range poolDevs {
+				poolDevs[i] = gpu.NewIndexed(sim.K40c(), mode, i)
+				poolDevs[i].EnableTrace()
+			}
+			opt.Devices = poolDevs
+		} else {
+			dev = gpu.New(sim.K40c(), mode)
+			dev.EnableTrace()
+			opt.Device = dev
+		}
 	}
 	switch *alg {
 	case "ft":
@@ -219,7 +247,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("%s  N=%d nb=%d\n", res.Algorithm, res.N, res.NB)
+	if *devices > 0 {
+		fmt.Printf("%s  N=%d nb=%d devices=%d\n", res.Algorithm, res.N, res.NB, *devices)
+	} else {
+		fmt.Printf("%s  N=%d nb=%d\n", res.Algorithm, res.N, res.NB)
+	}
 	if res.SimSeconds > 0 {
 		fmt.Printf("simulated time: %.4fs (%.1f GFLOPS)\n", res.SimSeconds, res.ModelGFLOPS)
 	}
@@ -238,6 +270,24 @@ func main() {
 		fmt.Printf("residual ‖A−QHQᵀ‖₁/(N‖A‖₁) = %.3e\n", res.Residual(a))
 		fmt.Printf("orthogonality ‖QQᵀ−I‖₁/N  = %.3e\n", res.Orthogonality())
 	}
+	if *checksum {
+		// The multi-device schedule is bit-identical at every pool size, so
+		// this digest is the CI determinism probe: -devices 1 and -devices K
+		// must print the same line for the same seed.
+		h := sha256.New()
+		var buf [8]byte
+		for j := 0; j < res.Packed.Cols; j++ {
+			for i := 0; i < res.Packed.Rows; i++ {
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(res.Packed.At(i, j)))
+				h.Write(buf[:])
+			}
+		}
+		for _, tv := range res.Tau {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(tv))
+			h.Write(buf[:])
+		}
+		fmt.Printf("result sha256: %x\n", h.Sum(nil))
+	}
 
 	if *metricsPath != "" {
 		writeFile(*metricsPath, "metrics", opt.Obs.WritePrometheus)
@@ -246,11 +296,16 @@ func main() {
 		writeFile(*eventsPath, "event journal", opt.Journal.WriteJSONL)
 	}
 	if *tracePath != "" {
-		writeFile(*tracePath, "chrome trace", dev.WriteChromeTrace)
+		if dev != nil {
+			writeFile(*tracePath, "chrome trace", dev.WriteChromeTrace)
+		} else {
+			writeFile(*tracePath, "chrome trace", devpool.Wrap(poolDevs).WriteChromeTrace)
+		}
 	}
 	// The observability sinks describe the reduction that just ran; detach
-	// them so the -eig re-reduction below doesn't double-count into them.
-	opt.Obs, opt.Journal, opt.Device = nil, nil, nil
+	// them so the -eig re-reduction below doesn't double-count into them
+	// (DeviceCount stays: -eig re-reduces on a fresh pool of the same size).
+	opt.Obs, opt.Journal, opt.Device, opt.Devices = nil, nil, nil, nil
 	blas.SetObs(nil)
 
 	if *eig {

@@ -36,6 +36,7 @@ func main() {
 	maxBody := flag.Int64("max-body", 8<<20, "request body limit in bytes (bounds uploads)")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
 	threads := flag.Int("threads", 0, "host BLAS worker threads (0 = GOMAXPROCS)")
+	devices := flag.Int("devices", 0, "simulated device farm size jobs can lease from (0 = one private device per job)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "unexpected argument %q\n", flag.Arg(0))
@@ -50,6 +51,7 @@ func main() {
 		QueueDepth:   *queue,
 		MaxN:         *maxn,
 		MaxBodyBytes: *maxBody,
+		Devices:      *devices,
 	})
 	// Fold host BLAS throughput into the same /metrics exposition.
 	blas.SetObs(srv.Registry())
@@ -73,8 +75,8 @@ func main() {
 		}
 	}()
 
-	log.Printf("fthessd listening on %s (capacity=%d queue=%d maxn=%d)",
-		*addr, *capacity, *queue, *maxn)
+	log.Printf("fthessd listening on %s (capacity=%d queue=%d maxn=%d devices=%d)",
+		*addr, *capacity, *queue, *maxn, *devices)
 	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("listen: %v", err)
 	}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestBenchMultiGPUJSON regenerates BENCH_multigpu.json — the modeled
+// device-scaling curve of the block-column-sharded trailing update at
+// the acceptance size (N=2048, nb=16) — and enforces the scaling bar:
+// the K=4 pool must cut the baseline's makespan by ≥2.5× versus K=1.
+// Cost-only runs are deterministic, so the artifact is committed and
+// only changes when the schedule or the cost model changes.
+func TestBenchMultiGPUJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("N=2048 cost-only sweep: skipped in -short mode")
+	}
+	art, err := MultiGPU(2048, 16, []int{1, 2, 4}, sim.K40c())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	MultiGPUReport(&sb, art)
+	t.Log("\n" + sb.String())
+
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_multigpu.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(art.Rows) != 3 || art.Rows[0].Devices != 1 {
+		t.Fatalf("unexpected rows: %+v", art.Rows)
+	}
+	k4 := art.Rows[2]
+	if k4.HybridSpeedup < 2.5 {
+		t.Errorf("K=4 hybrid speedup %.2fx below the 2.5x bar (K=1 %.4fs, K=4 %.4fs)",
+			k4.HybridSpeedup, art.Rows[0].HybridSimSeconds, k4.HybridSimSeconds)
+	}
+	if k4.FTSpeedup < 2.0 {
+		t.Errorf("K=4 FT speedup %.2fx below the 2x bar", k4.FTSpeedup)
+	}
+	for _, r := range art.Rows {
+		if r.FTSimSeconds <= r.HybridSimSeconds {
+			t.Errorf("K=%d: FT makespan %.4fs not above hybrid %.4fs (protection is not free)",
+				r.Devices, r.FTSimSeconds, r.HybridSimSeconds)
+		}
+	}
+}

@@ -51,23 +51,38 @@ func (s *Sweep) matrixFor(n int) *matrix.Matrix {
 	return s.mats[n]
 }
 
-// baseKey identifies a clean-run baseline configuration.
-type baseKey struct{ n, nb int }
+// applyDevices sets a trial's execution substrate: the legacy
+// single-device schedule for a zero count, a freshly allocated k-device
+// pool (per-slab ABFT, internal/devpool) otherwise. Fresh devices per
+// trial keep the simulated clocks independent across parallel workers.
+func (s *Sweep) applyDevices(opt *ft.Options, k int) {
+	if k <= 0 {
+		opt.Device = gpu.New(s.Params, gpu.Real)
+		return
+	}
+	devs := make([]*gpu.Device, k)
+	for i := range devs {
+		devs[i] = gpu.NewIndexed(s.Params, gpu.Real, i)
+	}
+	opt.Devices = devs
+}
 
-// baselines runs one clean (no-injection) reduction per distinct (N, NB)
-// and records its simulated makespan — the denominator of each cell's
-// recovery-overhead ratio. Serial and deterministic.
+// baseKey identifies a clean-run baseline configuration.
+type baseKey struct{ n, nb, devices int }
+
+// baselines runs one clean (no-injection) reduction per distinct
+// (N, NB, devices) and records its simulated makespan — the denominator
+// of each cell's recovery-overhead ratio. Serial and deterministic.
 func (s *Sweep) baselines(cells []Cell) map[baseKey]float64 {
 	out := map[baseKey]float64{}
 	for _, c := range cells {
-		key := baseKey{c.N, c.NB}
+		key := baseKey{c.N, c.NB, c.Devices}
 		if _, ok := out[key]; ok {
 			continue
 		}
-		res, err := ft.Reduce(s.matrixFor(c.N), ft.Options{
-			NB:     c.NB,
-			Device: gpu.New(s.Params, gpu.Real),
-		})
+		opt := ft.Options{NB: c.NB}
+		s.applyDevices(&opt, c.Devices)
+		res, err := ft.Reduce(s.matrixFor(c.N), opt)
 		if err == nil {
 			out[key] = res.SimSeconds
 		}
@@ -89,7 +104,7 @@ func (s *Sweep) runTrial(cell Cell, trial int, a *matrix.Matrix, journal *obs.Jo
 	rec := TrialRecord{
 		Cell: cell.Index, N: cell.N, NB: cell.NB, Lambda: cell.Lambda,
 		Region: cell.Region, MinBit: cell.MinBit, MaxBit: cell.MaxBit,
-		Trial: trial, Seed: seed,
+		Devices: cell.Devices, Trial: trial, Seed: seed,
 	}
 	for _, p := range plans {
 		rec.Plans = append(rec.Plans, InjectionSummary{
@@ -104,12 +119,13 @@ func (s *Sweep) runTrial(cell Cell, trial int, a *matrix.Matrix, journal *obs.Jo
 		in.Journal = journal
 		hook = in
 	}
-	res, err := ft.Reduce(a, ft.Options{
+	opt := ft.Options{
 		NB:      cell.NB,
-		Device:  gpu.New(s.Params, gpu.Real),
 		Hook:    hook,
 		Journal: journal,
-	})
+	}
+	s.applyDevices(&opt, cell.Devices)
+	res, err := ft.Reduce(a, opt)
 
 	t := Trial{Seed: seed, Injections: rec.Plans, Err: err}
 	if in != nil {
@@ -175,9 +191,10 @@ func (s *Sweep) runTrials(cells []Cell) ([][]trialResult, error) {
 			rec, ok := s.Resume[TrialKey{Cell: ci, Trial: t}]
 			if ok && rec.Err == "" {
 				if rec.N != cell.N || rec.NB != cell.NB || rec.Lambda != cell.Lambda ||
-					rec.Region != cell.Region || rec.MinBit != cell.MinBit || rec.MaxBit != cell.MaxBit {
-					return nil, fmt.Errorf("campaign: resume record for cell %d trial %d does not match the sweep grid (have N=%d nb=%d λ=%g %s bits %d..%d)",
-						ci, t, rec.N, rec.NB, rec.Lambda, rec.Region, rec.MinBit, rec.MaxBit)
+					rec.Region != cell.Region || rec.MinBit != cell.MinBit || rec.MaxBit != cell.MaxBit ||
+					rec.Devices != cell.Devices {
+					return nil, fmt.Errorf("campaign: resume record for cell %d trial %d does not match the sweep grid (have N=%d nb=%d λ=%g %s bits %d..%d devices=%d)",
+						ci, t, rec.N, rec.NB, rec.Lambda, rec.Region, rec.MinBit, rec.MaxBit, rec.Devices)
 				}
 				results[ci][t] = trialResult{record: rec, trial: rec.toTrial(), resumed: true}
 				completed[ci*nTrials+t] = true

@@ -39,8 +39,12 @@ type TrialRecord struct {
 	Region fault.Region `json:"region"`
 	MinBit uint         `json:"min_bit"`
 	MaxBit uint         `json:"max_bit"`
-	Trial  int          `json:"trial"`
-	Seed   uint64       `json:"seed"`
+	// Devices is the cell's device-pool size (0 = the legacy
+	// single-device schedule); omitted from old records, which therefore
+	// resume-match only single-device cells.
+	Devices int    `json:"devices,omitempty"`
+	Trial   int    `json:"trial"`
+	Seed    uint64 `json:"seed"`
 
 	Outcome string             `json:"outcome"`
 	Plans   []InjectionSummary `json:"plans,omitempty"`

@@ -16,8 +16,8 @@ import (
 
 // Cell is one grid point of a sweep: a fully specified fault-injection
 // configuration. Cells are numbered in canonical grid order (N outermost,
-// then NB, lambda, region, bit range), and that numbering — together with
-// the sweep seed — fixes every trial's random stream.
+// then NB, lambda, region, bit range, device count), and that numbering —
+// together with the sweep seed — fixes every trial's random stream.
 type Cell struct {
 	Index  int          `json:"cell"`
 	N      int          `json:"n"`
@@ -26,6 +26,11 @@ type Cell struct {
 	Region fault.Region `json:"region"`
 	MinBit uint         `json:"min_bit"`
 	MaxBit uint         `json:"max_bit"`
+	// Devices selects the execution substrate: 0 runs the legacy
+	// single-device schedule, k ≥ 1 a k-device pool with per-slab ABFT
+	// (the multi-device path is bit-identical across pool sizes, so a
+	// devices axis separates substrate effects from fault coverage).
+	Devices int `json:"devices,omitempty"`
 }
 
 // Sweep runs a grid of campaign cells on a bounded worker pool.
@@ -41,6 +46,9 @@ type Sweep struct {
 	// BitRanges is the grid of inclusive [min, max] flipped-bit ranges
 	// (default {{20, 62}}).
 	BitRanges [][2]uint
+	// DeviceCounts is the grid of simulated device-pool sizes (default
+	// {0} = the legacy single-device schedule; see Cell.Devices).
+	DeviceCounts []int
 	// TrialsPerCell is the number of independent runs per cell (required).
 	TrialsPerCell int
 	// Seed fixes every trial's random stream (with the cell and trial
@@ -157,10 +165,13 @@ func (s *Sweep) cells() []Cell {
 			for _, lam := range s.Lambdas {
 				for _, reg := range s.Regions {
 					for _, br := range s.BitRanges {
-						out = append(out, Cell{
-							Index: len(out), N: n, NB: nb, Lambda: lam,
-							Region: reg, MinBit: br[0], MaxBit: br[1],
-						})
+						for _, dk := range s.DeviceCounts {
+							out = append(out, Cell{
+								Index: len(out), N: n, NB: nb, Lambda: lam,
+								Region: reg, MinBit: br[0], MaxBit: br[1],
+								Devices: dk,
+							})
+						}
 					}
 				}
 			}
@@ -209,6 +220,14 @@ func (s *Sweep) validate() error {
 			return fmt.Errorf("campaign: invalid bit range %d..%d", br[0], br[1])
 		}
 	}
+	if len(s.DeviceCounts) == 0 {
+		s.DeviceCounts = []int{0}
+	}
+	for _, dk := range s.DeviceCounts {
+		if dk < 0 || dk > 64 {
+			return fmt.Errorf("campaign: invalid device count %d", dk)
+		}
+	}
 	if s.ResidualTol <= 0 {
 		s.ResidualTol = 1e-12
 	}
@@ -243,7 +262,7 @@ func (s *Sweep) Run() (*SweepReport, error) {
 	}
 	baselines := s.baselines(cells)
 	for ci, cell := range cells {
-		cr := aggregateCell(cell, results[ci], baselines[baseKey{cell.N, cell.NB}])
+		cr := aggregateCell(cell, results[ci], baselines[baseKey{cell.N, cell.NB, cell.Devices}])
 		if s.Triage {
 			for _, res := range results[ci] {
 				o := res.record.outcome()
@@ -332,11 +351,11 @@ func RunSweep(s *Sweep) (*SweepReport, error) {
 func (r *SweepReport) Print(w io.Writer) {
 	fmt.Fprintf(w, "Soft-error sweep campaign: %d cells × %d trials = %d trials, seed %d\n",
 		len(r.Cells), r.TrialsPerCell, r.TotalTrials, r.Seed)
-	fmt.Fprintf(w, "%6s %6s %4s %7s %-6s %7s | %6s %6s %6s %6s %6s | %8s %9s %9s\n",
-		"cell", "N", "nb", "lambda", "region", "bits", "clean", "recov", "benign", "corrpt", "uncorr", "coverage", "overhead", "worst-res")
+	fmt.Fprintf(w, "%6s %6s %4s %3s %7s %-6s %7s | %6s %6s %6s %6s %6s | %8s %9s %9s\n",
+		"cell", "N", "nb", "K", "lambda", "region", "bits", "clean", "recov", "benign", "corrpt", "uncorr", "coverage", "overhead", "worst-res")
 	for _, c := range r.Cells {
-		fmt.Fprintf(w, "%6d %6d %4d %7.2f %-6s %3d..%2d | %6d %6d %6d %6d %6d | %7.1f%% %8.2f%% %9.2e\n",
-			c.Cell.Index, c.Cell.N, c.Cell.NB, c.Cell.Lambda, c.Cell.Region,
+		fmt.Fprintf(w, "%6d %6d %4d %3d %7.2f %-6s %3d..%2d | %6d %6d %6d %6d %6d | %7.1f%% %8.2f%% %9.2e\n",
+			c.Cell.Index, c.Cell.N, c.Cell.NB, c.Cell.Devices, c.Cell.Lambda, c.Cell.Region,
 			c.Cell.MinBit, c.Cell.MaxBit,
 			c.Outcome(CleanPass), c.Outcome(Recovered), c.Outcome(SilentBenign),
 			c.Outcome(SilentCorrupt), c.Outcome(Uncorrectable),

@@ -210,3 +210,56 @@ func TestSweepValidation(t *testing.T) {
 		}
 	}
 }
+
+func TestSweepDeviceAxis(t *testing.T) {
+	// The devices axis runs the same fault grid on the legacy schedule and
+	// on a 2-device pool: every cell must still detect and recover, the
+	// pooled cells carry their device count through the JSONL records, and
+	// the overhead baselines are computed per substrate.
+	var sink bytes.Buffer
+	s := &Sweep{
+		Ns:            []int{126},
+		NBs:           []int{16},
+		Lambdas:       []float64{1.5},
+		DeviceCounts:  []int{0, 2},
+		TrialsPerCell: 3,
+		Seed:          11,
+		Workers:       2,
+		TrialSink:     &sink,
+	}
+	rep, err := RunSweep(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("expected 2 cells (devices 0 and 2), got %d", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Outcome(SilentCorrupt) > 0 {
+			t.Fatalf("devices=%d: silent corruption", c.Cell.Devices)
+		}
+		if c.FaultedTrials > 0 && c.Coverage == 0 {
+			t.Fatalf("devices=%d: no detection on faulted trials", c.Cell.Devices)
+		}
+		if c.BaselineSimSeconds <= 0 {
+			t.Fatalf("devices=%d: missing clean baseline", c.Cell.Devices)
+		}
+	}
+	// The two substrates have different schedules (at this tiny order the
+	// pool's broadcasts outweigh the sharding win), so each cell must have
+	// been measured against its own baseline, not a shared one.
+	if k2, k0 := rep.Cells[1].BaselineSimSeconds, rep.Cells[0].BaselineSimSeconds; k2 == k0 {
+		t.Fatalf("devices=0 and devices=2 share a baseline (%.4fs); want per-substrate baselines", k0)
+	}
+	recs, err := LoadTrialJSONL(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	for _, r := range recs {
+		seen[r.Devices]++
+	}
+	if seen[0] != 3 || seen[2] != 3 {
+		t.Fatalf("JSONL device counts: %v", seen)
+	}
+}

@@ -87,6 +87,15 @@ type Options struct {
 	// Device overrides the simulated device built from Params/CostOnly —
 	// use it to enable tracing (dev.EnableTrace) around a run.
 	Device *gpu.Device
+	// DeviceCount > 0 runs the multi-device pool path on that many
+	// simulated devices built from Params/CostOnly (0 selects the legacy
+	// single-device algorithms; a pool of 1 uses the multi schedule, which
+	// is bit-identical at every pool size but not to the legacy schedule).
+	// Devices, when non-empty, supplies the pool explicitly instead
+	// (e.g. pre-traced devices) and takes precedence. CPUOnly rejects a
+	// pool.
+	DeviceCount int
+	Devices     []*gpu.Device
 }
 
 // Result is the unified outcome of any algorithm choice.
@@ -143,6 +152,30 @@ func (o *Options) device() *gpu.Device {
 	return gpu.New(p, mode)
 }
 
+// pool resolves the multi-device option: the explicit Devices slice, or
+// DeviceCount freshly built devices, or nil for the single-device path.
+func (o *Options) pool() []*gpu.Device {
+	if len(o.Devices) > 0 {
+		return o.Devices
+	}
+	if o.DeviceCount <= 0 {
+		return nil
+	}
+	p := o.Params
+	if p == (sim.Params{}) {
+		p = sim.K40c()
+	}
+	mode := gpu.Real
+	if o.CostOnly {
+		mode = gpu.CostOnly
+	}
+	devs := make([]*gpu.Device, o.DeviceCount)
+	for i := range devs {
+		devs[i] = gpu.NewIndexed(p, mode, i)
+	}
+	return devs
+}
+
 // Reduce reduces the square matrix a (not modified) to upper Hessenberg
 // form with the selected algorithm.
 func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
@@ -150,8 +183,12 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 	if nb <= 0 {
 		nb = hybrid.DefaultNB
 	}
+	pool := opt.pool()
 	switch opt.Algorithm {
 	case CPUOnly:
+		if pool != nil {
+			return nil, errors.New("core: CPUOnly cannot run on a device pool")
+		}
 		n := a.Rows
 		if n != a.Cols {
 			return nil, errors.New("core: matrix must be square")
@@ -166,11 +203,17 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 		lapack.Dgehrd(n, nb, packed.Data, packed.Stride, tau)
 		return &Result{Algorithm: CPUOnly, N: n, NB: nb, Packed: packed, Tau: tau}, nil
 	case Baseline:
-		res, err := hybrid.Reduce(a, hybrid.Options{
+		hopt := hybrid.Options{
 			Ctx: opt.Ctx,
-			NB:  nb, Device: opt.device(), DisableOverlap: opt.DisableOverlap,
+			NB:  nb, DisableOverlap: opt.DisableOverlap,
 			Obs: opt.Obs,
-		})
+		}
+		if pool != nil {
+			hopt.Devices = pool
+		} else {
+			hopt.Device = opt.device()
+		}
+		res, err := hybrid.Reduce(a, hopt)
 		if err != nil {
 			return nil, err
 		}
@@ -180,9 +223,9 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 			SimSeconds: res.SimSeconds, ModelGFLOPS: res.ModelGFLOPS,
 		}, nil
 	default:
-		res, err := ft.Reduce(a, ft.Options{
-			Ctx: opt.Ctx,
-			NB:  nb, Device: opt.device(),
+		fopt := ft.Options{
+			Ctx:                opt.Ctx,
+			NB:                 nb,
 			ThresholdFactor:    opt.ThresholdFactor,
 			FinalHCheck:        opt.FinalHCheck,
 			DisableQProtection: opt.DisableQProtection,
@@ -190,7 +233,13 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 			Hook:               opt.Hook,
 			Obs:                opt.Obs,
 			Journal:            opt.Journal,
-		})
+		}
+		if pool != nil {
+			fopt.Devices = pool
+		} else {
+			fopt.Device = opt.device()
+		}
+		res, err := ft.Reduce(a, fopt)
 		if err != nil {
 			return nil, err
 		}

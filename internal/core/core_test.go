@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"repro/internal/fault"
+	"repro/internal/gpu"
 	"repro/internal/matrix"
+	"repro/internal/sim"
 )
 
 func TestReduceAllAlgorithmsAgree(t *testing.T) {
@@ -226,5 +228,39 @@ func TestEigenFacade(t *testing.T) {
 		if r := e.EigResidual(a, j); r > 1e-12 {
 			t.Fatalf("eig %d residual %v", j, r)
 		}
+	}
+}
+
+func TestDeviceCountRoutesToPool(t *testing.T) {
+	a := matrix.Random(96, 96, 42)
+	for _, alg := range []Algorithm{Baseline, FaultTolerant} {
+		// The multi-path contract is bit-identity across K (an explicit
+		// one-device pool vs DeviceCount 2), and agreement with the
+		// legacy single-device schedule to rounding.
+		single, err := Reduce(a, Options{Algorithm: alg, NB: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		one, err := Reduce(a, Options{Algorithm: alg, NB: 16,
+			Devices: []*gpu.Device{gpu.NewIndexed(sim.K40c(), gpu.Real, 0)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled, err := Reduce(a, Options{Algorithm: alg, NB: 16, DeviceCount: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pooled.Packed.Equal(one.Packed) {
+			t.Fatalf("%v: K=2 result not bit-identical to one-device pool", alg)
+		}
+		if r := pooled.Residual(a); r > 1e-13 {
+			t.Fatalf("%v: pooled residual %v", alg, r)
+		}
+		if d := pooled.Packed.Sub(single.Packed).MaxAbs(); d > 1e-10 {
+			t.Fatalf("%v: pooled differs from legacy single-device by %v", alg, d)
+		}
+	}
+	if _, err := Reduce(a, Options{Algorithm: CPUOnly, DeviceCount: 2}); err == nil {
+		t.Fatal("CPUOnly must reject a device pool")
 	}
 }

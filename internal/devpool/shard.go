@@ -1,0 +1,539 @@
+package devpool
+
+import (
+	"repro/internal/blas"
+	"repro/internal/gpu"
+	"repro/internal/matrix"
+	"repro/internal/sim"
+)
+
+// Shard is the block-column-sharded trailing-update engine shared by the
+// multi-device hybrid and fault-tolerant reductions. Each slab of the
+// fixed partition lives on its owner device for the whole factorization;
+// the panel products (V expanded to dense form, T, and the full Y) are
+// broadcast to every device each iteration, and the only host-side
+// synchronization points are the per-column panel GEMV partials and the
+// Y-top AllReduce at panel boundaries.
+//
+// With Pad == 1 every slab carries an ABFT halo — checksum column
+// Cols (row sums of the slab's data columns) and checksum row N (column
+// sums of the data rows, plus the grand-total corner) — and the right
+// and left updates maintain the halo *through* the update on the owning
+// device, so detection and correction stay slab-local. The panel slab is
+// the exception: its columns are rewritten by the host factorization, so
+// it is updated data-only and re-encoded (see the ft package).
+//
+// Determinism: every cross-slab contraction is returned to the host as
+// per-slab partials and combined there in ascending slab order, so the
+// results are bit-identical for every device count (see the package
+// comment).
+type Shard struct {
+	Pool *Pool
+	Part Partition
+	N    int
+	NB   int
+	// Pad is 1 when slabs carry the checksum halo, else 0.
+	Pad int
+
+	// SlabM[s] is slab s's device matrix: (N+Pad) × (Cols+Pad) on the
+	// owner device. Last[s] is the most recent device event touching it.
+	SlabM []*gpu.Matrix
+	Last  []sim.Event
+
+	// DevSlabs[d] lists the slab indices owned by device d, ascending.
+	DevSlabs [][]int
+
+	// Per-device broadcast buffers and workspaces.
+	dVexp    []*gpu.Matrix // N × NB dense expanded V
+	dYb      []*gpu.Matrix // (N+Pad) × NB broadcast Y (row N = Yce)
+	dTb      []*gpu.Matrix // NB × NB
+	dVcol    []*gpu.Matrix // N × 1 panel-GEMV input
+	dYpart   []*gpu.Matrix // N × maxSlabs panel-GEMV partials
+	dWide    []*gpu.Matrix // (N+Pad) × maxSlabs·NB Y-top partials
+	dSbuf    []*gpu.Matrix // NB × (Width+Pad) left-update intermediate
+	dOnes    []*gpu.Matrix // N × 1 ones (checksum contractions)
+	dVsumCol []*gpu.Matrix // NB × 1 per-slab V column sums
+	dVsumRow []*gpu.Matrix // 1 × NB global V column sums (row layout)
+
+	// Broadcast completion events, per device, refreshed each iteration.
+	evVexp, evT, evY []sim.Event
+	lastGemv         []sim.Event
+	pendingGemv      []panelBatch
+
+	// Host staging.
+	stageCol  []*matrix.Matrix // per device: N × maxSlabs
+	stageWide []*matrix.Matrix // per device: (N+Pad) × maxSlabs·NB
+	vexpHost  *matrix.Matrix   // N × NB
+	ysum      *matrix.Matrix   // (N+Pad) × NB combine buffer
+}
+
+// NewShard partitions an n×n problem over the pool and allocates the
+// per-device slab storage and workspaces. pad must be 0 (plain) or 1
+// (checksum halo).
+func NewShard(pool *Pool, n, nb, pad int) *Shard {
+	pt := NewPartition(n, nb, pool.K())
+	k := pool.K()
+	sh := &Shard{Pool: pool, Part: pt, N: n, NB: nb, Pad: pad}
+	sh.SlabM = make([]*gpu.Matrix, len(pt.Slabs))
+	sh.Last = make([]sim.Event, len(pt.Slabs))
+	sh.DevSlabs = make([][]int, k)
+	for _, s := range pt.Slabs {
+		sh.SlabM[s.Index] = pool.Devices[s.Owner].Alloc(n+pad, s.Cols+pad)
+		sh.DevSlabs[s.Owner] = append(sh.DevSlabs[s.Owner], s.Index)
+	}
+	maxSlabs := pt.MaxSlabsPerOwner(k)
+	mk := func() []*gpu.Matrix { return make([]*gpu.Matrix, k) }
+	sh.dVexp, sh.dYb, sh.dTb = mk(), mk(), mk()
+	sh.dVcol, sh.dYpart, sh.dWide, sh.dSbuf = mk(), mk(), mk(), mk()
+	sh.dOnes, sh.dVsumCol, sh.dVsumRow = mk(), mk(), mk()
+	sh.evVexp = make([]sim.Event, k)
+	sh.evT = make([]sim.Event, k)
+	sh.evY = make([]sim.Event, k)
+	sh.lastGemv = make([]sim.Event, k)
+	sh.stageCol = make([]*matrix.Matrix, k)
+	sh.stageWide = make([]*matrix.Matrix, k)
+	for d, dev := range pool.Devices {
+		if len(sh.DevSlabs[d]) == 0 {
+			continue
+		}
+		sh.dVexp[d] = dev.Alloc(n, nb)
+		sh.dYb[d] = dev.Alloc(n+pad, nb)
+		sh.dTb[d] = dev.Alloc(nb, nb)
+		sh.dVcol[d] = dev.Alloc(n, 1)
+		sh.dYpart[d] = dev.Alloc(n, maxSlabs)
+		sh.dWide[d] = dev.Alloc(n+pad, maxSlabs*nb)
+		sh.dSbuf[d] = dev.Alloc(nb, pt.Width+pad)
+		sh.stageCol[d] = matrix.New(n, maxSlabs)
+		sh.stageWide[d] = matrix.New(n+pad, maxSlabs*nb)
+		if pad > 0 {
+			sh.dOnes[d] = dev.Alloc(n, 1)
+			sh.dVsumCol[d] = dev.Alloc(nb, 1)
+			sh.dVsumRow[d] = dev.Alloc(1, nb)
+			ones := sh.dOnes[d]
+			dev.Custom(dev.Params.VecDevice(n), func() {
+				for i := range ones.Data {
+					ones.Data[i] = 1
+				}
+			})
+		}
+	}
+	sh.vexpHost = matrix.New(n, nb)
+	sh.ysum = matrix.New(n+pad, nb)
+	return sh
+}
+
+// Free releases all device allocations of the shard.
+func (sh *Shard) Free() {
+	for s, m := range sh.SlabM {
+		sh.Pool.Devices[sh.Part.Slabs[s].Owner].Free(m)
+	}
+	for d, dev := range sh.Pool.Devices {
+		for _, m := range []*gpu.Matrix{sh.dVexp[d], sh.dYb[d], sh.dTb[d], sh.dVcol[d],
+			sh.dYpart[d], sh.dWide[d], sh.dSbuf[d], sh.dOnes[d], sh.dVsumCol[d], sh.dVsumRow[d]} {
+			if m != nil {
+				dev.Free(m)
+			}
+		}
+	}
+}
+
+// Owner returns the device owning slab s.
+func (sh *Shard) Owner(s int) *gpu.Device {
+	return sh.Pool.Devices[sh.Part.Slabs[s].Owner]
+}
+
+// Upload transfers the initial matrix into the slabs (data region only;
+// the ft path encodes the checksum halo afterwards).
+func (sh *Shard) Upload(hostA *matrix.Matrix) {
+	for _, s := range sh.Part.Slabs {
+		sh.Pool.Issue(sh.Owner(s.Index))
+		sh.Last[s.Index] = sh.Owner(s.Index).H2DAsync(sh.SlabM[s.Index], 0, 0,
+			hostA.View(0, s.Start, sh.N, s.Cols))
+	}
+}
+
+// PanelD2H copies the lower part of the panel (rows k..n-1 of columns
+// p..p+ib-1) from the owning slab to the host and waits for it.
+func (sh *Shard) PanelD2H(hostA *matrix.Matrix, p, k, ib int) {
+	ps := sh.Part.SlabOf(p)
+	dev := sh.Owner(ps)
+	sh.Pool.Issue(dev)
+	e := dev.D2HAsync(hostA.View(k, p, sh.N-k, ib), sh.SlabM[ps], k, p-sh.Part.Slabs[ps].Start, sh.Last[ps])
+	sh.Last[ps] = e
+	sh.Pool.Wait(e)
+}
+
+// updRange returns slab s's overlap with global columns [lo, n) in local
+// coordinates; ok is false when the slab has no columns in range.
+func (sh *Shard) updRange(s, lo int) (local, cnt, global int, ok bool) {
+	sl := sh.Part.Slabs[s]
+	g := sl.Start
+	if g < lo {
+		g = lo
+	}
+	if g >= sl.End() {
+		return 0, 0, 0, false
+	}
+	return g - sl.Start, sl.End() - g, g, true
+}
+
+// panelBatch tracks one device's in-flight panel-GEMV partial transfer.
+type panelBatch struct {
+	ev     sim.Event
+	active []int
+}
+
+// PanelGemvIssue starts the trailing-matrix part of panel column yCol's
+// Y update, y(k:n-1) += A(k:n-1, p+ib:n-1)·v, sharded: each owner runs
+// one GEMV per slab and returns its partial block in a single transfer.
+// The caller overlaps host work with the round trip and then calls
+// PanelGemvCollect.
+func (sh *Shard) PanelGemvIssue(hostA *matrix.Matrix, yCol, p, k, ib int) {
+	n := sh.N
+	pool := sh.Pool
+	c := p + yCol
+	vtail := hostA.View(p+ib, c, n-p-ib, 1)
+
+	sh.pendingGemv = sh.pendingGemv[:0]
+	for d, dev := range pool.Devices {
+		var kgs []sim.Event
+		var active []int
+		first := true
+		var up sim.Event
+		for _, s := range sh.DevSlabs[d] {
+			lo, cnt, g, ok := sh.updRange(s, p+ib)
+			if !ok {
+				continue
+			}
+			if first {
+				pool.Issue(dev)
+				up = dev.H2DAsync(sh.dVcol[d], 0, 0, vtail, sh.lastGemv[d])
+				first = false
+			}
+			kg := dev.Gemv(blas.NoTrans, n-k, cnt, 1, sh.SlabM[s], k, lo,
+				sh.dVcol[d], g-(p+ib), 0, 0, sh.dYpart[d], 0, len(active), up, sh.Last[s])
+			sh.Last[s] = kg
+			kgs = append(kgs, kg)
+			active = append(active, s)
+		}
+		if len(active) == 0 {
+			continue
+		}
+		ev := dev.D2HAsync(sh.stageCol[d].View(0, 0, n-k, len(active)), sh.dYpart[d], 0, 0, kgs...)
+		sh.lastGemv[d] = ev
+		sh.pendingGemv = append(sh.pendingGemv, panelBatch{ev: ev, active: active})
+	}
+}
+
+// PanelGemvCollect waits for the partial blocks started by
+// PanelGemvIssue and folds them into y column yCol in ascending slab
+// order (the fixed evaluation tree that keeps results K-independent).
+func (sh *Shard) PanelGemvCollect(y *matrix.Matrix, yCol, k int) {
+	n := sh.N
+	pool := sh.Pool
+	pp := pool.Params
+	batches := sh.pendingGemv
+	for _, b := range batches {
+		pool.Wait(b.ev)
+	}
+	// The partial for slab s sits in column pos(s) of its owner's
+	// staging block. The combine is one fused pass — each partial and
+	// the destination stream through memory once, instead of a full
+	// read+write of y per slab — while the per-element addition order
+	// (ascending slab) is exactly that of sequential AXPYs, so the
+	// evaluation tree is unchanged.
+	nact := 0
+	for _, b := range batches {
+		nact += len(b.active)
+	}
+	cost := float64(nact+2) / 2 * pp.VecHost(n-k)
+	pool.HostOp(cost, func() {
+		bySlab := map[int][]float64{}
+		for _, b := range batches {
+			d := sh.Part.Slabs[b.active[0]].Owner
+			for pos, s := range b.active {
+				bySlab[s] = sh.stageCol[d].Data[pos*sh.stageCol[d].Stride:]
+			}
+		}
+		srcs := make([][]float64, 0, nact)
+		for s := range sh.Part.Slabs {
+			if src, ok := bySlab[s]; ok {
+				srcs = append(srcs, src)
+			}
+		}
+		dst := y.Data[yCol*y.Stride+k : yCol*y.Stride+k+(n-k)]
+		for r := range dst {
+			acc := dst[r]
+			for _, src := range srcs {
+				acc += src[r]
+			}
+			dst[r] = acc
+		}
+	})
+}
+
+// Broadcast uploads the freshly factored panel back to its owner slab,
+// expands V to dense form on the host, and broadcasts Vexp and T to
+// every participating device.
+func (sh *Shard) Broadcast(hostA, tHost *matrix.Matrix, p, k, ib int) {
+	n := sh.N
+	pool := sh.Pool
+	pp := pool.Params
+
+	ps := sh.Part.SlabOf(p)
+	pdev := sh.Owner(ps)
+	pool.Issue(pdev)
+	sh.Last[ps] = pdev.H2DAsync(sh.SlabM[ps], k, p-sh.Part.Slabs[ps].Start,
+		hostA.View(k, p, n-k, ib), sh.Last[ps])
+
+	// Dense Vexp: row r pairs with trailing column k+r; unit diagonal,
+	// zeros above, stored reflector entries below.
+	vexp := sh.vexpHost
+	pool.HostOp(pp.GemvHost(n-k, ib)/2, func() {
+		for j := 0; j < ib; j++ {
+			col := vexp.Data[j*vexp.Stride : j*vexp.Stride+(n-k)]
+			for r := 0; r < j && r < n-k; r++ {
+				col[r] = 0
+			}
+			if j < n-k {
+				col[j] = 1
+			}
+			src := hostA.Data[(p+j)*hostA.Stride:]
+			for r := j + 1; r < n-k; r++ {
+				col[r] = src[k+r]
+			}
+		}
+	})
+	for d, dev := range pool.Devices {
+		if len(sh.DevSlabs[d]) == 0 {
+			continue
+		}
+		pool.Issue(dev)
+		sh.evVexp[d] = dev.H2DAsync(sh.dVexp[d], 0, 0, vexp.View(0, 0, n-k, ib))
+		sh.evT[d] = dev.H2DAsync(sh.dTb[d], 0, 0, tHost.View(0, 0, ib, ib))
+	}
+}
+
+// YTop computes Y's top rows (and, with Pad, the Yce checksum row):
+// per-slab partials of A(0:k-1, k:n-1)·Vexp are combined ascending on
+// the host, the T factor is applied there, and the result is written
+// into yHost rows 0..k-1 (and row n).
+func (sh *Shard) YTop(yHost, tHost *matrix.Matrix, p, k, ib int) {
+	n := sh.N
+	pool := sh.Pool
+	pp := pool.Params
+	pad := sh.Pad
+
+	type devBatch struct {
+		ev     sim.Event
+		nA     int
+		active []int
+	}
+	var batches []devBatch
+	for d, dev := range pool.Devices {
+		var kgs []sim.Event
+		var active []int
+		for _, s := range sh.DevSlabs[d] {
+			lo, cnt, g, ok := sh.updRange(s, k)
+			if !ok {
+				continue
+			}
+			if len(active) == 0 {
+				pool.Issue(dev)
+			}
+			col := len(active) * sh.NB
+			kg := dev.Gemm(blas.NoTrans, blas.NoTrans, k, ib, cnt, 1,
+				sh.SlabM[s], 0, lo, sh.dVexp[d], g-k, 0, 0, sh.dWide[d], 0, col,
+				sh.evVexp[d], sh.Last[s])
+			if pad > 0 {
+				// Checksum-row partial: (eᵀA_pre)_slab·Vexp — row n of the
+				// slab holds the maintained column sums of A *before* this
+				// panel's factorization, which is exactly what the Yce
+				// identity needs. The panel slab must NOT be re-encoded
+				// before this call: Broadcast only rewrites data rows, so
+				// its pre-factorization checksum row is still in place.
+				kg = dev.Gemm(blas.NoTrans, blas.NoTrans, 1, ib, cnt, 1,
+					sh.SlabM[s], n, lo, sh.dVexp[d], g-k, 0, 0, sh.dWide[d], k, col, kg)
+			}
+			sh.Last[s] = kg
+			kgs = append(kgs, kg)
+			active = append(active, s)
+		}
+		if len(active) == 0 {
+			continue
+		}
+		ev := dev.D2HAsync(sh.stageWide[d].View(0, 0, k+pad, len(active)*sh.NB), sh.dWide[d], 0, 0, kgs...)
+		batches = append(batches, devBatch{ev: ev, nA: len(active), active: active})
+	}
+	for _, b := range batches {
+		pool.Wait(b.ev)
+	}
+	cost := pp.GemmHost(k+pad, ib, ib)/2 + float64(len(sh.Part.Slabs))*pp.GemvHost(k+pad, ib)/2
+	pool.HostOp(cost, func() {
+		ys := sh.ysum
+		for j := 0; j < ib; j++ {
+			col := ys.Data[j*ys.Stride : j*ys.Stride+k+pad]
+			for r := range col {
+				col[r] = 0
+			}
+		}
+		bySlab := map[int]int{}
+		for _, b := range batches {
+			for pos, s := range b.active {
+				bySlab[s] = pos
+			}
+		}
+		for s := range sh.Part.Slabs {
+			pos, ok := bySlab[s]
+			if !ok {
+				continue
+			}
+			d := sh.Part.Slabs[s].Owner
+			st := sh.stageWide[d]
+			for j := 0; j < ib; j++ {
+				blas.Daxpy(k+pad, 1, st.Data[(pos*sh.NB+j)*st.Stride:], 1, ys.Data[j*ys.Stride:], 1)
+			}
+		}
+		// Apply T on the right: Y = (A·V)·T, including the ce row.
+		blas.Dtrmm(blas.Right, blas.Upper, blas.NoTrans, blas.NonUnit, k+pad, ib, 1,
+			tHost.Data, tHost.Stride, ys.Data, ys.Stride)
+		for j := 0; j < ib; j++ {
+			blas.Dcopy(k, ys.Data[j*ys.Stride:], 1, yHost.Data[j*yHost.Stride:], 1)
+			if pad > 0 {
+				yHost.Data[j*yHost.Stride+n] = ys.Data[j*ys.Stride+k]
+			}
+		}
+	})
+}
+
+// BroadcastY uploads the assembled Y (rows 0..n-1 plus the Yce row with
+// Pad) to every participating device.
+func (sh *Shard) BroadcastY(yHost *matrix.Matrix, ib int) {
+	for d, dev := range sh.Pool.Devices {
+		if len(sh.DevSlabs[d]) == 0 {
+			continue
+		}
+		sh.Pool.Issue(dev)
+		sh.evY[d] = dev.H2DAsync(sh.dYb[d], 0, 0, yHost.View(0, 0, sh.N+sh.Pad, ib))
+	}
+}
+
+// RightUpdate applies A := A − Y·Vexpᵀ to every slab's share of columns
+// k..n-1 on its owner. Non-panel slabs with Pad carry the halo through
+// the update: the checksum row rides as row n of the GEMM (Y's row n is
+// Yce) and the checksum column is updated with the slab's V column sums.
+// The panel slab is updated data-only (it is re-encoded afterwards).
+func (sh *Shard) RightUpdate(p, k, ib int) {
+	n := sh.N
+	pool := sh.Pool
+	ps := sh.Part.SlabOf(p)
+
+	for d, dev := range pool.Devices {
+		issued := false
+		for _, s := range sh.DevSlabs[d] {
+			lo, cnt, g, ok := sh.updRange(s, k)
+			if !ok {
+				continue
+			}
+			if !issued {
+				pool.Issue(dev)
+				issued = true
+			}
+			deps := []sim.Event{sh.evVexp[d], sh.evY[d], sh.Last[s]}
+			if s == ps {
+				// Panel-column share (rows 0..k-1 only — the lower rows hold
+				// the freshly uploaded V) ...
+				e := sh.Last[s]
+				if ib > 1 {
+					e = dev.Gemm(blas.NoTrans, blas.Trans, k, ib-1, ib, -1,
+						sh.dYb[d], 0, 0, sh.dVexp[d], 0, 0, 1, sh.SlabM[s], 0, k-sh.Part.Slabs[s].Start, deps...)
+				}
+				// ... and the trailing share, full data height, no halo.
+				if tLo, tCnt, tg, tok := sh.updRange(s, p+ib); tok {
+					e = dev.Gemm(blas.NoTrans, blas.Trans, n, tCnt, ib, -1,
+						sh.dYb[d], 0, 0, sh.dVexp[d], tg-k, 0, 1, sh.SlabM[s], 0, tLo,
+						sh.evVexp[d], sh.evY[d], e)
+				}
+				sh.Last[s] = e
+				continue
+			}
+			e := dev.Gemm(blas.NoTrans, blas.Trans, n+sh.Pad, cnt, ib, -1,
+				sh.dYb[d], 0, 0, sh.dVexp[d], g-k, 0, 1, sh.SlabM[s], 0, lo, deps...)
+			if sh.Pad > 0 {
+				// Column-sum vector of the slab's Vexp rows, then
+				// chkcol −= Y·vsumᵀ (row n of Y keeps the corner coherent).
+				vs := dev.Gemv(blas.Trans, cnt, ib, 1, sh.dVexp[d], g-k, 0,
+					sh.dOnes[d], 0, 0, 0, sh.dVsumCol[d], 0, 0, sh.evVexp[d])
+				e = dev.Gemv(blas.NoTrans, n+1, ib, -1, sh.dYb[d], 0, 0,
+					sh.dVsumCol[d], 0, 0, 1, sh.SlabM[s], 0, sh.Part.Slabs[s].Cols, vs, e)
+			}
+			sh.Last[s] = e
+		}
+	}
+}
+
+// LeftUpdate applies A := (I − V·Tᵀ·Vᵀ)·A to every slab's share of the
+// trailing columns p+ib..n-1 on its owner, keeping the intermediate
+// S = Tᵀ·Vᵀ·C per device. With Pad, non-panel slabs extend the update to
+// the checksum column (the halo transforms by the same operator) and
+// maintain the checksum row with the global V column-sum vector.
+func (sh *Shard) LeftUpdate(p, k, ib int) {
+	n := sh.N
+	pool := sh.Pool
+	ps := sh.Part.SlabOf(p)
+
+	for d, dev := range pool.Devices {
+		issued := false
+		vsumReady := sim.Event{}
+		vsumDone := false
+		for _, s := range sh.DevSlabs[d] {
+			lo, cnt, _, ok := sh.updRange(s, p+ib)
+			if !ok {
+				continue
+			}
+			if !issued {
+				pool.Issue(dev)
+				issued = true
+			}
+			pad := sh.Pad
+			if s == ps {
+				pad = 0
+			}
+			e := dev.Gemm(blas.Trans, blas.NoTrans, ib, cnt+pad, n-k, 1,
+				sh.dVexp[d], 0, 0, sh.SlabM[s], k, lo, 0, sh.dSbuf[d], 0, 0,
+				sh.evVexp[d], sh.Last[s])
+			e = dev.Trmm(blas.Left, blas.Upper, blas.Trans, blas.NonUnit, ib, cnt+pad, 1,
+				sh.dTb[d], 0, 0, sh.dSbuf[d], 0, 0, sh.evT[d], e)
+			e = dev.Gemm(blas.NoTrans, blas.NoTrans, n-k, cnt+pad, ib, -1,
+				sh.dVexp[d], 0, 0, sh.dSbuf[d], 0, 0, 1, sh.SlabM[s], k, lo, e)
+			if pad > 0 {
+				if !vsumDone {
+					vsumReady = dev.ColSums(sh.dVexp[d], 0, 0, n-k, ib, sh.dVsumRow[d], 0, 0, sh.evVexp[d])
+					vsumDone = true
+				}
+				// chkrow −= (eᵀV)·S, covering the chkcol column's corner too.
+				e = dev.Gemm(blas.NoTrans, blas.NoTrans, 1, cnt+pad, ib, -1,
+					sh.dVsumRow[d], 0, 0, sh.dSbuf[d], 0, 0, 1, sh.SlabM[s], n, lo, vsumReady, e)
+			}
+			sh.Last[s] = e
+		}
+	}
+}
+
+// Gather copies every slab's full data region back to the host matrix
+// and waits for all transfers. Because the device copies are
+// authoritative for the entire matrix, the gather also heals any
+// host-side corruption of already-finished columns.
+func (sh *Shard) Gather(hostA *matrix.Matrix) {
+	var evs []sim.Event
+	for _, s := range sh.Part.Slabs {
+		dev := sh.Owner(s.Index)
+		sh.Pool.Issue(dev)
+		e := dev.D2HAsync(hostA.View(0, s.Start, sh.N, s.Cols), sh.SlabM[s.Index], 0, 0, sh.Last[s.Index])
+		sh.Last[s.Index] = e
+		evs = append(evs, e)
+	}
+	for _, e := range evs {
+		sh.Pool.Wait(e)
+	}
+}

@@ -314,7 +314,7 @@ func (in *Injector) BeforeIteration(ctx *ft.IterCtx) {
 			continue
 		}
 		for i, pos := range positions(plan, ctx.N, ctx.Panel, ctx.NB) {
-			in.inject(ctx.Dev, ctx.DA, ctx.Host, plan, pos, ctx.Iter, i)
+			in.inject(ctx, plan, pos, ctx.Iter, i)
 		}
 	}
 }
@@ -327,20 +327,26 @@ func (in *Injector) HybridHook(dev *gpu.Device) func(hybrid.IterInfo, *gpu.Matri
 			if info.Iter != plan.TargetIter {
 				continue
 			}
+			ctx := &ft.IterCtx{
+				Dev: dev, DA: dA, Host: host,
+				Iter: info.Iter, Panel: info.Panel, NB: info.NB, N: info.N,
+			}
 			for i, pos := range positions(plan, info.N, info.Panel, info.NB) {
-				in.inject(dev, dA, host, plan, pos, info.Iter, i)
+				in.inject(ctx, plan, pos, info.Iter, i)
 			}
 		}
 	}
 }
 
-func (in *Injector) inject(dev *gpu.Device, dA *gpu.Matrix, host *matrix.Matrix, plan Plan, pos Pos, iter, idx int) {
+func (in *Injector) inject(ctx *ft.IterCtx, plan Plan, pos Pos, iter, idx int) {
 	// Area-3 injections hit the host-resident Householder storage when a
 	// host matrix is available (the FT path); the baseline hybrid study
 	// of Figure 2 passes host == nil and corrupts the device copy, which
-	// holds the same stale values in that region.
+	// holds the same stale values in that region. The IterCtx accessors
+	// route H pokes to the single device or to the owning slab of the
+	// multi-device pool.
 	target := ft.TargetH
-	if plan.Area == Area3 && host != nil {
+	if plan.Area == Area3 && ctx.Host != nil {
 		target = ft.TargetQ
 	}
 	// Simultaneous errors get distinct magnitudes (idx-scaled): equal
@@ -350,23 +356,22 @@ func (in *Injector) inject(dev *gpu.Device, dA *gpu.Matrix, host *matrix.Matrix,
 	delta := plan.Delta * float64(1+idx)
 	switch {
 	case target == ft.TargetQ:
-		if dev.Mode == gpu.Real {
-			host.Add(pos.Row, pos.Col, delta)
+		if ctx.Mode() == gpu.Real {
+			ctx.Host.Add(pos.Row, pos.Col, delta)
 		}
 		in.pendingQ++
 	case plan.BitFlip:
-		old := dev.FlipBit(dA, pos.Row, pos.Col, plan.Bit)
-		if dev.Mode == gpu.Real {
-			delta = dA.At(pos.Row, pos.Col) - old
+		if d := ctx.FlipBitH(pos.Row, pos.Col, plan.Bit); ctx.Mode() == gpu.Real {
+			delta = d
 		}
 		in.pendingH++
 	default:
-		dev.Poke(dA, pos.Row, pos.Col, delta)
+		ctx.PokeH(pos.Row, pos.Col, delta)
 		in.pendingH++
 	}
 	in.Log = append(in.Log, ft.Injection{Row: pos.Row, Col: pos.Col, Delta: delta, Target: target, Iter: iter})
 	ev := obs.Ev(obs.KindInjection, iter)
-	ev.SimTime = dev.Elapsed()
+	ev.SimTime = ctx.SimTime()
 	ev.Target = obs.TargetH
 	if target == ft.TargetQ {
 		ev.Target = obs.TargetQ

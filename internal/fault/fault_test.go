@@ -326,3 +326,82 @@ func TestFTConsecutiveMixedAreas(t *testing.T) {
 		t.Fatalf("residual %v", r)
 	}
 }
+
+func newPool(k int) []*gpu.Device {
+	devs := make([]*gpu.Device, k)
+	for i := range devs {
+		devs[i] = gpu.NewIndexed(sim.K40c(), gpu.Real, i)
+	}
+	return devs
+}
+
+func TestMultiDeviceFTRecoversInjectedError(t *testing.T) {
+	// The same injection campaign as the single-device test, but sharded
+	// across a pool: detection and correction happen on the owning slab at
+	// the iteration boundary, before the error can propagate.
+	n, nb := 192, 16
+	a := matrix.Random(n, n, 158)
+	for _, area := range []Area{Area1, Area2} {
+		in := New(Plan{Area: area, TargetIter: 1, Seed: 5, Delta: 1})
+		res, err := ft.Reduce(a, ft.Options{NB: nb, Devices: newPool(2), Hook: in})
+		if err != nil {
+			t.Fatalf("%v: %v", area, err)
+		}
+		if res.Detections == 0 {
+			t.Fatalf("%v: error not detected", area)
+		}
+		if res.Recoveries == 0 {
+			t.Fatalf("%v: no recovery performed", area)
+		}
+		if res.Checkpoints != 0 || res.Reexecutions != 0 {
+			t.Fatalf("%v: multi path must not checkpoint or re-execute: %+v", area, res)
+		}
+		h := res.H()
+		q := res.Q()
+		if r := lapack.FactorizationResidual(a, q, h); r > 1e-13 {
+			t.Fatalf("%v: residual after recovery %v", area, r)
+		}
+		if r := lapack.OrthogonalityResidual(q); r > 1e-13 {
+			t.Fatalf("%v: orthogonality after recovery %v", area, r)
+		}
+	}
+}
+
+func TestMultiDeviceFTRecoversArea3(t *testing.T) {
+	n, nb := 192, 16
+	a := matrix.Random(n, n, 9)
+	in := New(Plan{Area: Area3, TargetIter: 2, Seed: 11, Delta: 1})
+	res, err := ft.Reduce(a, ft.Options{NB: nb, Devices: newPool(2), Hook: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QCorrections == 0 {
+		t.Fatal("Area3 error not corrected by the Q check")
+	}
+	if res.Detections != 0 {
+		t.Fatalf("Area3 error should not fire H detection, got %d", res.Detections)
+	}
+	q := res.Q()
+	if r := lapack.OrthogonalityResidual(q); r > 1e-12 {
+		t.Fatalf("orthogonality %v", r)
+	}
+	if r := lapack.FactorizationResidual(a, q, res.H()); r > 1e-12 {
+		t.Fatalf("residual %v", r)
+	}
+}
+
+func TestMultiDeviceFTRecoversBitFlip(t *testing.T) {
+	n, nb := 192, 16
+	a := matrix.Random(n, n, 21)
+	in := New(Plan{Area: Area2, TargetIter: 1, Seed: 3, Delta: 1, BitFlip: true, Bit: 51})
+	res, err := ft.Reduce(a, ft.Options{NB: nb, Devices: newPool(3), Hook: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detections == 0 || res.Recoveries == 0 {
+		t.Fatalf("bit flip not handled: %+v", res)
+	}
+	if r := lapack.FactorizationResidual(a, res.Q(), res.H()); r > 1e-13 {
+		t.Fatalf("residual after bit-flip recovery %v", r)
+	}
+}

@@ -75,10 +75,14 @@ type Injection struct {
 }
 
 // IterCtx gives an injection hook access to the live state at an
-// iteration boundary.
+// iteration boundary. On the multi-device path Dev and DA are nil — the
+// trailing matrix lives in per-device slabs — so hooks should corrupt
+// device memory through PokeH/FlipBitH, which route a global coordinate
+// to the owning slab on every path.
 type IterCtx struct {
 	Dev *gpu.Device
 	// DA is the extended (n+1)×(n+1) device matrix (data + checksums).
+	// Nil on the multi-device path.
 	DA *gpu.Matrix
 	// Host is the packed host matrix accumulating V and H.
 	Host *matrix.Matrix
@@ -86,6 +90,49 @@ type IterCtx struct {
 	Iter, Panel, NB, N int
 	// reducer backs the process-level snapshot capture (snapshot.go).
 	reducer *reducer
+	// multi backs the accessor methods on the multi-device path.
+	multi *multiReducer
+}
+
+// Mode reports the execution mode of the device(s) backing the run.
+func (c *IterCtx) Mode() gpu.Mode {
+	if c.multi != nil {
+		return c.multi.pool.Mode
+	}
+	return c.Dev.Mode
+}
+
+// SimTime returns the current simulated time (for stamping events).
+func (c *IterCtx) SimTime() float64 {
+	if c.multi != nil {
+		return c.multi.pool.Elapsed()
+	}
+	return c.Dev.Elapsed()
+}
+
+// PokeH adds delta to the device-resident trailing-matrix element at
+// global (row, col), routing to the owning slab on the multi-device
+// path. No-op in cost-only mode.
+func (c *IterCtx) PokeH(row, col int, delta float64) {
+	if c.multi != nil {
+		c.multi.pokeH(row, col, delta)
+		return
+	}
+	c.Dev.Poke(c.DA, row, col, delta)
+}
+
+// FlipBitH flips one bit of the device-resident element at global
+// (row, col) and returns the applied delta (new − old); 0 in cost-only
+// mode, where device data does not exist.
+func (c *IterCtx) FlipBitH(row, col int, bit uint) float64 {
+	if c.multi != nil {
+		return c.multi.flipBitH(row, col, bit)
+	}
+	old := c.Dev.FlipBit(c.DA, row, col, bit)
+	if c.Dev.Mode == gpu.Real {
+		return c.DA.At(row, col) - old
+	}
+	return 0
 }
 
 // Hook lets a fault campaign inject errors at iteration boundaries, the
@@ -114,8 +161,23 @@ type Options struct {
 	Ctx context.Context
 	// NB is the block size (hybrid.DefaultNB if zero).
 	NB int
-	// Device is the simulated accelerator. Required.
+	// Device is the simulated accelerator. Required unless Devices is
+	// set.
 	Device *gpu.Device
+	// Devices, when non-empty, selects the multi-device path: the
+	// trailing matrix is sharded block-column wise across the pool
+	// (internal/devpool) with a checksum halo per slab, so detection,
+	// location, and correction run on the owning device and a faulty
+	// slab recovers without touching its neighbors. Boundary checks
+	// compare fresh per-slab data totals against the maintained halos
+	// *before* the iteration's updates consume the data, so a corrupted
+	// slab is corrected in place — the path takes no panel checkpoints
+	// and never re-executes (Checkpoints and Reexecutions stay zero),
+	// and every check sweeps whole slabs, finished columns included, so
+	// FinalHCheck is implied. Device and DisableOverlap are ignored,
+	// snapshot resume is unsupported. For a fixed input, results are
+	// bit-identical at every device count.
+	Devices []*gpu.Device
 	// ThresholdFactor scales the detection threshold
 	// τ = ThresholdFactor·ε·N·‖A‖₁ (paper: "2 to 3 orders of magnitude
 	// above machine epsilon"). Default 200.
@@ -255,6 +317,12 @@ func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) 
 	n := a.Rows
 	if n != a.Cols {
 		return nil, errors.New("ft: matrix must be square")
+	}
+	if len(opt.Devices) > 0 {
+		if snap != nil {
+			return nil, errors.New("ft: snapshot resume is not supported on the multi-device path")
+		}
+		return reduceMulti(a, opt)
 	}
 	if opt.Device == nil {
 		return nil, errors.New("ft: Options.Device is required")
@@ -456,7 +524,7 @@ func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) 
 	// the end of the factorization.
 	if !opt.DisableQProtection {
 		dev.SetPhase("q_protect")
-		fixes, err := r.qprot.verifyAndCorrect(dev, r.hostA, p, r.tauDet, r, r.res.BlockedIters)
+		fixes, err := r.qprot.verifyAndCorrect(dev, pp, r.hostA, p, r.tauDet, r.journal, r.res.BlockedIters)
 		if err != nil {
 			return r.res, err
 		}
@@ -550,7 +618,7 @@ func (r *reducer) iteration(iter, p, ib int, prevLeft sim.Event, redo bool) (sim
 	// Figure 5) — overlapped with the device work below.
 	if !r.opt.DisableQProtection {
 		dev.SetPhase("q_protect")
-		r.qprot.absorbPanel(dev, r.hostA, p, ib)
+		r.qprot.absorbPanel(dev, pp, r.hostA, p, ib)
 	}
 
 	// Upload the factored panel, Y's lower rows, and T.

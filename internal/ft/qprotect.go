@@ -4,10 +4,17 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/gpu"
 	"repro/internal/matrix"
 	"repro/internal/obs"
+	"repro/internal/sim"
 )
+
+// hostLane abstracts the serial-CPU lane the Q checksums run on: the
+// single device's host timeline on the legacy path, the pool's
+// main-host lane on the multi-device path.
+type hostLane interface {
+	HostOp(cost float64, f func())
+}
 
 // qChecksums protects the Householder vectors accumulating on the host
 // (the Q matrix, Section IV-E of the paper). A column of row checksums
@@ -43,10 +50,10 @@ func newQChecksums(n int) *qChecksums {
 // absorbPanel folds the Householder vectors of panel columns p..p+ib-1
 // into the checksums. Calling it again for the same panel (after a
 // recovery re-execution) first retracts the previous contribution.
-func (q *qChecksums) absorbPanel(dev *gpu.Device, hostA *matrix.Matrix, p, ib int) {
+func (q *qChecksums) absorbPanel(h hostLane, pp sim.Params, hostA *matrix.Matrix, p, ib int) {
 	n := q.n
-	cost := dev.Params.GemvHost(n-p, ib)
-	dev.HostOp(cost, func() {
+	cost := pp.GemvHost(n-p, ib)
+	h.HostOp(cost, func() {
 		if q.lastPanel == p {
 			// Re-absorption after recovery: retract the stale sums.
 			for i := 0; i < n; i++ {
@@ -79,16 +86,16 @@ func (q *qChecksums) absorbPanel(dev *gpu.Device, hostA *matrix.Matrix, p, ib in
 // returning the number of corrections. Ambiguous patterns (rectangles)
 // return ErrUncorrectable. Run once at the end of the factorization, as
 // the paper prescribes — an error in Q never propagates, so per-iteration
-// checks are unnecessary. r (optional) receives journal records for the
-// check and each repaired element, stamped with iteration iter.
-func (q *qChecksums) verifyAndCorrect(dev *gpu.Device, hostA *matrix.Matrix, limit int, tol float64, r *reducer, iter int) (int, error) {
+// checks are unnecessary. journal (optional) receives the records for
+// the check and each repaired element, tagged with iteration iter.
+func (q *qChecksums) verifyAndCorrect(h hostLane, pp sim.Params, hostA *matrix.Matrix, limit int, tol float64, journal func(obs.Event), iter int) (int, error) {
 	if limit > q.absorbedCols {
 		limit = q.absorbedCols
 	}
 	n := q.n
 	fixes := 0
 	var vErr error
-	dev.HostOp(dev.Params.GemvHost(n, max(limit, 1)), func() {
+	h.HostOp(pp.GemvHost(n, max(limit, 1)), func() {
 		freshRow := make([]float64, n)
 		freshCol := make([]float64, n)
 		for c := 0; c < limit; c++ {
@@ -116,21 +123,21 @@ func (q *qChecksums) verifyAndCorrect(dev *gpu.Device, hostA *matrix.Matrix, lim
 		correct := func(i, c int, delta float64) {
 			hostA.Add(i, c, -delta)
 			fixes++
-			if r != nil {
+			if journal != nil {
 				ev := obs.Ev(obs.KindCorrection, iter)
 				ev.Target = obs.TargetQ
 				ev.Row, ev.Col, ev.Value = i, c, obs.Float(delta)
-				r.journal(ev)
+				journal(ev)
 			}
 		}
-		if r != nil {
+		if journal != nil {
 			ev := obs.Ev(obs.KindChecksumCheck, iter)
 			ev.Target = obs.TargetQ
 			ev.Outcome = "clean"
 			if len(rows) > 0 || len(cols) > 0 {
 				ev.Outcome = "mismatch"
 			}
-			r.journal(ev)
+			journal(ev)
 		}
 		switch {
 		case len(rows) == 0 && len(cols) == 0:

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/blas"
 	"repro/internal/ft"
+	"repro/internal/gpu"
 	"repro/internal/lapack"
 	"repro/internal/matrix"
 	"repro/internal/obs"
@@ -48,6 +49,10 @@ var ErrUncorrectable = errors.New("ftsym: detected errors are not correctable")
 
 // ErrRetriesExhausted reports persistent detection on one iteration.
 var ErrRetriesExhausted = errors.New("ftsym: recovery retries exhausted")
+
+// ErrMultiDeviceUnsupported reports that Options.Devices was set: the
+// symmetric reduction has no multi-device path (see Options.Devices).
+var ErrMultiDeviceUnsupported = errors.New("ftsym: multi-device pools are not supported for the symmetric reduction")
 
 // Hook lets campaigns inject faults at iteration boundaries. The stored
 // lower triangle of the working matrix is exposed directly (this is a
@@ -82,6 +87,15 @@ type Options struct {
 	// host-only algorithm without a simulated clock, so SimTime is zero
 	// and ordering is carried by the sequence numbers.
 	Journal *obs.Journal
+	// Devices requests the multi-device pool path, mirroring ft.Options.
+	// It is not implemented for the symmetric reduction: the lower-
+	// triangle storage makes 1-D block-column slabs ragged (slab s owns
+	// n−s·W.. rows), which breaks the equal-work partitioning and the
+	// per-slab checksum shapes the Hessenberg pool relies on; a
+	// triangular/2-D partitioning is tracked in ROADMAP.md. Setting this
+	// returns ErrMultiDeviceUnsupported rather than silently running on
+	// the host.
+	Devices []*gpu.Device
 }
 
 // Result carries the tridiagonal factorization and resilience statistics.
@@ -126,6 +140,9 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 	n := a.Rows
 	if n != a.Cols {
 		return nil, errors.New("ftsym: matrix must be square")
+	}
+	if len(opt.Devices) > 0 {
+		return nil, ErrMultiDeviceUnsupported
 	}
 	nb := opt.NB
 	if nb <= 0 {

@@ -6,8 +6,10 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/gpu"
 	"repro/internal/lapack"
 	"repro/internal/matrix"
+	"repro/internal/sim"
 )
 
 func randomSymmetric(n int, seed uint64) *matrix.Matrix {
@@ -240,5 +242,13 @@ func TestPropSingleSymErrorRecovered(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestMultiDeviceUnsupported(t *testing.T) {
+	a := matrix.Random(32, 32, 1)
+	_, err := Reduce(a, Options{NB: 8, Devices: []*gpu.Device{gpu.New(sim.K40c(), gpu.Real)}})
+	if !errors.Is(err, ErrMultiDeviceUnsupported) {
+		t.Fatalf("expected ErrMultiDeviceUnsupported, got %v", err)
 	}
 }

@@ -71,6 +71,11 @@ type Device struct {
 	tracing bool
 	trace   []Span
 
+	// name distinguishes pool members ("d0", "d1", …); it is empty for the
+	// classic single device, whose metric series stay unlabeled so every
+	// pre-pool consumer keeps seeing the exact keys it always did.
+	name string
+
 	// obs is the optional metrics sink; phase is the algorithm phase all
 	// charged costs are currently attributed to (set via SetPhase). The
 	// two caches avoid rebuilding series keys on the hot path.
@@ -108,6 +113,31 @@ func New(p sim.Params, mode Mode) *Device {
 		busyByKind: make(map[string]float64),
 	}
 }
+
+// NewIndexed creates pool member k: a device whose lanes are prefixed with
+// its name ("d0-host", "d0-compute", "d0-copy") so multi-device Chrome
+// traces get one lane group per device, and whose metric series carry a
+// device="dk" label. Its Host lane models the per-device driver thread
+// that issues commands for this device — with K devices the launch
+// overhead of K command streams is paid concurrently, exactly like K
+// driver threads pinned to K contexts — while the algorithm's own serial
+// CPU work runs on a separate main-host timeline owned by the pool.
+func NewIndexed(p sim.Params, mode Mode, k int) *Device {
+	name := fmt.Sprintf("d%d", k)
+	return &Device{
+		Params:     p,
+		Mode:       mode,
+		name:       name,
+		Host:       sim.NewTimeline(name + "-host"),
+		Compute:    sim.NewTimeline(name + "-compute"),
+		Copy:       sim.NewTimeline(name + "-copy"),
+		busyByKind: make(map[string]float64),
+	}
+}
+
+// Name reports the pool name of the device ("d0", "d1", …), or "" for a
+// classic single device created with New.
+func (d *Device) Name() string { return d.name }
 
 // Matrix is a column-major matrix resident in device memory. In CostOnly
 // mode Data is nil.
@@ -217,7 +247,7 @@ func (d *Device) account(kind string, cost float64) {
 	}
 	c := d.opCounters[kind]
 	if c == nil {
-		c = d.obs.Counter("op_seconds_total", obs.L("kind", kind))
+		c = d.obs.Counter("op_seconds_total", d.label(obs.L("kind", kind))...)
 		d.opCounters[kind] = c
 	}
 	c.Add(cost)
@@ -227,10 +257,19 @@ func (d *Device) account(kind string, cost float64) {
 	}
 	h := d.phaseHists[phase]
 	if h == nil {
-		h = d.obs.Histogram("phase_seconds", obs.DefaultDurationBuckets, obs.L("phase", phase))
+		h = d.obs.Histogram("phase_seconds", obs.DefaultDurationBuckets, d.label(obs.L("phase", phase))...)
 		d.phaseHists[phase] = h
 	}
 	h.Observe(cost)
+}
+
+// label appends the device label to a series' labels for pool members;
+// classic single devices keep their historical unlabeled series.
+func (d *Device) label(ls ...obs.Label) []obs.Label {
+	if d.name == "" {
+		return ls
+	}
+	return append(ls, obs.L("device", d.name))
 }
 
 // FinishRun publishes end-of-run gauges (makespan, per-lane busy time,
@@ -241,17 +280,17 @@ func (d *Device) FinishRun() {
 		return
 	}
 	makespan := d.Elapsed()
-	d.obs.Gauge("sim_makespan_seconds").Set(makespan)
+	d.obs.Gauge("sim_makespan_seconds", d.label()...).Set(makespan)
 	for _, t := range []*sim.Timeline{d.Host, d.Compute, d.Copy} {
-		l := obs.L("lane", t.Name())
-		d.obs.Gauge("lane_busy_seconds", l).Set(t.Busy())
-		d.obs.Gauge("lane_ops", l).Set(float64(t.Ops()))
-		d.obs.Gauge("lane_utilization", l).Set(t.Utilization(makespan))
+		l := d.label(obs.L("lane", t.Name()))
+		d.obs.Gauge("lane_busy_seconds", l...).Set(t.Busy())
+		d.obs.Gauge("lane_ops", l...).Set(float64(t.Ops()))
+		d.obs.Gauge("lane_utilization", l...).Set(t.Utilization(makespan))
 	}
-	d.obs.Gauge("device_kernels").Set(float64(d.kernels))
-	d.obs.Gauge("device_transfers").Set(float64(d.transfers))
-	d.obs.Gauge("device_transfer_bytes").Set(float64(d.bytesMoved))
-	d.obs.Gauge("device_alloc_bytes").Set(float64(d.allocBytes))
+	d.obs.Gauge("device_kernels", d.label()...).Set(float64(d.kernels))
+	d.obs.Gauge("device_transfers", d.label()...).Set(float64(d.transfers))
+	d.obs.Gauge("device_transfer_bytes", d.label()...).Set(float64(d.bytesMoved))
+	d.obs.Gauge("device_alloc_bytes", d.label()...).Set(float64(d.allocBytes))
 }
 
 // ptr returns the slice at device element (i, j); only valid in Real mode.
@@ -297,7 +336,7 @@ func (d *Device) H2DAsync(dst *Matrix, di, dj int, src *matrix.Matrix, deps ...s
 	cost := d.Params.Transfer(bytes)
 	d.busyByKind["h2d"] += cost
 	e := d.Copy.Schedule(cost, deps...)
-	d.record("gpu-copy", "h2d", e.At, cost)
+	d.record(d.Copy.Name(), "h2d", e.At, cost)
 	return e
 }
 
@@ -325,7 +364,7 @@ func (d *Device) D2HAsync(dst *matrix.Matrix, src *Matrix, si, sj int, deps ...s
 	cost := d.Params.Transfer(bytes)
 	d.busyByKind["d2h"] += cost
 	e := d.Copy.Schedule(cost, deps...)
-	d.record("gpu-copy", "d2h", e.At, cost)
+	d.record(d.Copy.Name(), "d2h", e.At, cost)
 	d.tagFlowOut(e.At)
 	return e
 }
@@ -353,7 +392,7 @@ func (d *Device) DeviceSynchronize() {
 func (d *Device) HostOp(cost float64, f func()) {
 	d.busyByKind["host"] += cost
 	e := d.Host.Schedule(cost)
-	d.record("host", "host", e.At, cost)
+	d.record(d.Host.Name(), "host", e.At, cost)
 	d.claimFlowIn()
 	if d.Mode == Real && f != nil {
 		f()

@@ -25,7 +25,7 @@ func (d *Device) launch(kind string, cost float64, deps []sim.Event, f func()) s
 	d.busyByKind[kind] += cost
 	deps = append(deps, d.enqueue())
 	e := d.Compute.Schedule(cost, deps...)
-	d.record("gpu-compute", kind, e.At, cost)
+	d.record(d.Compute.Name(), kind, e.At, cost)
 	if d.Mode == Real && f != nil {
 		f()
 	}
@@ -249,7 +249,7 @@ func (d *Device) ReadScalar(deps ...sim.Event) {
 	cost := d.Params.Transfer(8)
 	d.busyByKind["d2h"] += cost
 	e := d.Copy.Schedule(cost, deps...)
-	d.record("gpu-copy", "d2h", e.At, cost)
+	d.record(d.Copy.Name(), "d2h", e.At, cost)
 	d.Sync(e)
 }
 

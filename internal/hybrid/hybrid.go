@@ -66,8 +66,16 @@ type Options struct {
 	Ctx context.Context
 	// NB is the block size (DefaultNB if zero).
 	NB int
-	// Device is the simulated accelerator to run on. Required.
+	// Device is the simulated accelerator to run on. Required unless
+	// Devices is set.
 	Device *gpu.Device
+	// Devices, when non-empty, selects the multi-device path: the
+	// trailing matrix is sharded block-column-wise across the pool
+	// (internal/devpool), the panel products are broadcast, and results
+	// are bit-identical at every pool size. Device and DisableOverlap
+	// are ignored; BeforeIteration is not supported (the ft path's Hook
+	// drives multi-device fault studies).
+	Devices []*gpu.Device
 	// DisableOverlap serializes the asynchronous device-to-host transfer
 	// of the finished block with the trailing update instead of
 	// overlapping them (ablation of the paper's optimization).
@@ -118,6 +126,9 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 	n := a.Rows
 	if n != a.Cols {
 		return nil, errors.New("hybrid: matrix must be square")
+	}
+	if len(opt.Devices) > 0 {
+		return reduceMulti(a, opt)
 	}
 	if opt.Device == nil {
 		return nil, errors.New("hybrid: Options.Device is required")
@@ -309,14 +320,47 @@ func cleanupCost(pp sim.Params, n, p int) float64 {
 // expected to discard the whole computation.
 func PanelFactor(dev *gpu.Device, hostA, y, t *matrix.Matrix, tau []float64, dA *gpu.Matrix, dVcol, dYcol *gpu.Matrix, n, p, k, ib int) error {
 	pp := dev.Params
+	ldy := y.Stride
+	ytmp := make([]float64, n-k)
+	ytmpM := matrix.FromColMajor(n-k, 1, max(n-k, 1), ytmp)
+	var pending sim.Event
+	issue := func(i, c int) {
+		vtail := hostA.View(p+ib, c, n-p-ib, 1)
+		up := dev.H2DAsync(dVcol, 0, 0, vtail)
+		kg := dev.Gemv(blas.NoTrans, n-k, n-p-ib, 1, dA, k, p+ib, dVcol, 0, 0, 0, dYcol, 0, 0, up)
+		pending = dev.D2HAsync(ytmpM, dYcol, 0, 0, kg)
+	}
+	collect := func(i, c int) {
+		dev.Sync(pending)
+		dev.HostOp(pp.VecHost(n-k), func() {
+			blas.Daxpy(n-k, 1, ytmp, 1, y.Data[i*ldy+k:], 1)
+		})
+	}
+	return panelFactorWith(dev, pp, hostA, y, t, tau, n, p, k, ib, issue, collect)
+}
+
+// hostRunner abstracts where the panel factorization's serial CPU work
+// is charged: the single device's host lane (legacy path) or the pool's
+// main-host timeline (multi-device path).
+type hostRunner interface {
+	HostOp(cost float64, f func())
+	CtxErr() error
+}
+
+// panelFactorWith is the DLAHR2 host math shared by the single- and
+// multi-device paths. The per-column trailing-matrix GEMV
+// y(k:n-1, i) += A(k:n-1, p+ib:n-1)·v runs on the device(s) in two
+// halves: issueGemv starts it as soon as the reflector is final, and
+// collectGemv waits and folds the partial(s) into y column i — the host
+// column math that does not touch y_i (T's new column, the panel-part
+// product) executes in between, hidden under the device round trip.
+func panelFactorWith(dev hostRunner, pp sim.Params, hostA, y, t *matrix.Matrix, tau []float64, n, p, k, ib int, issueGemv, collectGemv func(i, c int)) error {
 	a := hostA.Data
 	lda := hostA.Stride
 	ldy := y.Stride
 	ldt := t.Stride
 	var ei float64
 	w := make([]float64, ib)
-	ytmp := make([]float64, n-k)
-	ytmpM := matrix.FromColMajor(n-k, 1, max(n-k, 1), ytmp)
 
 	for i := 0; i < ib; i++ {
 		if err := dev.CtxErr(); err != nil {
@@ -357,8 +401,12 @@ func PanelFactor(dev *gpu.Device, hostA, y, t *matrix.Matrix, tau []float64, dA 
 			ei = beta
 			a[c*lda+k+i] = 1
 		})
-		// Y(k:n-1, i) = A(k:n-1, c+1:n-1)·v, split host/device:
-		// host multiplies the remaining panel columns...
+		// Start the device share of Y(k:n-1, i) = A(k:n-1, c+1:n-1)·v
+		// right away (the per-column GPU GEMV of magma_dlahr2; sharded
+		// per slab on the multi-device path) ...
+		issueGemv(i, c)
+		// ... and, while it is in flight, multiply the remaining panel
+		// columns on the host ...
 		if ib-1-i > 0 {
 			dev.HostOp(pp.GemvHost(n-k, ib-1-i), func() {
 				blas.Dgemv(blas.NoTrans, n-k, ib-1-i, 1, a[(c+1)*lda+k:], lda, a[c*lda+k+i:], 1, 0, y.Data[i*ldy+k:], 1)
@@ -371,19 +419,14 @@ func PanelFactor(dev *gpu.Device, hostA, y, t *matrix.Matrix, tau []float64, dA 
 				}
 			})
 		}
-		// ...and the device multiplies the trailing matrix (this is the
-		// per-column GPU GEMV of magma_dlahr2).
-		vtail := hostA.View(p+ib, c, n-p-ib, 1)
-		up := dev.H2DAsync(dVcol, 0, 0, vtail)
-		kg := dev.Gemv(blas.NoTrans, n-k, n-p-ib, 1, dA, k, p+ib, dVcol, 0, 0, 0, dYcol, 0, 0, up)
-		dev.Sync(dev.D2HAsync(ytmpM, dYcol, 0, 0, kg))
-		dev.HostOp(pp.VecHost(n-k), func() {
-			blas.Daxpy(n-k, 1, ytmp, 1, y.Data[i*ldy+k:], 1)
-		})
-		// T(0:i-1, i) = V2ᵀ·v and the Y cross-term correction.
+		// ... and T(0:i-1, i) = V2ᵀ·v, which touches neither y_i nor the
+		// device partials.
 		dev.HostOp(pp.GemvHost(n-k-i, i), func() {
 			blas.Dgemv(blas.Trans, n-k-i, i, 1, a[p*lda+k+i:], lda, a[c*lda+k+i:], 1, 0, t.Data[i*ldt:], 1)
 		})
+		// Fold the device partial(s) into y_i, then finish the column:
+		// the Y cross-term correction needs the complete y_i.
+		collectGemv(i, c)
 		dev.HostOp(pp.GemvHost(n-k, i), func() {
 			blas.Dgemv(blas.NoTrans, n-k, i, -1, y.Data[k:], ldy, t.Data[i*ldt:], 1, 1, y.Data[i*ldy+k:], 1)
 		})

@@ -73,6 +73,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.Submit(req, a)
 	switch {
+	case errors.Is(err, ErrDeviceRequest):
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return

@@ -27,6 +27,9 @@ const (
 	maxNB = 512
 	// maxFaults caps the injection schedule length per job.
 	maxFaults = 64
+	// maxDevices caps the per-job device-lease request before the
+	// server-size check (Config.Devices) even runs.
+	maxDevices = 64
 )
 
 // FaultSpec is the wire form of one fault.Plan: a transient error
@@ -79,6 +82,12 @@ type JobRequest struct {
 	FinalHCheck        bool    `json:"final_h_check,omitempty"`
 	DisableQProtection bool    `json:"disable_q_protection,omitempty"`
 	DisableOverlap     bool    `json:"disable_overlap,omitempty"`
+	// Devices, when > 0, leases that many whole devices from the server's
+	// farm (Config.Devices) and runs the multi-device pool path; the job
+	// waits until its subset is free. Requires a device algorithm
+	// ("ft"/"baseline", not symmetric). More devices than the farm holds
+	// is a 400.
+	Devices int `json:"devices,omitempty"`
 	// Faults schedules transient-error injections (algorithm "ft" only).
 	Faults []FaultSpec `json:"faults,omitempty"`
 	// MatrixMarket, when non-empty, is the input matrix as an inline
@@ -124,6 +133,17 @@ func (r *JobRequest) validate(maxN int) error {
 	}
 	if r.ThresholdFactor < 0 {
 		return fmt.Errorf("threshold_factor=%g must be >= 0", r.ThresholdFactor)
+	}
+	if r.Devices < 0 || r.Devices > maxDevices {
+		return fmt.Errorf("devices=%d out of range [0,%d]", r.Devices, maxDevices)
+	}
+	if r.Devices > 0 {
+		if r.Symmetric {
+			return errors.New("the symmetric path is host-only; devices must be 0")
+		}
+		if r.Algorithm == AlgCPU {
+			return errors.New("algorithm \"cpu\" cannot lease devices")
+		}
 	}
 	if len(r.Faults) > maxFaults {
 		return fmt.Errorf("%d faults exceed the limit of %d", len(r.Faults), maxFaults)

@@ -35,6 +35,10 @@ var (
 	ErrQueueFull = errors.New("serve: job queue is full")
 	// ErrDraining means the server is shutting down and rejects new work.
 	ErrDraining = errors.New("serve: server is draining")
+	// ErrDeviceRequest means the job asked for devices the server cannot
+	// ever grant (no farm, or more than the farm holds) — a client error,
+	// surfaced as 400.
+	ErrDeviceRequest = errors.New("serve: invalid device request")
 )
 
 // Config sizes a Server. Zero values pick the defaults.
@@ -50,6 +54,14 @@ type Config struct {
 	// MaxBodyBytes caps the request body, uploads included
 	// (default 8 MiB).
 	MaxBodyBytes int64
+	// Devices sizes the simulated device farm jobs lease from. When > 0,
+	// a job may request `devices: K` (K ≤ Devices): it leases K whole
+	// devices before running — so two jobs asking for disjoint subsets
+	// run concurrently, while a job asking for more than is currently
+	// free waits on the lease, not on a capacity slot timeout. 0 (the
+	// default) disables leasing; every device job builds its own
+	// un-pooled device as before.
+	Devices int
 	// Registry receives the serve_* metrics and the per-run reduction
 	// metrics of every job (a fresh registry if nil). Exposed at /metrics.
 	Registry *obs.Registry
@@ -94,6 +106,13 @@ type Server struct {
 	gInflight *obs.Gauge
 	hSeconds  *obs.Histogram
 
+	// Device farm (nil when Config.Devices == 0): devCh holds the free
+	// device indices; leaseMu serializes multi-device acquisition so two
+	// partial leases can never deadlock against each other.
+	devCh   chan int
+	leaseMu chan struct{}
+	gLeased *obs.Gauge
+
 	// Test seams (nil outside tests): observe slot occupancy and mutate
 	// the per-job reduction options (e.g. to install a blocking hook).
 	testBeforeRun     func(j *Job)
@@ -113,6 +132,14 @@ func New(cfg Config) *Server {
 		gInflight: cfg.Registry.Gauge("serve_inflight"),
 		hSeconds: cfg.Registry.Histogram("serve_job_seconds",
 			[]float64{0.01, 0.05, 0.25, 1, 5, 30, 120, 600}),
+	}
+	if cfg.Devices > 0 {
+		s.devCh = make(chan int, cfg.Devices)
+		for i := 0; i < cfg.Devices; i++ {
+			s.devCh <- i
+		}
+		s.leaseMu = make(chan struct{}, 1)
+		s.gLeased = cfg.Registry.Gauge("serve_devices_leased")
 	}
 	s.wg.Add(cfg.Capacity)
 	for i := 0; i < cfg.Capacity; i++ {
@@ -135,6 +162,16 @@ func (s *Server) Submit(req *JobRequest, a *matrix.Matrix) (*Job, error) {
 		state:   StateQueued,
 		created: time.Now(),
 		done:    make(chan struct{}),
+	}
+	if req.Devices > 0 {
+		if s.cfg.Devices == 0 {
+			cancel()
+			return nil, fmt.Errorf("%w: this server has no device farm (devices=%d)", ErrDeviceRequest, req.Devices)
+		}
+		if req.Devices > s.cfg.Devices {
+			cancel()
+			return nil, fmt.Errorf("%w: devices=%d exceeds the farm size %d", ErrDeviceRequest, req.Devices, s.cfg.Devices)
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -296,6 +333,39 @@ func (s *Server) jobCounter(status string) *obs.Counter {
 	return s.reg.Counter("serve_jobs_total", obs.L("status", status))
 }
 
+// leaseDevices blocks until k farm devices are free and returns their
+// indices. Acquisition is serialized (leaseMu), so a job collecting a
+// multi-device lease never interleaves with another partial lease —
+// releases only come from running jobs, which hold no lease lock, so the
+// head acquirer always drains the channel without deadlock. Cancelling
+// the context returns any partially collected indices to the farm.
+func (s *Server) leaseDevices(ctx context.Context, k int) ([]int, error) {
+	select {
+	case s.leaseMu <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-s.leaseMu }()
+	idx := make([]int, 0, k)
+	for len(idx) < k {
+		select {
+		case i := <-s.devCh:
+			idx = append(idx, i)
+		case <-ctx.Done():
+			s.releaseDevices(idx)
+			return nil, ctx.Err()
+		}
+	}
+	s.gLeased.Add(float64(k))
+	return idx, nil
+}
+
+func (s *Server) releaseDevices(idx []int) {
+	for _, i := range idx {
+		s.devCh <- i
+	}
+}
+
 // execute runs the reduction for one job on the worker goroutine.
 func (s *Server) execute(j *Job) (*JobResult, error) {
 	req := j.req
@@ -340,11 +410,31 @@ func (s *Server) execute(j *Job) (*JobResult, error) {
 		if req.CostOnly {
 			mode = gpu.CostOnly
 		}
-		// A per-job device: its Phase() feeds the status endpoint while
-		// the reduction runs.
-		dev := gpu.New(sim.K40c(), mode)
-		opt.Device = dev
-		j.setDevice(dev)
+		if req.Devices > 0 {
+			// Lease whole devices from the farm; the job blocks here (not
+			// in the queue) until its subset is free, and returns it as
+			// soon as the reduction finishes or is cancelled.
+			idx, err := s.leaseDevices(j.ctx, req.Devices)
+			if err != nil {
+				return nil, err
+			}
+			defer func() {
+				s.gLeased.Add(-float64(len(idx)))
+				s.releaseDevices(idx)
+			}()
+			devs := make([]*gpu.Device, len(idx))
+			for i, ix := range idx {
+				devs[i] = gpu.NewIndexed(sim.K40c(), mode, ix)
+			}
+			opt.Devices = devs
+			j.setDevice(devs[0])
+		} else {
+			// A per-job device: its Phase() feeds the status endpoint while
+			// the reduction runs.
+			dev := gpu.New(sim.K40c(), mode)
+			opt.Device = dev
+			j.setDevice(dev)
+		}
 	}
 	if s.testMutateOptions != nil {
 		s.testMutateOptions(j, &opt)

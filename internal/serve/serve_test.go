@@ -18,6 +18,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/leakcheck"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -528,5 +529,121 @@ func TestResultNotReady(t *testing.T) {
 	}
 	if resp, _ := doReq(t, ts, http.MethodGet, "/v1/jobs/"+id, ""); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("forgotten job still visible: %d", resp.StatusCode)
+	}
+}
+
+func gaugeValue(reg *obs.Registry, name string) float64 {
+	for _, p := range reg.Snapshot() {
+		if p.Kind == "gauge" && p.Name == name {
+			return p.Value
+		}
+	}
+	return 0
+}
+
+func waitGauge(t *testing.T, reg *obs.Registry, name string, want float64) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for gaugeValue(reg, name) != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for gauge %s to reach %v (at %v)", name, want, gaugeValue(reg, name))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestDeviceLeasing is the device-farm contract test: two one-device jobs
+// hold disjoint devices concurrently, a whole-farm job waits for the farm
+// to drain (lease wait, not failure), and every lease comes back.
+func TestDeviceLeasing(t *testing.T) {
+	leakcheck.Check(t)
+	s, ts := newTestServer(t, Config{Capacity: 3, Devices: 2})
+	gate := make(chan struct{})
+	s.testMutateOptions = func(j *Job, opt *core.Options) {
+		// Gate only the leasing jobs that asked for one device.
+		if j.req.Devices == 1 {
+			opt.Hook = &gateHook{ctx: j.ctx, gate: gate, at: 1}
+		}
+	}
+
+	a := submit(t, ts, `{"n":96,"nb":16,"seed":1,"devices":1}`)
+	b := submit(t, ts, `{"n":96,"nb":16,"seed":2,"devices":1}`)
+	// Both one-device jobs lease disjoint devices and run concurrently.
+	waitGauge(t, s.Registry(), "serve_devices_leased", 2)
+	waitState(t, ts, a, StateRunning)
+	waitState(t, ts, b, StateRunning)
+
+	// The whole-farm job occupies a capacity slot but blocks on the lease
+	// until both devices come back.
+	c := submit(t, ts, `{"n":96,"nb":16,"seed":3,"devices":2}`)
+	waitState(t, ts, c, StateRunning)
+	if g := gaugeValue(s.Registry(), "serve_devices_leased"); g != 2 {
+		t.Fatalf("whole-farm job leased early: gauge %v", g)
+	}
+	if st := getStatus(t, ts, c); terminal(st.State) {
+		t.Fatalf("whole-farm job finished while the farm was exhausted: %+v", st)
+	}
+
+	close(gate)
+	waitState(t, ts, a, StateDone)
+	waitState(t, ts, b, StateDone)
+	waitState(t, ts, c, StateDone)
+	waitGauge(t, s.Registry(), "serve_devices_leased", 0)
+	if r := float64(getResult(t, ts, c).Residual); r > 1e-13 {
+		t.Fatalf("pooled job residual %v", r)
+	}
+}
+
+// TestDeviceLeaseCancelReturnsPartialLease: cancelling a job that is
+// waiting on the lease returns whatever it had collected, so the farm
+// never leaks capacity.
+func TestDeviceLeaseCancel(t *testing.T) {
+	leakcheck.Check(t)
+	s, ts := newTestServer(t, Config{Capacity: 2, Devices: 2})
+	gate := make(chan struct{})
+	s.testMutateOptions = func(j *Job, opt *core.Options) {
+		if j.req.Devices == 1 {
+			opt.Hook = &gateHook{ctx: j.ctx, gate: gate, at: 1}
+		}
+	}
+
+	a := submit(t, ts, `{"n":96,"nb":16,"seed":4,"devices":1}`)
+	waitGauge(t, s.Registry(), "serve_devices_leased", 1)
+	// The whole-farm job grabs the free device, then blocks for the held one.
+	b := submit(t, ts, `{"n":96,"nb":16,"seed":5,"devices":2}`)
+	waitState(t, ts, b, StateRunning)
+
+	if resp, _ := doReq(t, ts, http.MethodDelete, "/v1/jobs/"+b, ""); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: %d", resp.StatusCode)
+	}
+	waitState(t, ts, b, StateCancelled)
+
+	close(gate)
+	waitState(t, ts, a, StateDone)
+	waitGauge(t, s.Registry(), "serve_devices_leased", 0)
+	// The full farm must be available again: a whole-farm job completes.
+	c := submit(t, ts, `{"n":96,"nb":16,"seed":6,"devices":2}`)
+	waitState(t, ts, c, StateDone)
+}
+
+func TestDeviceRequestRejections(t *testing.T) {
+	leakcheck.Check(t)
+	_, ts := newTestServer(t, Config{Capacity: 1, Devices: 2})
+	for _, tc := range []struct{ name, body string }{
+		{"more than farm", `{"n":32,"devices":3}`},
+		{"negative", `{"n":32,"devices":-1}`},
+		{"symmetric", `{"n":32,"symmetric":true,"devices":1}`},
+		{"cpu", `{"n":32,"algorithm":"cpu","devices":1}`},
+	} {
+		resp, b := doReq(t, ts, http.MethodPost, "/v1/jobs", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, body %s", tc.name, resp.StatusCode, b)
+		}
+	}
+	// A farm-less server rejects any lease request.
+	_, ts2 := newTestServer(t, Config{Capacity: 1})
+	resp, b := doReq(t, ts2, http.MethodPost, "/v1/jobs", `{"n":32,"devices":1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("no farm: status %d, body %s", resp.StatusCode, b)
 	}
 }
