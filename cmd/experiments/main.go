@@ -25,12 +25,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|tableI|fig2|fig6|tableII|tableIII|ablation|breakdown|multierror|multigpu|trace|timeline")
+	exp := flag.String("exp", "all", "experiment: all|tableI|fig2|fig6|tableII|tableIII|ablation|breakdown|multierror|multigpu|trace|timeline|serveobs")
 	nb := flag.Int("nb", 32, "block size")
 	sizesFlag := flag.String("sizes", "", "comma-separated matrix sizes (overrides defaults)")
 	paper := flag.Bool("paper", false, "use the paper's full size grid for fig6 (cost-only, still fast)")
 	seed := flag.Uint64("seed", 158, "workload seed")
 	traceOut := flag.String("traceout", "", "write a Chrome trace JSON of the timeline experiment to this file")
+	serveObsOut := flag.String("serveobsout", "BENCH_serveobs.json", "artifact path for the serveobs experiment (empty to skip writing)")
 	flag.Parse()
 
 	params := sim.K40c()
@@ -88,6 +89,16 @@ func main() {
 			bench.Trace(out, 158, *nb)
 		case "timeline":
 			bench.Timeline(out, 512, *nb, params, *traceOut)
+		case "serveobs":
+			art, err := bench.ServeObs(512, *nb, 8, 1, 7)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "serveobs: %v\n", err)
+				os.Exit(2)
+			}
+			if err := bench.ServeObsReport(out, art, *serveObsOut); err != nil {
+				fmt.Fprintf(os.Stderr, "serveobs: %v\n", err)
+				os.Exit(2)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)

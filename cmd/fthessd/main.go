@@ -37,6 +37,9 @@ func main() {
 	drain := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
 	threads := flag.Int("threads", 0, "host BLAS worker threads (0 = GOMAXPROCS)")
 	devices := flag.Int("devices", 0, "simulated device farm size jobs can lease from (0 = one private device per job)")
+	observe := flag.String("obs", serve.ObserveFull, "observation level: full (per-job traces, journals, labeled series) or slo (anonymous SLO telemetry only)")
+	flight := flag.Int("flight", 0, "FT flight-recorder capacity dumped at /debug/events (0 = default 256)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (operator-facing; off by default)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "unexpected argument %q\n", flag.Arg(0))
@@ -46,12 +49,20 @@ func main() {
 		blas.SetMaxProcs(*threads)
 	}
 
+	if *observe != serve.ObserveFull && *observe != serve.ObserveSLO {
+		fmt.Fprintf(os.Stderr, "bad -obs level %q (want %q or %q)\n", *observe, serve.ObserveFull, serve.ObserveSLO)
+		os.Exit(2)
+	}
+
 	srv := serve.New(serve.Config{
-		Capacity:     *capacity,
-		QueueDepth:   *queue,
-		MaxN:         *maxn,
-		MaxBodyBytes: *maxBody,
-		Devices:      *devices,
+		Capacity:           *capacity,
+		QueueDepth:         *queue,
+		MaxN:               *maxn,
+		MaxBodyBytes:       *maxBody,
+		Devices:            *devices,
+		Observe:            *observe,
+		FlightRecorderSize: *flight,
+		EnablePprof:        *pprofOn,
 	})
 	// Fold host BLAS throughput into the same /metrics exposition.
 	blas.SetObs(srv.Registry())
@@ -75,8 +86,8 @@ func main() {
 		}
 	}()
 
-	log.Printf("fthessd listening on %s (capacity=%d queue=%d maxn=%d devices=%d)",
-		*addr, *capacity, *queue, *maxn, *devices)
+	log.Printf("fthessd listening on %s (capacity=%d queue=%d maxn=%d devices=%d obs=%s)",
+		*addr, *capacity, *queue, *maxn, *devices, *observe)
 	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("listen: %v", err)
 	}

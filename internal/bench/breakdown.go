@@ -50,17 +50,24 @@ func Breakdown(w io.Writer, n, nb int, params sim.Params) {
 	fmt.Fprintf(w, "%-8s %12.4f %12.4f %+12.4f  (lanes overlap; totals exceed makespan)\n", "Σ", tb, tf, tf-tb)
 
 	// Table-II-style phase attribution: the baseline phases carry the
-	// algorithmic work, the FT-only phases are the protection steps.
+	// algorithmic work, the FT-only phases are the protection steps. The
+	// p50/p95/p99 columns come from the same phase_seconds histograms the
+	// /metrics exposition publishes (obs.MergeBy + ExportQuantiles): they
+	// show the per-visit latency spread of each FT phase, where the total
+	// alone can hide a few pathologically slow iterations.
 	pb := obs.SumBy(regB, "phase_seconds", "phase")
 	pf := obs.SumBy(regF, "phase_seconds", "phase")
-	fmt.Fprintf(w, "\nPer-phase busy time (modeled seconds; FT-only phases are the protection steps)\n")
-	fmt.Fprintf(w, "%-22s %12s %12s\n", "phase", "MAGMA-Hess", "FT-Hess")
+	qf := obs.MergeBy(regF, "phase_seconds", "phase")
+	fmt.Fprintf(w, "\nPer-phase busy time (modeled seconds; FT-only phases are the protection steps;\nquantiles are per-visit FT-Hess latencies)\n")
+	fmt.Fprintf(w, "%-22s %12s %12s %10s %10s %10s\n", "phase", "MAGMA-Hess", "FT-Hess", "p50", "p95", "p99")
 	for _, p := range sortedKeys(pb, pf) {
 		marker := ""
 		if _, inBase := pb[p]; !inBase {
 			marker = "  [FT only]"
 		}
-		fmt.Fprintf(w, "%-22s %12.4f %12.4f%s\n", p, pb[p], pf[p], marker)
+		q := qf[p].Quantiles(obs.ExportQuantiles...)
+		fmt.Fprintf(w, "%-22s %12.4f %12.4f %10.6f %10.6f %10.6f%s\n",
+			p, pb[p], pf[p], q[0], q[1], q[2], marker)
 	}
 
 	fmt.Fprintf(w, "\nHost BLAS substrate: %s\n", substrateThroughput())

@@ -84,6 +84,11 @@ type Options struct {
 	// fault-tolerance event stream. Both are ignored by CPUOnly.
 	Obs     *obs.Registry
 	Journal *obs.Journal
+	// Trace, when set, scopes the run to a served request: metric series
+	// gain a job=<id> label, journal records are stamped with the job, and
+	// the reduction's layers record wall-clock spans on the context's
+	// tracer. Ignored by CPUOnly (which emits no metrics).
+	Trace *obs.TraceContext
 	// Device overrides the simulated device built from Params/CostOnly —
 	// use it to enable tracing (dev.EnableTrace) around a run.
 	Device *gpu.Device
@@ -206,7 +211,8 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 		hopt := hybrid.Options{
 			Ctx: opt.Ctx,
 			NB:  nb, DisableOverlap: opt.DisableOverlap,
-			Obs: opt.Obs,
+			Obs:   opt.Obs,
+			Trace: opt.Trace,
 		}
 		if pool != nil {
 			hopt.Devices = pool
@@ -233,6 +239,7 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 			Hook:               opt.Hook,
 			Obs:                opt.Obs,
 			Journal:            opt.Journal,
+			Trace:              opt.Trace,
 		}
 		if pool != nil {
 			fopt.Devices = pool

@@ -5,9 +5,11 @@ import (
 	"errors"
 
 	"repro/internal/ftsym"
+	"repro/internal/gpu"
 	"repro/internal/hybrid"
 	"repro/internal/lapack"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 )
 
 // SymOptions configures the symmetric (tridiagonalization) path — the
@@ -26,6 +28,21 @@ type SymOptions struct {
 	CostOnly bool
 	// Hook passes through to the fault-tolerant algorithm.
 	Hook ftsym.Hook
+	// Obs, when set, receives the run's metric series (ftsym_* counters
+	// on the fault-tolerant path; device phase/op timers on the hybrid
+	// baseline). Journal receives typed FT event records (fault-tolerant
+	// path only).
+	Obs     *obs.Registry
+	Journal *obs.Journal
+	// Trace scopes the run to a served request (see Options.Trace).
+	Trace *obs.TraceContext
+	// Devices requests a multi-device pool. The symmetric reduction has
+	// no multi-device path on either algorithm (see
+	// ftsym.Options.Devices for why the triangular storage resists the
+	// 1-D slab partition); setting this returns
+	// ftsym.ErrMultiDeviceUnsupported so the serving layer can map the
+	// request shape to a structured client error.
+	Devices []*gpu.Device
 }
 
 // SymResult carries the tridiagonal factorization T = QᵀAQ.
@@ -68,7 +85,11 @@ func ReduceSym(a *matrix.Matrix, opt SymOptions) (*SymResult, error) {
 		if opt.CostOnly {
 			return nil, errors.New("core: the fault-tolerant symmetric path is host-side (no cost-only mode)")
 		}
-		res, err := ftsym.Reduce(a, ftsym.Options{Ctx: opt.Ctx, NB: nb, Hook: opt.Hook})
+		res, err := ftsym.Reduce(a, ftsym.Options{
+			Ctx: opt.Ctx, NB: nb, Hook: opt.Hook,
+			Obs: opt.Obs, Journal: opt.Journal, Trace: opt.Trace,
+			Devices: opt.Devices,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -79,8 +100,16 @@ func ReduceSym(a *matrix.Matrix, opt SymOptions) (*SymResult, error) {
 			Corrections: len(res.Corrected),
 		}, nil
 	}
+	if len(opt.Devices) > 0 {
+		// The hybrid baseline has no symmetric multi-device schedule
+		// either; surface the same typed error as the resilient path.
+		return nil, ftsym.ErrMultiDeviceUnsupported
+	}
 	base := Options{NB: nb, CostOnly: opt.CostOnly}
-	res, err := hybrid.ReduceSym(a, hybrid.Options{Ctx: opt.Ctx, NB: nb, Device: base.device()})
+	res, err := hybrid.ReduceSym(a, hybrid.Options{
+		Ctx: opt.Ctx, NB: nb, Device: base.device(),
+		Obs: opt.Obs, Trace: opt.Trace,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -140,6 +140,7 @@ type Pool struct {
 
 	reg        *obs.Registry
 	phase      string
+	job        string
 	opHost     *obs.Counter
 	phaseHists map[string]*obs.Histogram
 	tracing    bool
@@ -189,6 +190,28 @@ func (pl *Pool) SetObs(r *obs.Registry) {
 // Obs returns the attached registry (nil when detached).
 func (pl *Pool) Obs() *obs.Registry { return pl.reg }
 
+// SetJob sets (or clears, with "") the job identifier labeled onto every
+// subsequently emitted pool and device series, so a shared serving
+// registry attributes each cost to the request that caused it.
+func (pl *Pool) SetJob(job string) {
+	if pl.job != job {
+		pl.job = job
+		pl.opHost = nil
+		pl.phaseHists = make(map[string]*obs.Histogram)
+	}
+	for _, d := range pl.Devices {
+		d.SetJob(job)
+	}
+}
+
+// label appends the job label to the pool's own series when set.
+func (pl *Pool) label(ls ...obs.Label) []obs.Label {
+	if pl.job != "" {
+		ls = append(ls, obs.L("job", pl.job))
+	}
+	return ls
+}
+
 // SetContext attaches a cancellation context to the pool and devices.
 func (pl *Pool) SetContext(ctx context.Context) {
 	pl.ctx = ctx
@@ -222,7 +245,8 @@ func (pl *Pool) HostOp(cost float64, f func()) {
 	e := pl.Host.Schedule(cost)
 	if pl.reg != nil {
 		if pl.opHost == nil {
-			pl.opHost = pl.reg.Counter("op_seconds_total", obs.L("kind", "host"), obs.L("device", "main"))
+			pl.opHost = pl.reg.Counter("op_seconds_total",
+				pl.label(obs.L("kind", "host"), obs.L("device", "main"))...)
 		}
 		pl.opHost.Add(cost)
 		phase := pl.phase
@@ -232,7 +256,7 @@ func (pl *Pool) HostOp(cost float64, f func()) {
 		h := pl.phaseHists[phase]
 		if h == nil {
 			h = pl.reg.Histogram("phase_seconds", obs.DefaultDurationBuckets,
-				obs.L("phase", phase), obs.L("device", "main"))
+				pl.label(obs.L("phase", phase), obs.L("device", "main"))...)
 			pl.phaseHists[phase] = h
 		}
 		h.Observe(cost)
@@ -296,12 +320,12 @@ func (pl *Pool) FinishRun() {
 	if pl.reg == nil {
 		return
 	}
-	pl.reg.Gauge("sim_makespan_seconds").Set(pl.Elapsed())
-	pl.reg.Gauge("pool_devices").Set(float64(pl.K()))
-	l := obs.L("lane", pl.Host.Name())
-	pl.reg.Gauge("lane_busy_seconds", l).Set(pl.Host.Busy())
-	pl.reg.Gauge("lane_ops", l).Set(float64(pl.Host.Ops()))
-	pl.reg.Gauge("lane_utilization", l).Set(pl.Host.Utilization(pl.Elapsed()))
+	pl.reg.Gauge("sim_makespan_seconds", pl.label()...).Set(pl.Elapsed())
+	pl.reg.Gauge("pool_devices", pl.label()...).Set(float64(pl.K()))
+	l := pl.label(obs.L("lane", pl.Host.Name()))
+	pl.reg.Gauge("lane_busy_seconds", l...).Set(pl.Host.Busy())
+	pl.reg.Gauge("lane_ops", l...).Set(float64(pl.Host.Ops()))
+	pl.reg.Gauge("lane_utilization", l...).Set(pl.Host.Utilization(pl.Elapsed()))
 }
 
 // EnableTrace starts span recording on the main host and every device.

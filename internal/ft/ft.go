@@ -210,6 +210,11 @@ type Options struct {
 	// checks, detections, corrections, checkpoints, re-executions, ...)
 	// stamped with the simulated time.
 	Journal *obs.Journal
+	// Trace, if set, scopes the run to a served request: every metric
+	// series (FT counters, device phase timers, operation costs) gains a
+	// job=<id> label, and the run's coarse stages appear as wall-clock
+	// spans on the context's tracer, parented under Trace.Parent.
+	Trace *obs.TraceContext
 }
 
 // Result extends the hybrid result with resilience statistics.
@@ -281,15 +286,29 @@ type reducer struct {
 	res   *Result
 }
 
-// journal appends one FT event stamped with the current simulated time.
+// journal appends one FT event stamped with the current simulated time
+// and the device it concerns (pool members only; the classic unnamed
+// single device leaves the field empty).
 func (r *reducer) journal(e obs.Event) {
 	e.SimTime = r.dev.Elapsed()
+	if e.Device == "" {
+		e.Device = r.dev.Name()
+	}
 	r.opt.Journal.Append(e)
 }
 
 // count increments an FT counter (no-op without a registry).
 func (r *reducer) count(name string) {
-	r.opt.Obs.Counter(name).Inc()
+	r.opt.Obs.Counter(name, ftLabels(r.opt)...).Inc()
+}
+
+// ftLabels returns the job label set for the run's FT counters (empty
+// for offline runs without a trace context).
+func ftLabels(opt Options) []obs.Label {
+	if job := opt.Trace.JobID(); job != "" {
+		return []obs.Label{obs.L("job", job)}
+	}
+	return nil
 }
 
 // ftCounterNames lists every counter the reduction can emit; they are
@@ -341,9 +360,12 @@ func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) 
 	if opt.Obs != nil {
 		dev.SetObs(opt.Obs)
 		for _, name := range ftCounterNames {
-			opt.Obs.Counter(name)
+			opt.Obs.Counter(name, ftLabels(opt)...)
 		}
 	}
+	dev.SetJob(opt.Trace.JobID())
+	sp := opt.Trace.Span("ft.reduce", opt.Trace.ParentSpan())
+	defer opt.Trace.EndSpan(sp)
 	ctx := opt.Ctx
 	if ctx == nil {
 		ctx = context.Background()
@@ -529,7 +551,7 @@ func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) 
 			return r.res, err
 		}
 		r.res.QCorrections += fixes
-		r.opt.Obs.Counter("ft_q_corrections_total").Add(float64(fixes))
+		r.opt.Obs.Counter("ft_q_corrections_total", ftLabels(r.opt)...).Add(float64(fixes))
 	}
 	dev.DeviceSynchronize()
 	dev.SetPhase("")

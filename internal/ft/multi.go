@@ -75,7 +75,7 @@ func (r *multiReducer) journal(e obs.Event) {
 
 // count increments an FT counter (no-op without a registry).
 func (r *multiReducer) count(name string) {
-	r.opt.Obs.Counter(name).Inc()
+	r.opt.Obs.Counter(name, ftLabels(r.opt)...).Inc()
 }
 
 // pokeH adds delta to the trailing-matrix element at global (row, col),
@@ -117,9 +117,12 @@ func reduceMulti(a *matrix.Matrix, opt Options) (*Result, error) {
 	if opt.Obs != nil {
 		pool.SetObs(opt.Obs)
 		for _, name := range ftCounterNames {
-			opt.Obs.Counter(name)
+			opt.Obs.Counter(name, ftLabels(opt)...)
 		}
 	}
+	pool.SetJob(opt.Trace.JobID())
+	sp := opt.Trace.Span("ft.reduce_multi", opt.Trace.ParentSpan())
+	defer opt.Trace.EndSpan(sp)
 	ctx := opt.Ctx
 	if ctx == nil {
 		ctx = context.Background()
@@ -286,7 +289,7 @@ func reduceMulti(a *matrix.Matrix, opt Options) (*Result, error) {
 			return r.res, err
 		}
 		r.res.QCorrections += fixes
-		r.opt.Obs.Counter("ft_q_corrections_total").Add(float64(fixes))
+		r.opt.Obs.Counter("ft_q_corrections_total", ftLabels(r.opt)...).Add(float64(fixes))
 	}
 
 	// Bring every slab home in one sweep (the device copies are
@@ -475,6 +478,7 @@ func (r *multiReducer) checkAll(iter, p int) error {
 		det.Target = obs.TargetH
 		det.Value = obs.Float(r.lastGap)
 		det.Outcome = fmt.Sprintf("slab %d on %s", s, r.sh.Owner(s).Name())
+		det.Device = r.sh.Owner(s).Name()
 		r.journal(det)
 		for attempt := 0; ; attempt++ {
 			if err := r.locateAndCorrectSlab(iter, s); err != nil {
@@ -554,10 +558,12 @@ func (r *multiReducer) locateAndCorrectSlab(iter, s int) error {
 		loc := obs.Ev(obs.KindLocation, iter)
 		loc.Target = obs.TargetH
 		loc.Outcome = "cost-only"
+		loc.Device = dev.Name()
 		r.journal(loc)
 		corr := obs.Ev(obs.KindCorrection, iter)
 		corr.Target = obs.TargetH
 		corr.Outcome = "cost-only"
+		corr.Device = dev.Name()
 		r.journal(corr)
 		r.count("ft_corrections_total")
 		return nil
@@ -595,6 +601,7 @@ func (r *multiReducer) locateAndCorrectSlab(iter, s int) error {
 	loc := obs.Ev(obs.KindLocation, iter)
 	loc.Target = obs.TargetH
 	loc.Outcome = fmt.Sprintf("slab %d: %d rows, %d cols flagged", s, len(rows), len(colsF))
+	loc.Device = dev.Name()
 	r.journal(loc)
 
 	apply := func(i, j int, delta float64) {
@@ -605,6 +612,7 @@ func (r *multiReducer) locateAndCorrectSlab(iter, s int) error {
 		corr := obs.Ev(obs.KindCorrection, iter)
 		corr.Target = obs.TargetH
 		corr.Row, corr.Col, corr.Value = i, sl.Start+j, obs.Float(delta)
+		corr.Device = dev.Name()
 		r.journal(corr)
 	}
 

@@ -87,6 +87,10 @@ type Options struct {
 	// host-only algorithm without a simulated clock, so SimTime is zero
 	// and ordering is carried by the sequence numbers.
 	Journal *obs.Journal
+	// Trace, if set, scopes the run to a served request: the ftsym_*
+	// counters gain a job=<id> label and the reduction appears as a
+	// wall-clock span on the context's tracer (mirrors ft.Options.Trace).
+	Trace *obs.TraceContext
 	// Devices requests the multi-device pool path, mirroring ft.Options.
 	// It is not implemented for the symmetric reduction: the lower-
 	// triangle storage makes 1-D block-column slabs ragged (slab s owns
@@ -134,6 +138,20 @@ func (r *Result) T() *matrix.Matrix {
 	return t
 }
 
+// symLabels returns the job label set for the run's counters (empty for
+// offline runs without a trace context).
+func symLabels(opt *Options) []obs.Label {
+	if job := opt.Trace.JobID(); job != "" {
+		return []obs.Label{obs.L("job", job)}
+	}
+	return nil
+}
+
+// count increments one ftsym counter (no-op without a registry).
+func count(opt *Options, name string) {
+	opt.Obs.Counter(name, symLabels(opt)...).Inc()
+}
+
 // Reduce tridiagonalizes the symmetric matrix a (lower triangle
 // referenced, not modified) with transient-error resilience.
 func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
@@ -178,9 +196,11 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 			"ftsym_corrections_total", "ftsym_recoveries_total",
 			"ftsym_reexecutions_total",
 		} {
-			opt.Obs.Counter(name)
+			opt.Obs.Counter(name, symLabels(&opt)...)
 		}
 	}
+	sp := opt.Trace.Span("ftsym.reduce", opt.Trace.ParentSpan())
+	defer opt.Trace.EndSpan(sp)
 
 	// Encode: maintained checksum over the full matrix (panel start 0).
 	chk := symRowSums(w, 0)
@@ -217,7 +237,7 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 			np := n - p
 			if attempt > 0 {
 				res.Reexecutions++
-				opt.Obs.Counter("ftsym_reexecutions_total").Inc()
+				count(&opt, "ftsym_reexecutions_total")
 				opt.Journal.Append(obs.Ev(obs.KindReexecution, iter))
 			}
 			// Panel factorization (DLATRD) and trailing SYR2K update.
@@ -232,7 +252,7 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 			maintainChecksum(w, wPanel, ckPanel, chk, p, nb, -1)
 
 			mismatch := detect(w, chk, p, nb, tauDet)
-			opt.Obs.Counter("ftsym_checksum_checks_total").Inc()
+			count(&opt, "ftsym_checksum_checks_total")
 			check := obs.Ev(obs.KindChecksumCheck, iter)
 			check.Outcome = "clean"
 			if mismatch {
@@ -243,7 +263,7 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 				break
 			}
 			res.Detections++
-			opt.Obs.Counter("ftsym_detections_total").Inc()
+			count(&opt, "ftsym_detections_total")
 			opt.Journal.Append(obs.Ev(obs.KindDetection, iter))
 			if attempt >= opt.MaxRecoveries {
 				return res, fmt.Errorf("%w (iteration %d)", ErrRetriesExhausted, iter)
@@ -264,7 +284,7 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 				return res, err
 			}
 			res.Recoveries++
-			opt.Obs.Counter("ftsym_recoveries_total").Inc()
+			count(&opt, "ftsym_recoveries_total")
 		}
 
 		// Finish the panel bookkeeping (as DSYTRD does). The checksum
@@ -411,7 +431,7 @@ func locateAndCorrect(w *matrix.Matrix, ckPanel *matrix.Matrix, chk []float64, r
 			ckPanel.Add(i-p, j-p, -delta)
 		}
 		res.Corrected = append(res.Corrected, ft.Injection{Row: i, Col: j, Delta: delta, Target: ft.TargetH, Iter: iter})
-		opt.Obs.Counter("ftsym_corrections_total").Inc()
+		count(opt, "ftsym_corrections_total")
 		corr := obs.Ev(obs.KindCorrection, iter)
 		corr.Row, corr.Col, corr.Value = i, j, obs.Float(delta)
 		opt.Journal.Append(corr)

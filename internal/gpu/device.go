@@ -76,6 +76,12 @@ type Device struct {
 	// pre-pool consumer keeps seeing the exact keys it always did.
 	name string
 
+	// job, when non-empty, adds a job=<id> label to every metric series
+	// the device emits, so a shared serving registry attributes phase
+	// timers and operation costs to the request that caused them (set via
+	// SetJob before a run).
+	job string
+
 	// obs is the optional metrics sink; phase is the algorithm phase all
 	// charged costs are currently attributed to (set via SetPhase). The
 	// two caches avoid rebuilding series keys on the hot path.
@@ -199,6 +205,21 @@ func (d *Device) SetObs(r *obs.Registry) {
 // Obs returns the attached metrics registry (nil when detached).
 func (d *Device) Obs() *obs.Registry { return d.obs }
 
+// SetJob sets (or clears, with "") the job identifier labeled onto every
+// subsequently emitted metric series. The series caches are reset because
+// the cached instruments were created under the previous label set.
+func (d *Device) SetJob(job string) {
+	if d.job == job {
+		return
+	}
+	d.job = job
+	d.opCounters = make(map[string]*obs.Counter)
+	d.phaseHists = make(map[string]*obs.Histogram)
+}
+
+// Job reports the job identifier set via SetJob ("" when unset).
+func (d *Device) Job() string { return d.job }
+
 // SetPhase names the algorithm phase subsequent operation costs are
 // attributed to, returning the previous phase so callers can restore it.
 func (d *Device) SetPhase(name string) string {
@@ -263,13 +284,17 @@ func (d *Device) account(kind string, cost float64) {
 	h.Observe(cost)
 }
 
-// label appends the device label to a series' labels for pool members;
-// classic single devices keep their historical unlabeled series.
+// label appends the device label (pool members) and job label (served
+// requests) to a series' labels; classic offline single devices keep
+// their historical unlabeled series.
 func (d *Device) label(ls ...obs.Label) []obs.Label {
-	if d.name == "" {
-		return ls
+	if d.name != "" {
+		ls = append(ls, obs.L("device", d.name))
 	}
-	return append(ls, obs.L("device", d.name))
+	if d.job != "" {
+		ls = append(ls, obs.L("job", d.job))
+	}
+	return ls
 }
 
 // FinishRun publishes end-of-run gauges (makespan, per-lane busy time,

@@ -28,8 +28,10 @@ type Span struct {
 }
 
 // EnableTrace starts span recording (call before running an algorithm).
+// The initial capacity absorbs a mid-size reduction without reallocating
+// (a blocked run records a few thousand spans).
 func (d *Device) EnableTrace() {
-	d.trace = make([]Span, 0, 1024)
+	d.trace = make([]Span, 0, 4096)
 	d.tracing = true
 }
 

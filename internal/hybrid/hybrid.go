@@ -92,6 +92,10 @@ type Options struct {
 	// left_update, d2h_overlap, ...), per-operation-family seconds, and
 	// end-of-run lane gauges.
 	Obs *obs.Registry
+	// Trace, if set, scopes the run to a served request: every metric
+	// series the device(s) emit gains a job=<id> label and the reduction
+	// appears as a wall-clock span on the context's tracer.
+	Trace *obs.TraceContext
 }
 
 // Result carries the factorization output and the simulated performance.
@@ -142,6 +146,9 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 	if opt.Obs != nil {
 		dev.SetObs(opt.Obs)
 	}
+	dev.SetJob(opt.Trace.JobID())
+	sp := opt.Trace.Span("hybrid.reduce", opt.Trace.ParentSpan())
+	defer opt.Trace.EndSpan(sp)
 	ctx := opt.Ctx
 	if ctx == nil {
 		ctx = context.Background()

@@ -48,6 +48,9 @@ func reduceMulti(a *matrix.Matrix, opt Options) (*Result, error) {
 	if opt.Obs != nil {
 		pool.SetObs(opt.Obs)
 	}
+	pool.SetJob(opt.Trace.JobID())
+	sp := opt.Trace.Span("hybrid.reduce_multi", opt.Trace.ParentSpan())
+	defer opt.Trace.EndSpan(sp)
 	ctx := opt.Ctx
 	if ctx == nil {
 		ctx = context.Background()

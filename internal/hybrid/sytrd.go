@@ -36,6 +36,9 @@ func ReduceSym(a *matrix.Matrix, opt Options) (*SymResult, error) {
 	if opt.Obs != nil {
 		dev.SetObs(opt.Obs)
 	}
+	dev.SetJob(opt.Trace.JobID())
+	sp := opt.Trace.Span("hybrid.reduce_sym", opt.Trace.ParentSpan())
+	defer opt.Trace.EndSpan(sp)
 	ctx := opt.Ctx
 	if ctx == nil {
 		ctx = context.Background()

@@ -139,8 +139,45 @@ func SumBy(r *Registry, name, labelKey string) map[string]float64 {
 	return out
 }
 
+// Prune removes every series the predicate matches (by name and label
+// map) and returns how many were dropped. The serving layer uses it to
+// retire the job-labeled series of forgotten jobs, keeping the registry
+// bounded by the live job table rather than by the server's lifetime.
+// Safe on nil.
+func (r *Registry) Prune(pred func(name string, labels map[string]string) bool) int {
+	if r == nil || pred == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for k, c := range r.counters {
+		if pred(c.name, labelMap(c.labels)) {
+			delete(r.counters, k)
+			n++
+		}
+	}
+	for k, g := range r.gauges {
+		if pred(g.name, labelMap(g.labels)) {
+			delete(r.gauges, k)
+			n++
+		}
+	}
+	for k, h := range r.hists {
+		if pred(h.name, labelMap(h.labels)) {
+			delete(r.hists, k)
+			n++
+		}
+	}
+	return n
+}
+
 // WritePrometheus writes the registry in the Prometheus text exposition
 // format (# TYPE comments, histograms as cumulative _bucket/_sum/_count).
+// Every histogram series additionally gets a companion
+// <name>_quantile{quantile="0.5|0.95|0.99"} gauge family with the
+// interpolated estimates (see quantile.go), so p50/p95/p99 are readable
+// straight off a scrape without server-side histogram_quantile.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -191,6 +228,39 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				return err
 			}
 			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", p.Name, renderLabels(p.Labels), p.Count); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Companion quantile families, one per histogram family, in the same
+	// sorted series order as the exposition above.
+	lastTyped = ""
+	for _, p := range pts {
+		if p.Kind != "histogram" || p.Count == 0 {
+			continue
+		}
+		var labels []Label
+		for k, v := range p.Labels {
+			labels = append(labels, L(k, v))
+		}
+		r.mu.Lock()
+		h := r.hists[seriesKey(p.Name, labels)]
+		r.mu.Unlock()
+		if h == nil {
+			continue
+		}
+		qname := p.Name + "_quantile"
+		if qname != lastTyped {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", qname); err != nil {
+				return err
+			}
+			lastTyped = qname
+		}
+		snap := h.Snap()
+		for _, q := range ExportQuantiles {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n",
+				qname, renderLabels(p.Labels, L("quantile", fmtFloat(q))), fmtFloat(snap.Quantile(q))); err != nil {
 				return err
 			}
 		}

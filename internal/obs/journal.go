@@ -68,6 +68,12 @@ type Event struct {
 	Row     int     `json:"row"`
 	Col     int     `json:"col"`
 	Value   Float   `json:"value,omitempty"`
+	// Job attributes the record to a served request (stamped by the
+	// journal, see Stamp); empty for offline runs.
+	Job string `json:"job,omitempty"`
+	// Device names the pool device the record concerns ("d0", "d1", …);
+	// empty for single-device and host-only runs.
+	Device string `json:"device,omitempty"`
 }
 
 // Float is a float64 that round-trips the non-finite values JSON cannot
@@ -127,20 +133,51 @@ func Ev(kind Kind, iter int) Event {
 type Journal struct {
 	mu     sync.Mutex
 	events []Event
+	job    string
+	tee    *FlightRecorder
 }
 
 // NewJournal returns an empty journal.
 func NewJournal() *Journal { return &Journal{} }
 
-// Append adds one record, assigning its sequence number. Safe on nil.
+// Stamp sets the job identifier stamped onto every subsequently appended
+// record (request attribution for served runs). Safe on nil.
+func (j *Journal) Stamp(job string) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.job = job
+	j.mu.Unlock()
+}
+
+// Tee forwards every subsequently appended record (after stamping) to
+// the flight recorder as well, so the bounded cross-job postmortem view
+// sees the same events the per-job journal retains. Safe on nil.
+func (j *Journal) Tee(rec *FlightRecorder) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.tee = rec
+	j.mu.Unlock()
+}
+
+// Append adds one record, assigning its sequence number and stamping the
+// journal's job id (unless the record already carries one). Safe on nil.
 func (j *Journal) Append(e Event) {
 	if j == nil {
 		return
 	}
 	j.mu.Lock()
 	e.Seq = len(j.events)
+	if e.Job == "" {
+		e.Job = j.job
+	}
 	j.events = append(j.events, e)
+	tee := j.tee
 	j.mu.Unlock()
+	tee.Record(EventFromJournal(e))
 }
 
 // Len returns the number of records. Safe on nil.

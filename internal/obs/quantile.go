@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// Histogram quantile estimation: the SLO views of the serving layer
+// (p50/p95/p99 job latency, queue-wait, lease-wait) and the per-phase
+// latency columns of bench.Breakdown are all read from the same
+// fixed-bucket histograms the registry already collects. Estimation is
+// the standard Prometheus histogram_quantile scheme — find the bucket
+// the target rank falls in and interpolate linearly inside it — so the
+// numbers here match what a Prometheus server would compute from the
+// exposition.
+
+// HistogramSnapshot is an immutable copy of one histogram's state,
+// mergeable across series and queryable for quantiles.
+type HistogramSnapshot struct {
+	// Bounds are the inclusive upper bounds; +Inf is implicit.
+	Bounds []float64 `json:"bounds"`
+	// Cumulative has len(Bounds)+1 entries; the last equals Count.
+	Cumulative []uint64 `json:"cumulative"`
+	Sum        float64  `json:"sum"`
+	Count      uint64   `json:"count"`
+}
+
+// Snap copies the histogram's current state. Safe on a nil receiver
+// (returns a zero snapshot).
+func (h *Histogram) Snap() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	bounds, cum := h.Buckets()
+	return HistogramSnapshot{
+		Bounds:     bounds,
+		Cumulative: cum,
+		Sum:        h.Sum(),
+		Count:      h.Count(),
+	}
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket holding the target rank, exactly as Prometheus's
+// histogram_quantile does: the lower edge of the first bucket is taken
+// as 0 (all recorded quantities here are non-negative durations), and
+// ranks falling in the +Inf bucket clamp to the highest finite bound.
+// NaN when the snapshot is empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Cumulative) == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	i := sort.Search(len(s.Cumulative), func(i int) bool {
+		return float64(s.Cumulative[i]) >= rank
+	})
+	if i >= len(s.Bounds) {
+		// The +Inf bucket: clamp to the largest finite bound (or the sum
+		// mean when there are no finite bounds at all).
+		if len(s.Bounds) == 0 {
+			return s.Sum / float64(s.Count)
+		}
+		return s.Bounds[len(s.Bounds)-1]
+	}
+	lo := 0.0
+	var below uint64
+	if i > 0 {
+		lo = s.Bounds[i-1]
+		below = s.Cumulative[i-1]
+	}
+	hi := s.Bounds[i]
+	in := s.Cumulative[i] - below
+	if in == 0 {
+		return hi
+	}
+	return lo + (hi-lo)*(rank-float64(below))/float64(in)
+}
+
+// Quantiles evaluates several quantiles at once on one snapshot.
+func (s HistogramSnapshot) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = s.Quantile(q)
+	}
+	return out
+}
+
+// Merge folds another snapshot into s (bucket-wise). Snapshots with
+// different bounds contribute only their sum and count — the quantile
+// then degrades gracefully rather than mixing incompatible grids.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	s.Sum += o.Sum
+	s.Count += o.Count
+	if len(s.Bounds) == 0 {
+		s.Bounds = append([]float64(nil), o.Bounds...)
+		s.Cumulative = append([]uint64(nil), o.Cumulative...)
+		return
+	}
+	if len(o.Bounds) != len(s.Bounds) {
+		return
+	}
+	for i, b := range o.Bounds {
+		if b != s.Bounds[i] {
+			return
+		}
+	}
+	for i, c := range o.Cumulative {
+		s.Cumulative[i] += c
+	}
+}
+
+// MergeBy aggregates every series of one histogram metric by the value
+// of a label key (series missing the key group under ""), merging the
+// buckets so quantiles can be estimated per group. The histogram
+// counterpart of SumBy.
+func MergeBy(r *Registry, name, labelKey string) map[string]HistogramSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	out := make(map[string]HistogramSnapshot)
+	for _, h := range hists {
+		if h.name != name {
+			continue
+		}
+		key := ""
+		for _, l := range h.labels {
+			if l.Key == labelKey {
+				key = l.Value
+				break
+			}
+		}
+		acc := out[key]
+		acc.Merge(h.Snap())
+		out[key] = acc
+	}
+	return out
+}
+
+// ExportQuantiles are the quantiles WritePrometheus publishes for every
+// histogram series (as a companion <name>_quantile gauge family), and
+// the ones the SLO reports quote: p50, p95, p99.
+var ExportQuantiles = []float64{0.5, 0.95, 0.99}

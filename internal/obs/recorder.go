@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The FT flight recorder: a bounded ring buffer holding the last N
+// fault-tolerance events and job lifecycle transitions across *all*
+// requests, for postmortems — "which job detected, corrected, or died
+// right before the incident" — without unbounded log growth. The
+// serving layer tees every per-job journal into one recorder and dumps
+// it at /debug/events.
+//
+// Writers are lock-free-ish: a single atomic fetch-add claims a slot,
+// and each slot has its own tiny mutex so concurrent writers only ever
+// contend when the ring wraps onto a slot another writer still holds.
+// Readers lock slots one at a time and reassemble by sequence number,
+// so a dump never stalls the write path globally.
+
+// FlightEvent is one flight-recorder record. FT events carry the
+// journal kind ("ft:checksum_check", "ft:detection", …); lifecycle
+// transitions use "job:queued", "job:running", "job:done", and so on.
+type FlightEvent struct {
+	Seq    uint64    `json:"seq"`
+	Wall   time.Time `json:"wall"`
+	Kind   string    `json:"kind"`
+	Job    string    `json:"job,omitempty"`
+	Device string    `json:"device,omitempty"`
+	Iter   int       `json:"iter,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+	Value  Float     `json:"value,omitempty"`
+}
+
+type recorderSlot struct {
+	mu  sync.Mutex
+	set bool
+	ev  FlightEvent
+}
+
+// FlightRecorder is the bounded ring. All methods are safe for
+// concurrent use and on a nil receiver.
+type FlightRecorder struct {
+	slots []recorderSlot
+	next  atomic.Uint64
+}
+
+// NewFlightRecorder builds a ring holding the last n events (minimum 1).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n < 1 {
+		n = 1
+	}
+	return &FlightRecorder{slots: make([]recorderSlot, n)}
+}
+
+// Cap reports the ring capacity (0 on nil).
+func (r *FlightRecorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Total reports how many events were ever recorded (including those the
+// ring has since overwritten). Safe on nil.
+func (r *FlightRecorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next.Load()
+}
+
+// Record appends one event, assigning its sequence number and wall
+// timestamp, overwriting the oldest slot once the ring is full. Safe on
+// a nil receiver.
+func (r *FlightRecorder) Record(ev FlightEvent) {
+	if r == nil {
+		return
+	}
+	seq := r.next.Add(1) - 1
+	ev.Seq = seq
+	ev.Wall = time.Now()
+	s := &r.slots[seq%uint64(len(r.slots))]
+	s.mu.Lock()
+	// A slower writer must never clobber a newer wrap of its slot.
+	if !s.set || s.ev.Seq <= seq {
+		s.ev = ev
+		s.set = true
+	}
+	s.mu.Unlock()
+}
+
+// Events returns the currently retained events in ascending sequence
+// order (at most Cap of them). Safe on nil.
+func (r *FlightRecorder) Events() []FlightEvent {
+	if r == nil {
+		return nil
+	}
+	out := make([]FlightEvent, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		s.mu.Lock()
+		if s.set {
+			out = append(out, s.ev)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// WriteJSON dumps the recorder state as one JSON document (the
+// /debug/events response body).
+func (r *FlightRecorder) WriteJSON(w io.Writer) error {
+	out := struct {
+		Capacity int           `json:"capacity"`
+		Total    uint64        `json:"total"`
+		Events   []FlightEvent `json:"events"`
+	}{Capacity: r.Cap(), Total: r.Total(), Events: r.Events()}
+	if out.Events == nil {
+		out.Events = []FlightEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// EventFromJournal converts a journal record into its flight-recorder
+// form ("ft:"-prefixed kind; Seq/Wall assigned by Record).
+func EventFromJournal(e Event) FlightEvent {
+	return FlightEvent{
+		Kind:   "ft:" + string(e.Kind),
+		Job:    e.Job,
+		Device: e.Device,
+		Iter:   e.Iter,
+		Detail: e.Outcome,
+		Value:  e.Value,
+	}
+}

@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	r := NewFlightRecorder(8)
+	if r.Cap() != 8 {
+		t.Fatalf("cap = %d, want 8", r.Cap())
+	}
+	for i := 0; i < 20; i++ {
+		r.Record(FlightEvent{Kind: "job:queued", Job: "j1", Iter: i})
+	}
+	if r.Total() != 20 {
+		t.Fatalf("total = %d, want 20", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 8 {
+		t.Fatalf("retained %d events, want 8 (the ring capacity)", len(evs))
+	}
+	// The ring keeps exactly the newest Cap events, in sequence order.
+	for i, e := range evs {
+		if want := uint64(12 + i); e.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d (all: %+v)", i, e.Seq, want, evs)
+		}
+		if e.Wall.IsZero() {
+			t.Fatalf("event %d has no wall timestamp", i)
+		}
+	}
+}
+
+func TestFlightRecorderConcurrentWriters(t *testing.T) {
+	const writers, perWriter = 8, 500
+	r := NewFlightRecorder(32)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Record(FlightEvent{Kind: "ft:detection", Job: "j", Iter: w*perWriter + i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Total() != writers*perWriter {
+		t.Fatalf("total = %d, want %d", r.Total(), writers*perWriter)
+	}
+	evs := r.Events()
+	if len(evs) == 0 || len(evs) > r.Cap() {
+		t.Fatalf("retained %d events, want 1..%d", len(evs), r.Cap())
+	}
+	// Sequence numbers must be strictly ascending and each slot must hold
+	// the newest wrap it ever saw (the stale-write guard): no retained
+	// event may be older than total - cap*2 even under heavy contention.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("events not strictly ascending: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestFlightRecorderNilAndJSON(t *testing.T) {
+	var nilRec *FlightRecorder
+	nilRec.Record(FlightEvent{Kind: "job:queued"})
+	if nilRec.Events() != nil || nilRec.Cap() != 0 || nilRec.Total() != 0 {
+		t.Fatal("nil recorder must absorb everything")
+	}
+
+	r := NewFlightRecorder(4)
+	r.Record(FlightEvent{Kind: "job:done", Job: "j9"})
+	var b bytes.Buffer
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Capacity int           `json:"capacity"`
+		Total    uint64        `json:"total"`
+		Events   []FlightEvent `json:"events"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &dump); err != nil {
+		t.Fatalf("dump is not JSON: %v\n%s", err, b.String())
+	}
+	if dump.Capacity != 4 || dump.Total != 1 || len(dump.Events) != 1 || dump.Events[0].Job != "j9" {
+		t.Fatalf("dump = %+v", dump)
+	}
+}
+
+func TestJournalTeeStampsRecorder(t *testing.T) {
+	rec := NewFlightRecorder(64)
+	j := NewJournal()
+	j.Stamp("job-7")
+	j.Tee(rec)
+
+	const writers, perWriter = 6, 40
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				j.Append(Ev(KindChecksumCheck, i))
+			}
+		}()
+	}
+	wg.Wait()
+
+	if j.Len() != writers*perWriter {
+		t.Fatalf("journal len = %d, want %d", j.Len(), writers*perWriter)
+	}
+	for _, e := range j.Events() {
+		if e.Job != "job-7" {
+			t.Fatalf("journal record missing stamp: %+v", e)
+		}
+	}
+	if rec.Total() != uint64(writers*perWriter) {
+		t.Fatalf("recorder saw %d events, journal appended %d", rec.Total(), writers*perWriter)
+	}
+	for _, e := range rec.Events() {
+		if e.Kind != "ft:checksum_check" || e.Job != "job-7" {
+			t.Fatalf("teed event not converted: %+v", e)
+		}
+	}
+}
+
+func TestTracerConcurrentAndBounded(t *testing.T) {
+	tr := NewTracer(TraceID())
+	if tr.ID() == "" {
+		t.Fatal("empty trace id")
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < maxTracerSpans; i++ {
+				id := tr.Start("work", 0)
+				tr.End(id)
+			}
+		}()
+	}
+	wg.Wait()
+	spans := tr.Spans()
+	if len(spans) != maxTracerSpans {
+		t.Fatalf("tracer retained %d spans, want exactly the bound %d", len(spans), maxTracerSpans)
+	}
+	for _, sp := range spans {
+		if sp.Start.IsZero() || sp.End.IsZero() {
+			t.Fatalf("span not closed: %+v", sp)
+		}
+	}
+	// Past the bound, Start degrades to "no span" and End absorbs it.
+	if id := tr.Start("overflow", 0); id != 0 {
+		t.Fatalf("overflow span got id %d, want 0", id)
+	}
+	tr.End(0)
+
+	var nilTr *Tracer
+	if nilTr.Start("x", 0) != 0 || nilTr.ID() != "" || nilTr.Spans() != nil {
+		t.Fatal("nil tracer must absorb everything")
+	}
+	nilTr.End(1)
+}
+
+func TestTraceContextNilSafety(t *testing.T) {
+	var tc *TraceContext
+	if tc.JobID() != "" || tc.ParentSpan() != 0 || tc.Span("x", 0) != 0 {
+		t.Fatal("nil trace context must degrade to zero values")
+	}
+	tc.EndSpan(1)
+
+	// A context with a nil tracer is equally inert.
+	tc = &TraceContext{Job: "j1"}
+	if tc.JobID() != "j1" || tc.Span("x", 0) != 0 {
+		t.Fatal("tracer-less context must still name the job")
+	}
+	tc.EndSpan(0)
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d", []float64{1, 2, 4})
+	// 10 samples in (0,1], 10 in (1,2]: p50 sits exactly at the 1s bound,
+	// p75 interpolates halfway through the (1,2] bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	s := h.Snap()
+	if got := s.Quantile(0.5); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("p50 = %v, want 1", got)
+	}
+	if got := s.Quantile(0.75); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("p75 = %v, want 1.5", got)
+	}
+	// Ranks landing in the +Inf bucket clamp to the top finite bound.
+	h.Observe(100)
+	if got := h.Snap().Quantile(0.999); got != 4 {
+		t.Fatalf("p99.9 = %v, want clamp to 4", got)
+	}
+	// Empty snapshots answer NaN, not a made-up number.
+	var empty HistogramSnapshot
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatal("empty snapshot quantile must be NaN")
+	}
+}
+
+func TestQuantileMergeAcrossSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat", []float64{1, 2}, L("outcome", "done")).Observe(0.5)
+	r.Histogram("lat", []float64{1, 2}, L("outcome", "failed")).Observe(1.5)
+	m := MergeBy(r, "lat", "outcome")
+	if len(m) != 2 {
+		t.Fatalf("MergeBy groups = %d, want 2", len(m))
+	}
+	var all HistogramSnapshot
+	for _, s := range m {
+		all.Merge(s)
+	}
+	if all.Count != 2 || all.Sum != 2 {
+		t.Fatalf("merged count/sum = %d/%v, want 2/2", all.Count, all.Sum)
+	}
+	// Mismatched bucket grids keep sum/count but refuse to mix buckets.
+	other := HistogramSnapshot{Bounds: []float64{9}, Cumulative: []uint64{3, 3}, Sum: 3, Count: 3}
+	all.Merge(other)
+	if all.Count != 5 || len(all.Bounds) != 2 {
+		t.Fatalf("mismatched merge corrupted the grid: %+v", all)
+	}
+}
+
+func TestPrometheusQuantileExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("serve_job_duration_seconds", []float64{1, 2}, L("outcome", "done"))
+	h.Observe(0.5)
+	h.Observe(1.5)
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE serve_job_duration_seconds_quantile gauge",
+		`serve_job_duration_seconds_quantile{outcome="done",quantile="0.5"} 1`,
+		`serve_job_duration_seconds_quantile{outcome="done",quantile="0.95"}`,
+		`serve_job_duration_seconds_quantile{outcome="done",quantile="0.99"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPruneRetiresJobSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ft_detections_total", L("job", "j1")).Inc()
+	r.Counter("ft_detections_total", L("job", "j2")).Inc()
+	r.Gauge("g", L("job", "j1")).Set(1)
+	r.Histogram("h", []float64{1}, L("job", "j1")).Observe(0.5)
+	r.Counter("serve_jobs_total").Inc()
+
+	n := r.Prune(func(_ string, labels map[string]string) bool {
+		return labels["job"] == "j1"
+	})
+	if n != 3 {
+		t.Fatalf("pruned %d series, want 3", n)
+	}
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, `job="j1"`) {
+		t.Fatalf("pruned job still exposed:\n%s", out)
+	}
+	for _, want := range []string{`job="j2"`, "serve_jobs_total 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prune removed too much (%q missing):\n%s", want, out)
+		}
+	}
+}

@@ -1,14 +1,22 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/ft"
+	"repro/internal/ftsym"
 )
 
-// errorBody is the JSON shape of every non-2xx response.
+// errorBody is the JSON shape of every non-2xx response. Code is the
+// machine-readable failure class (see classify); clients branch on it
+// instead of parsing Error.
 type errorBody struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -23,13 +31,42 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, errorBody{Error: msg})
 }
 
+// errClass maps one failure family to its HTTP status and wire code.
+type errClass struct {
+	status int
+	code   string
+}
+
+// classify sorts a terminal job error into its failure class. Request-
+// shape errors the reduction stack rejects deterministically (the
+// symmetric path on a device pool) are client errors — resubmitting the
+// same request can never succeed — so they surface as 400, not 500.
+func classify(err error) errClass {
+	switch {
+	case err == nil:
+		return errClass{http.StatusOK, ""}
+	case errors.Is(err, ftsym.ErrMultiDeviceUnsupported):
+		return errClass{http.StatusBadRequest, "unsupported"}
+	case errors.Is(err, ft.ErrUncorrectable) || errors.Is(err, ftsym.ErrUncorrectable):
+		return errClass{http.StatusInternalServerError, "uncorrectable"}
+	case errors.Is(err, ft.ErrDetectionStorm) || errors.Is(err, ftsym.ErrRetriesExhausted):
+		return errClass{http.StatusInternalServerError, "detection_storm"}
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return errClass{http.StatusGone, "cancelled"}
+	}
+	return errClass{http.StatusInternalServerError, "internal"}
+}
+
 // Handler returns the service's HTTP API:
 //
 //	POST   /v1/jobs             submit a reduction job (202, or 429/503)
-//	GET    /v1/jobs/{id}        job status + live phase
+//	GET    /v1/jobs/{id}        job status + live phase + FT reliability
 //	GET    /v1/jobs/{id}/result finished job's result (409 until done)
+//	GET    /v1/jobs/{id}/trace  per-job Chrome trace (409 until terminal)
 //	DELETE /v1/jobs/{id}        cancel (or forget a finished job)
 //	GET    /metrics             Prometheus exposition (obs + serve_*)
+//	GET    /debug/events        FT flight-recorder dump (last N events)
+//	GET    /debug/pprof/        net/http/pprof (Config.EnablePprof only)
 //	GET    /healthz             liveness
 //	GET    /readyz              readiness (503 while draining)
 func (s *Server) Handler() http.Handler {
@@ -37,8 +74,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/events", s.handleEvents)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok\n"))
@@ -59,6 +105,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.reg.WritePrometheus(w)
 }
 
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.recorder.WriteJSON(w)
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	req, err := DecodeJobRequest(body, s.cfg.MaxN)
@@ -74,7 +125,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.Submit(req, a)
 	switch {
 	case errors.Is(err, ErrDeviceRequest):
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Code: "bad_device_request"})
 		return
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
@@ -119,12 +170,39 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	case StateQueued, StateRunning:
 		writeError(w, http.StatusConflict, "job is "+state+"; result not ready")
 	case StateCancelled:
-		writeError(w, http.StatusGone, "job was cancelled")
+		writeJSON(w, http.StatusGone, errorBody{Error: "job was cancelled", Code: "cancelled"})
 	case StateFailed:
-		writeError(w, http.StatusInternalServerError, jerr.Error())
+		c := classify(jerr)
+		writeJSON(w, c.status, errorBody{Error: jerr.Error(), Code: c.code})
 	default:
 		writeJSON(w, http.StatusOK, res)
 	}
+}
+
+// handleTrace serves the per-job Chrome trace (ObserveFull only). The
+// trace is an execution postmortem: it exists once the job is terminal,
+// and asking earlier gets 409 like an early result fetch.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	s.mu.Lock()
+	state := j.state
+	s.mu.Unlock()
+	switch state {
+	case StateQueued, StateRunning:
+		writeError(w, http.StatusConflict, "job is "+state+"; trace not ready")
+		return
+	}
+	if j.tracer == nil {
+		writeJSON(w, http.StatusNotFound,
+			errorBody{Error: "no trace: server runs at observe=slo", Code: "no_trace"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = writeChromeTrace(w, j)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/leakcheck"
+)
+
+// chromeEvent is the subset of a Chrome trace-event the tests inspect.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// TestJobTraceLifecycle drives one faulty FT job end to end at
+// observe=full: the trace endpoint must refuse while the job runs, and
+// once the job is terminal it must serve a Chrome trace carrying both the
+// wall-clock lifecycle process and the simulated device timeline, while
+// the status reports the trace ID and the per-job FT reliability counts.
+func TestJobTraceLifecycle(t *testing.T) {
+	leakcheck.Check(t)
+	s, ts := newTestServer(t, Config{Capacity: 1})
+
+	// First, a gated job proves the trace endpoint refuses mid-run.
+	gate := make(chan struct{})
+	s.testMutateOptions = func(j *Job, opt *core.Options) {
+		opt.Hook = &gateHook{ctx: j.ctx, gate: gate, at: 1}
+	}
+	held := submit(t, ts, `{"n":48,"nb":8,"seed":1}`)
+	waitState(t, ts, held, StateRunning)
+	resp, _ := doReq(t, ts, http.MethodGet, "/v1/jobs/"+held+"/trace", "")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("trace of a running job: %d, want 409", resp.StatusCode)
+	}
+	close(gate)
+	waitState(t, ts, held, StateDone)
+
+	// Then a faulty FT job (no hook override: the fault schedule must
+	// keep its hook slot) exercises the whole detect/correct trail. The
+	// submit channel orders this write before the worker's read.
+	s.testMutateOptions = nil
+	id := submit(t, ts, `{"n":64,"nb":8,"seed":3,"faults":[{"area":2,"iter":1,"seed":9}]}`)
+	st := waitState(t, ts, id, StateDone)
+
+	if st.TraceID == "" {
+		t.Fatalf("done job has no trace id: %+v", st)
+	}
+	if st.Reliability == nil {
+		t.Fatalf("done FT job has no reliability summary: %+v", st)
+	}
+	if st.Reliability.ChecksumChecks < 1 || st.Reliability.Detections < 1 ||
+		st.Reliability.Corrections < 1 {
+		t.Fatalf("injected fault left no FT trail: %+v", st.Reliability)
+	}
+	if st.Reliability.Uncorrectable {
+		t.Fatalf("recovered job marked uncorrectable: %+v", st.Reliability)
+	}
+
+	resp, b := doReq(t, ts, http.MethodGet, "/v1/jobs/"+id+"/trace", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: %d %s", resp.StatusCode, b)
+	}
+	var evs []chromeEvent
+	if err := json.Unmarshal(b, &evs); err != nil {
+		t.Fatalf("trace is not a Chrome event array: %v", err)
+	}
+	var lifecycle, device int
+	names := map[string]bool{}
+	for _, e := range evs {
+		if e.Ph != "X" {
+			continue
+		}
+		switch e.Pid {
+		case 1:
+			lifecycle++
+			names[e.Name] = true
+		case 2:
+			device++
+		}
+	}
+	if lifecycle == 0 || device == 0 {
+		t.Fatalf("trace missing a process: %d lifecycle slices, %d device slices", lifecycle, device)
+	}
+	for _, want := range []string{"job " + id, "queued", "run"} {
+		if !names[want] {
+			t.Fatalf("lifecycle slices %v missing %q", names, want)
+		}
+	}
+
+	// The flight recorder saw the job's lifecycle and its FT events.
+	resp, b = doReq(t, ts, http.MethodGet, "/debug/events", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/events: %d", resp.StatusCode)
+	}
+	var dump struct {
+		Total  uint64 `json:"total"`
+		Events []struct {
+			Kind string `json:"kind"`
+			Job  string `json:"job"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(b, &dump); err != nil {
+		t.Fatalf("/debug/events decode: %v\n%s", err, b)
+	}
+	kinds := map[string]bool{}
+	for _, e := range dump.Events {
+		if e.Job == id {
+			kinds[e.Kind] = true
+		}
+	}
+	for _, want := range []string{"job:queued", "job:running", "job:done", "ft:detection", "ft:correction"} {
+		if !kinds[want] {
+			t.Fatalf("flight recorder missing %q for job %s; saw %v", want, id, kinds)
+		}
+	}
+}
+
+// TestMetricsQuantilesExposed: a finished job must surface the SLO view —
+// duration and queue-wait histograms with companion p50/p95/p99 quantile
+// gauges — in the Prometheus exposition.
+func TestMetricsQuantilesExposed(t *testing.T) {
+	leakcheck.Check(t)
+	_, ts := newTestServer(t, Config{Capacity: 1})
+	id := submit(t, ts, `{"n":48,"nb":8,"seed":1}`)
+	waitState(t, ts, id, StateDone)
+
+	resp, b := doReq(t, ts, http.MethodGet, "/metrics", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	out := string(b)
+	for _, want := range []string{
+		`serve_job_duration_seconds_bucket{le=`,
+		`serve_job_duration_seconds_quantile{outcome="done",quantile="0.5"}`,
+		`serve_job_duration_seconds_quantile{outcome="done",quantile="0.95"}`,
+		`serve_job_duration_seconds_quantile{outcome="done",quantile="0.99"}`,
+		`serve_queue_wait_seconds_quantile{quantile="0.5"}`,
+		"# TYPE serve_queue_depth gauge",
+		"# TYPE serve_lease_wait_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestObserveSLOMode: at observe=slo the server keeps its SLO telemetry
+// but drops every per-job artifact — no trace, no reliability summary,
+// and no job-labeled metric series.
+func TestObserveSLOMode(t *testing.T) {
+	leakcheck.Check(t)
+	_, ts := newTestServer(t, Config{Capacity: 1, Observe: ObserveSLO})
+	id := submit(t, ts, `{"n":48,"nb":8,"seed":2}`)
+	st := waitState(t, ts, id, StateDone)
+	if st.TraceID != "" || st.Reliability != nil {
+		t.Fatalf("slo mode leaked per-job artifacts: %+v", st)
+	}
+
+	resp, b := doReq(t, ts, http.MethodGet, "/v1/jobs/"+id+"/trace", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("trace in slo mode: %d, want 404", resp.StatusCode)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(b, &eb); err != nil || eb.Code != "no_trace" {
+		t.Fatalf("trace error body %s (err %v), want code no_trace", b, err)
+	}
+
+	resp, b = doReq(t, ts, http.MethodGet, "/metrics", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	out := string(b)
+	if strings.Contains(out, `job="`) {
+		t.Fatalf("slo mode exposed job-labeled series:\n%s", out)
+	}
+	if !strings.Contains(out, "serve_job_duration_seconds_quantile") {
+		t.Fatalf("slo mode lost its SLO quantiles:\n%s", out)
+	}
+}
+
+// TestForgetPrunesJobMetrics: forgetting a finished job must retire its
+// job-labeled series so registry cardinality tracks the live job table.
+func TestForgetPrunesJobMetrics(t *testing.T) {
+	leakcheck.Check(t)
+	_, ts := newTestServer(t, Config{Capacity: 1})
+	id := submit(t, ts, `{"n":48,"nb":8,"seed":4}`)
+	waitState(t, ts, id, StateDone)
+
+	_, b := doReq(t, ts, http.MethodGet, "/metrics", "")
+	if !strings.Contains(string(b), `job="`+id+`"`) {
+		t.Fatalf("full mode produced no job-labeled series for %s:\n%s", id, b)
+	}
+
+	resp, _ := doReq(t, ts, http.MethodDelete, "/v1/jobs/"+id, "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("forget: %d", resp.StatusCode)
+	}
+	_, b = doReq(t, ts, http.MethodGet, "/metrics", "")
+	if strings.Contains(string(b), `job="`+id+`"`) {
+		t.Fatalf("forgotten job still has metric series:\n%s", b)
+	}
+}
+
+// TestPprofGating: the profiler must be reachable only when explicitly
+// enabled.
+func TestPprofGating(t *testing.T) {
+	leakcheck.Check(t)
+	_, off := newTestServer(t, Config{Capacity: 1})
+	resp, _ := doReq(t, off, http.MethodGet, "/debug/pprof/", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof off: %d, want 404", resp.StatusCode)
+	}
+
+	_, on := newTestServer(t, Config{Capacity: 1, EnablePprof: true})
+	resp, b := doReq(t, on, http.MethodGet, "/debug/pprof/", "")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(b), "goroutine") {
+		t.Fatalf("pprof on: %d %q", resp.StatusCode, b)
+	}
+}

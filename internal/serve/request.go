@@ -85,8 +85,10 @@ type JobRequest struct {
 	// Devices, when > 0, leases that many whole devices from the server's
 	// farm (Config.Devices) and runs the multi-device pool path; the job
 	// waits until its subset is free. Requires a device algorithm
-	// ("ft"/"baseline", not symmetric). More devices than the farm holds
-	// is a 400.
+	// ("ft"/"baseline"). More devices than the farm holds is a 400 at
+	// submit; a symmetric multi-device job is accepted but fails with the
+	// typed unsupported error, which the result endpoint reports as a
+	// structured 400-class body (code "unsupported").
 	Devices int `json:"devices,omitempty"`
 	// Faults schedules transient-error injections (algorithm "ft" only).
 	Faults []FaultSpec `json:"faults,omitempty"`
@@ -137,13 +139,8 @@ func (r *JobRequest) validate(maxN int) error {
 	if r.Devices < 0 || r.Devices > maxDevices {
 		return fmt.Errorf("devices=%d out of range [0,%d]", r.Devices, maxDevices)
 	}
-	if r.Devices > 0 {
-		if r.Symmetric {
-			return errors.New("the symmetric path is host-only; devices must be 0")
-		}
-		if r.Algorithm == AlgCPU {
-			return errors.New("algorithm \"cpu\" cannot lease devices")
-		}
+	if r.Devices > 0 && r.Algorithm == AlgCPU {
+		return errors.New("algorithm \"cpu\" cannot lease devices")
 	}
 	if len(r.Faults) > maxFaults {
 		return fmt.Errorf("%d faults exceed the limit of %d", len(r.Faults), maxFaults)

@@ -23,6 +23,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/ft"
+	"repro/internal/ftsym"
 	"repro/internal/gpu"
 	"repro/internal/matrix"
 	"repro/internal/obs"
@@ -39,6 +41,21 @@ var (
 	// ever grant (no farm, or more than the farm holds) — a client error,
 	// surfaced as 400.
 	ErrDeviceRequest = errors.New("serve: invalid device request")
+)
+
+// Observation levels (Config.Observe). Both keep the SLO metrics and
+// the flight recorder's job lifecycle events; "full" adds the per-job
+// artifacts with their per-request cost.
+const (
+	// ObserveFull (the default) gives every job a trace ID, a wall-clock
+	// tracer, a stamped FT journal teed into the flight recorder, and
+	// job=<id> labels on the metric series its reduction emits.
+	ObserveFull = "full"
+	// ObserveSLO keeps only the request-anonymous telemetry: SLO
+	// histograms, aggregate counters, lifecycle flight events. Jobs have
+	// no trace, no journal, and emit unlabeled reduction series — the
+	// comparison arm of the instrumentation-overhead benchmark.
+	ObserveSLO = "slo"
 )
 
 // Config sizes a Server. Zero values pick the defaults.
@@ -65,6 +82,16 @@ type Config struct {
 	// Registry receives the serve_* metrics and the per-run reduction
 	// metrics of every job (a fresh registry if nil). Exposed at /metrics.
 	Registry *obs.Registry
+	// Observe selects the observation level: ObserveFull (default) or
+	// ObserveSLO.
+	Observe string
+	// FlightRecorderSize is the event capacity of the FT flight recorder
+	// dumped at /debug/events (default 256).
+	FlightRecorderSize int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// handler. Off by default: the profiler exposes internals and should
+	// only face operators.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +109,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
+	}
+	if c.Observe == "" {
+		c.Observe = ObserveFull
+	}
+	if c.FlightRecorderSize <= 0 {
+		c.FlightRecorderSize = 256
 	}
 	return c
 }
@@ -106,12 +139,23 @@ type Server struct {
 	gInflight *obs.Gauge
 	hSeconds  *obs.Histogram
 
+	// SLO telemetry: end-to-end job duration by outcome, time spent in
+	// the FIFO queue, time spent waiting on a device lease.
+	hQueueWait *obs.Histogram
+	hLeaseWait *obs.Histogram
+
+	// recorder is the bounded FT flight recorder: job lifecycle
+	// transitions plus (in ObserveFull) every journaled FT event, dumped
+	// at /debug/events.
+	recorder *obs.FlightRecorder
+
 	// Device farm (nil when Config.Devices == 0): devCh holds the free
 	// device indices; leaseMu serializes multi-device acquisition so two
 	// partial leases can never deadlock against each other.
 	devCh   chan int
 	leaseMu chan struct{}
 	gLeased *obs.Gauge
+	gFree   *obs.Gauge
 
 	// Test seams (nil outside tests): observe slot occupancy and mutate
 	// the per-job reduction options (e.g. to install a blocking hook).
@@ -132,6 +176,11 @@ func New(cfg Config) *Server {
 		gInflight: cfg.Registry.Gauge("serve_inflight"),
 		hSeconds: cfg.Registry.Histogram("serve_job_seconds",
 			[]float64{0.01, 0.05, 0.25, 1, 5, 30, 120, 600}),
+		hQueueWait: cfg.Registry.Histogram("serve_queue_wait_seconds",
+			[]float64{0.001, 0.01, 0.05, 0.25, 1, 5, 30, 120}),
+		hLeaseWait: cfg.Registry.Histogram("serve_lease_wait_seconds",
+			[]float64{0.001, 0.01, 0.05, 0.25, 1, 5, 30, 120}),
+		recorder: obs.NewFlightRecorder(cfg.FlightRecorderSize),
 	}
 	if cfg.Devices > 0 {
 		s.devCh = make(chan int, cfg.Devices)
@@ -140,6 +189,8 @@ func New(cfg Config) *Server {
 		}
 		s.leaseMu = make(chan struct{}, 1)
 		s.gLeased = cfg.Registry.Gauge("serve_devices_leased")
+		s.gFree = cfg.Registry.Gauge("serve_devices_free")
+		s.gFree.Set(float64(cfg.Devices))
 	}
 	s.wg.Add(cfg.Capacity)
 	for i := 0; i < cfg.Capacity; i++ {
@@ -190,6 +241,19 @@ func (s *Server) Submit(req *JobRequest, a *matrix.Matrix) (*Job, error) {
 	s.nextID++
 	j.ID = fmt.Sprintf("j%d", s.nextID)
 	s.jobs[j.ID] = j
+	if s.cfg.Observe == ObserveFull {
+		// Request-scoped observability: a trace with the lifecycle root
+		// span already open, and a journal that stamps every FT event with
+		// the job ID and tees it into the flight recorder.
+		j.traceID = obs.TraceID()
+		j.tracer = obs.NewTracer(j.traceID)
+		j.spanRoot = j.tracer.Start("job "+j.ID, 0)
+		j.spanQueued = j.tracer.Start("queued", j.spanRoot)
+		j.journal = obs.NewJournal()
+		j.journal.Stamp(j.ID)
+		j.journal.Tee(s.recorder)
+	}
+	s.recorder.Record(obs.FlightEvent{Kind: "job:queued", Job: j.ID})
 	s.gQueue.Add(1)
 	s.jobCounter("accepted").Inc()
 	return j, nil
@@ -223,7 +287,10 @@ func (s *Server) Cancel(id string) (state string, ok bool) {
 	case StateRunning:
 		j.cancel()
 	default:
+		// Forgetting a finished job also retires its job-labeled metric
+		// series, so registry cardinality tracks the live job table.
 		delete(s.jobs, id)
+		s.pruneJob(id)
 	}
 	return j.state, true
 }
@@ -290,16 +357,22 @@ func (s *Server) run(j *Job) {
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	j.queueWait = j.started.Sub(j.created)
 	s.gQueue.Add(-1)
 	s.inflight++
 	s.gInflight.Add(1)
 	s.mu.Unlock()
+	s.hQueueWait.Observe(j.queueWait.Seconds())
+	j.tracer.End(j.spanQueued)
+	j.spanRun = j.tracer.Start("run", j.spanRoot)
+	s.recorder.Record(obs.FlightEvent{Kind: "job:running", Job: j.ID})
 
 	if s.testBeforeRun != nil {
 		s.testBeforeRun(j)
 	}
 	res, err := s.execute(j)
 
+	j.tracer.End(j.spanRun)
 	s.mu.Lock()
 	s.inflight--
 	s.gInflight.Add(-1)
@@ -326,7 +399,23 @@ func (s *Server) finishLocked(j *Job, res *JobResult, err error) {
 	}
 	j.cancel()
 	close(j.done)
+	j.tracer.End(j.spanRoot)
 	s.jobCounter(j.state).Inc()
+	if isUncorrectable(err) {
+		s.reg.Counter("serve_jobs_uncorrectable_total").Inc()
+	}
+	fe := obs.FlightEvent{Kind: "job:" + j.state, Job: j.ID}
+	if err != nil {
+		fe.Detail = err.Error()
+	}
+	s.recorder.Record(fe)
+	// The SLO duration histogram covers executed jobs only; a job
+	// cancelled while still queued never ran and has no duration.
+	if !j.started.IsZero() {
+		s.reg.Histogram("serve_job_duration_seconds",
+			[]float64{0.01, 0.05, 0.25, 1, 5, 30, 120, 600},
+			obs.L("outcome", j.state)).Observe(j.finished.Sub(j.started).Seconds())
+	}
 }
 
 func (s *Server) jobCounter(status string) *obs.Counter {
@@ -357,6 +446,7 @@ func (s *Server) leaseDevices(ctx context.Context, k int) ([]int, error) {
 		}
 	}
 	s.gLeased.Add(float64(k))
+	s.gFree.Add(-float64(k))
 	return idx, nil
 }
 
@@ -366,15 +456,60 @@ func (s *Server) releaseDevices(idx []int) {
 	}
 }
 
+// isUncorrectable reports whether the job died because the FT machinery
+// could not repair a detected error (either reduction family).
+func isUncorrectable(err error) bool {
+	return errors.Is(err, ft.ErrUncorrectable) || errors.Is(err, ftsym.ErrUncorrectable)
+}
+
+// pruneJob retires every job-labeled metric series a forgotten job left
+// in the shared registry, keeping series cardinality bounded by the live
+// job table instead of the server's lifetime.
+func (s *Server) pruneJob(id string) {
+	s.reg.Prune(func(_ string, labels map[string]string) bool {
+		return labels["job"] == id
+	})
+}
+
+// traceContext builds the request-scoped observability handle handed to
+// the reduction stack (nil in ObserveSLO mode: no job labels, no spans).
+func (j *Job) traceContext() *obs.TraceContext {
+	if j.tracer == nil {
+		return nil
+	}
+	return &obs.TraceContext{Job: j.ID, Tracer: j.tracer, Parent: j.spanRun}
+}
+
 // execute runs the reduction for one job on the worker goroutine.
 func (s *Server) execute(j *Job) (*JobResult, error) {
 	req := j.req
+	trace := j.traceContext()
+	mode := gpu.Real
+	if req.CostOnly {
+		mode = gpu.CostOnly
+	}
 	if req.Symmetric {
-		res, err := core.ReduceSym(j.a, core.SymOptions{
+		symOpt := core.SymOptions{
 			Ctx: j.ctx, NB: req.NB,
 			FaultTolerant: req.algorithm() == AlgFT,
 			CostOnly:      req.CostOnly,
-		})
+			Obs:           s.reg,
+			Journal:       j.journal,
+			Trace:         trace,
+		}
+		if req.Devices > 0 {
+			// The symmetric reduction has no multi-device path; build the
+			// requested pool without leasing and let the core layer return
+			// its typed unsupported error (mapped to a structured 400 at
+			// the result endpoint). Leasing first would hold real devices
+			// for a request that can never use them.
+			devs := make([]*gpu.Device, req.Devices)
+			for i := range devs {
+				devs[i] = gpu.NewIndexed(sim.K40c(), mode, i)
+			}
+			symOpt.Devices = devs
+		}
+		res, err := core.ReduceSym(j.a, symOpt)
 		if err != nil {
 			return nil, err
 		}
@@ -389,6 +524,8 @@ func (s *Server) execute(j *Job) (*JobResult, error) {
 		DisableQProtection: req.DisableQProtection,
 		DisableOverlap:     req.DisableOverlap,
 		Obs:                s.reg,
+		Journal:            j.journal,
+		Trace:              trace,
 	}
 	switch req.algorithm() {
 	case AlgBaseline:
@@ -406,34 +543,49 @@ func (s *Server) execute(j *Job) (*JobResult, error) {
 		opt.Hook = fault.NewSchedule(plans...)
 	}
 	if opt.Algorithm != core.CPUOnly {
-		mode := gpu.Real
-		if req.CostOnly {
-			mode = gpu.CostOnly
-		}
 		if req.Devices > 0 {
 			// Lease whole devices from the farm; the job blocks here (not
 			// in the queue) until its subset is free, and returns it as
 			// soon as the reduction finishes or is cancelled.
+			leaseStart := time.Now()
+			leaseSpan := trace.Span("lease", j.spanRun)
 			idx, err := s.leaseDevices(j.ctx, req.Devices)
+			trace.EndSpan(leaseSpan)
+			lw := time.Since(leaseStart)
+			s.mu.Lock()
+			j.leaseWait = lw
+			s.mu.Unlock()
+			s.hLeaseWait.Observe(lw.Seconds())
 			if err != nil {
 				return nil, err
 			}
+			s.recorder.Record(obs.FlightEvent{Kind: "job:leased", Job: j.ID,
+				Detail: fmt.Sprintf("%d devices", len(idx))})
 			defer func() {
 				s.gLeased.Add(-float64(len(idx)))
+				s.gFree.Add(float64(len(idx)))
 				s.releaseDevices(idx)
 			}()
 			devs := make([]*gpu.Device, len(idx))
 			for i, ix := range idx {
 				devs[i] = gpu.NewIndexed(sim.K40c(), mode, ix)
+				if j.tracer != nil {
+					devs[i].EnableTrace()
+				}
 			}
 			opt.Devices = devs
 			j.setDevice(devs[0])
+			defer j.captureSimSpans(devs)
 		} else {
 			// A per-job device: its Phase() feeds the status endpoint while
 			// the reduction runs.
 			dev := gpu.New(sim.K40c(), mode)
+			if j.tracer != nil {
+				dev.EnableTrace()
+			}
 			opt.Device = dev
 			j.setDevice(dev)
+			defer j.captureSimSpans([]*gpu.Device{dev})
 		}
 	}
 	if s.testMutateOptions != nil {

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end observability smoke against a real fthessd.
+#
+# Builds the daemon, starts it, submits one FT job over HTTP, waits for it
+# to finish, and then asserts the observability surface this repo
+# promises for every served job:
+#   * /v1/jobs/{id}        reports state=done plus a trace_id and the
+#                          per-job FT reliability summary
+#   * /metrics             exposes serve_job_duration_seconds with its
+#                          companion p50/p95/p99 _quantile gauges
+#   * /v1/jobs/{id}/trace  serves a non-empty Chrome trace
+#   * /debug/events        holds the job's flight-recorder events
+#
+# Needs only bash + curl (no jq): JSON fields are pulled with grep.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT="${PORT:-18080}"
+BASE="http://127.0.0.1:${PORT}"
+BIN="$(mktemp -d)/fthessd"
+LOG="$(mktemp)"
+
+go build -o "$BIN" ./cmd/fthessd
+
+"$BIN" -addr "127.0.0.1:${PORT}" -capacity 1 &
+DPID=$!
+trap 'kill "$DPID" 2>/dev/null || true; wait "$DPID" 2>/dev/null || true' EXIT
+
+for i in $(seq 1 50); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  [ "$i" = 50 ] && { echo "fthessd never became healthy" >&2; exit 1; }
+  sleep 0.2
+done
+
+echo "== submit"
+SUB=$(curl -fsS -X POST "$BASE/v1/jobs" \
+  -d '{"n":64,"nb":8,"seed":3,"algorithm":"ft","faults":[{"area":2,"iter":1,"seed":9}]}')
+echo "$SUB"
+ID=$(echo "$SUB" | grep -o '"id": *"[^"]*"' | head -1 | sed 's/.*"id": *"\([^"]*\)".*/\1/')
+[ -n "$ID" ] || { echo "no job id in submit response" >&2; exit 1; }
+
+echo "== poll $ID"
+for i in $(seq 1 150); do
+  ST=$(curl -fsS "$BASE/v1/jobs/$ID")
+  case "$ST" in
+    *'"state": "done"'*) break ;;
+    *'"state": "failed"'*|*'"state": "cancelled"'*)
+      echo "job ended badly: $ST" >&2; exit 1 ;;
+  esac
+  [ "$i" = 150 ] && { echo "timeout waiting for job: $ST" >&2; exit 1; }
+  sleep 0.2
+done
+echo "$ST"
+echo "$ST" | grep -q '"trace_id"' || { echo "status has no trace_id" >&2; exit 1; }
+echo "$ST" | grep -q '"reliability"' || { echo "status has no reliability summary" >&2; exit 1; }
+echo "$ST" | grep -q '"detections": *[1-9]' || { echo "injected fault not detected" >&2; exit 1; }
+
+echo "== /metrics quantiles"
+METRICS=$(curl -fsS "$BASE/metrics")
+for want in \
+  'serve_job_duration_seconds_bucket' \
+  'serve_job_duration_seconds_quantile{outcome="done",quantile="0.5"}' \
+  'serve_job_duration_seconds_quantile{outcome="done",quantile="0.95"}' \
+  'serve_job_duration_seconds_quantile{outcome="done",quantile="0.99"}' \
+  'serve_queue_wait_seconds' \
+  'serve_queue_depth'
+do
+  echo "$METRICS" | grep -qF "$want" \
+    || { echo "/metrics missing: $want" >&2; exit 1; }
+done
+echo "$METRICS" | grep -F 'serve_job_duration_seconds_quantile'
+
+echo "== /v1/jobs/$ID/trace"
+TRACE=$(curl -fsS "$BASE/v1/jobs/$ID/trace")
+[ -n "$TRACE" ] || { echo "empty trace" >&2; exit 1; }
+echo "$TRACE" | grep -q '"ph":"X"' || { echo "trace has no slices" >&2; exit 1; }
+echo "$TRACE" | grep -q 'job lifecycle' || { echo "trace missing the lifecycle process" >&2; exit 1; }
+echo "$TRACE" | grep -q 'simulated device timeline' || { echo "trace missing the device process" >&2; exit 1; }
+echo "trace: $(echo "$TRACE" | grep -o '"ph":"X"' | wc -l) slices"
+
+echo "== /debug/events"
+EVENTS=$(curl -fsS "$BASE/debug/events")
+echo "$EVENTS" | grep -q '"kind": "job:done"' || { echo "flight recorder missing job:done" >&2; exit 1; }
+echo "$EVENTS" | grep -q '"kind": "ft:' || { echo "flight recorder missing FT events" >&2; exit 1; }
+
+echo "serve smoke: OK"
