@@ -14,6 +14,10 @@
 //	campaign ... -resume            # skips trials already in -out
 //	campaign -n 190 -devices 0,2,4  # sweep the device-pool axis too
 //	                                # (0 = single device, k = k-GPU pool)
+//	campaign -n 190 -schedule lookahead,serial
+//	                                # sweep the update-schedule axis
+//	                                # (coverage must not move: both
+//	                                # schedules are bit-identical)
 //
 // Exit codes: 0 — campaign ran, no silent corruption; 1 — campaign ran
 // and found silent corruption (the failure mode the scheme exists to
@@ -55,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	regions := fs.String("region", "all", "target region(s): all|h|q|panel, comma-separated sweep grid")
 	bits := fs.String("bits", "20..62", "flipped-bit range(s) min..max, comma-separated sweep grid")
 	devices := fs.String("devices", "0", "device-pool size(s), comma-separated sweep grid (0 = single device)")
+	schedules := fs.String("schedule", campaign.ScheduleLookahead, "update schedule(s): lookahead|serial, comma-separated sweep grid")
 	trials := fs.Int("trials", 50, "trials per sweep cell")
 	seed := fs.Uint64("seed", 1, "campaign seed (fixes every trial at any worker count)")
 	workers := fs.Int("workers", 1, "worker-pool width (results are identical at any value)")
@@ -90,6 +95,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if s.DeviceCounts, err = parseInts(*devices); err != nil {
 		return fail(stderr, err)
+	}
+	for _, f := range strings.Split(*schedules, ",") {
+		s.Schedules = append(s.Schedules, strings.TrimSpace(f))
 	}
 
 	if *resume && *out == "" {

@@ -25,13 +25,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|tableI|fig2|fig6|tableII|tableIII|ablation|breakdown|multierror|multigpu|trace|timeline|serveobs")
+	exp := flag.String("exp", "all", "experiment: all|tableI|fig2|fig6|tableII|tableIII|ablation|breakdown|multierror|multigpu|lookahead|trace|timeline|serveobs")
 	nb := flag.Int("nb", 32, "block size")
 	sizesFlag := flag.String("sizes", "", "comma-separated matrix sizes (overrides defaults)")
 	paper := flag.Bool("paper", false, "use the paper's full size grid for fig6 (cost-only, still fast)")
 	seed := flag.Uint64("seed", 158, "workload seed")
 	traceOut := flag.String("traceout", "", "write a Chrome trace JSON of the timeline experiment to this file")
 	serveObsOut := flag.String("serveobsout", "BENCH_serveobs.json", "artifact path for the serveobs experiment (empty to skip writing)")
+	lookaheadOut := flag.String("lookaheadout", "BENCH_lookahead.json", "artifact path for the lookahead experiment (empty to skip writing)")
 	flag.Parse()
 
 	params := sim.K40c()
@@ -85,6 +86,16 @@ func main() {
 				os.Exit(2)
 			}
 			bench.MultiGPUReport(out, art)
+		case "lookahead":
+			art, err := bench.Lookahead([]int{512, 1024, 2048}, []int{1, 2, 4}, *nb, params)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lookahead: %v\n", err)
+				os.Exit(2)
+			}
+			if err := bench.LookaheadReport(out, art, *lookaheadOut); err != nil {
+				fmt.Fprintf(os.Stderr, "lookahead: %v\n", err)
+				os.Exit(2)
+			}
 		case "trace":
 			bench.Trace(out, 158, *nb)
 		case "timeline":

@@ -126,6 +126,8 @@ func main() {
 	alg := flag.String("alg", "ft", "algorithm: ft|baseline|cpu")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	costOnly := flag.Bool("costonly", false, "model time only (no arithmetic)")
+	lookahead := flag.Bool("lookahead", true, "factor panel k+1 under trailing update k (bit-identical; modeled time only)")
+	noOverlap := flag.Bool("no-overlap", false, "disable the overlapped detection/update schedule (ft only)")
 	devices := flag.Int("devices", 0, "simulated GPU pool size (0 = single device; ft/baseline only)")
 	checksum := flag.Bool("checksum", false, "print a SHA-256 over the packed result and tau (bit-identical across -devices)")
 	inject := flag.String("inject", "", "inject one error: area1|area2|area3")
@@ -156,7 +158,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-devices %d must be >= 0\n", *devices)
 		os.Exit(2)
 	}
-	opt := core.Options{NB: *nb, CostOnly: *costOnly, DeviceCount: *devices}
+	opt := core.Options{
+		NB: *nb, CostOnly: *costOnly, DeviceCount: *devices,
+		DisableLookahead: !*lookahead, DisableOverlap: *noOverlap,
+	}
 	if *metricsPath != "" {
 		opt.Obs = obs.NewRegistry()
 		// Host BLAS throughput counters ride along in the same registry so

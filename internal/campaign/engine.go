@@ -68,19 +68,23 @@ func (s *Sweep) applyDevices(opt *ft.Options, k int) {
 }
 
 // baseKey identifies a clean-run baseline configuration.
-type baseKey struct{ n, nb, devices int }
+type baseKey struct {
+	n, nb, devices int
+	noLookahead    bool
+}
 
 // baselines runs one clean (no-injection) reduction per distinct
-// (N, NB, devices) and records its simulated makespan — the denominator
-// of each cell's recovery-overhead ratio. Serial and deterministic.
+// (N, NB, devices, schedule) and records its simulated makespan — the
+// denominator of each cell's recovery-overhead ratio. Serial and
+// deterministic.
 func (s *Sweep) baselines(cells []Cell) map[baseKey]float64 {
 	out := map[baseKey]float64{}
 	for _, c := range cells {
-		key := baseKey{c.N, c.NB, c.Devices}
+		key := baseKey{c.N, c.NB, c.Devices, c.NoLookahead}
 		if _, ok := out[key]; ok {
 			continue
 		}
-		opt := ft.Options{NB: c.NB}
+		opt := ft.Options{NB: c.NB, DisableLookahead: c.NoLookahead}
 		s.applyDevices(&opt, c.Devices)
 		res, err := ft.Reduce(s.matrixFor(c.N), opt)
 		if err == nil {
@@ -104,7 +108,8 @@ func (s *Sweep) runTrial(cell Cell, trial int, a *matrix.Matrix, journal *obs.Jo
 	rec := TrialRecord{
 		Cell: cell.Index, N: cell.N, NB: cell.NB, Lambda: cell.Lambda,
 		Region: cell.Region, MinBit: cell.MinBit, MaxBit: cell.MaxBit,
-		Devices: cell.Devices, Trial: trial, Seed: seed,
+		Devices: cell.Devices, NoLookahead: cell.NoLookahead,
+		Trial: trial, Seed: seed,
 	}
 	for _, p := range plans {
 		rec.Plans = append(rec.Plans, InjectionSummary{
@@ -120,9 +125,10 @@ func (s *Sweep) runTrial(cell Cell, trial int, a *matrix.Matrix, journal *obs.Jo
 		hook = in
 	}
 	opt := ft.Options{
-		NB:      cell.NB,
-		Hook:    hook,
-		Journal: journal,
+		NB:               cell.NB,
+		Hook:             hook,
+		Journal:          journal,
+		DisableLookahead: cell.NoLookahead,
 	}
 	s.applyDevices(&opt, cell.Devices)
 	res, err := ft.Reduce(a, opt)
@@ -192,9 +198,10 @@ func (s *Sweep) runTrials(cells []Cell) ([][]trialResult, error) {
 			if ok && rec.Err == "" {
 				if rec.N != cell.N || rec.NB != cell.NB || rec.Lambda != cell.Lambda ||
 					rec.Region != cell.Region || rec.MinBit != cell.MinBit || rec.MaxBit != cell.MaxBit ||
-					rec.Devices != cell.Devices {
-					return nil, fmt.Errorf("campaign: resume record for cell %d trial %d does not match the sweep grid (have N=%d nb=%d λ=%g %s bits %d..%d devices=%d)",
-						ci, t, rec.N, rec.NB, rec.Lambda, rec.Region, rec.MinBit, rec.MaxBit, rec.Devices)
+					rec.Devices != cell.Devices || rec.NoLookahead != cell.NoLookahead {
+					return nil, fmt.Errorf("campaign: resume record for cell %d trial %d does not match the sweep grid (have N=%d nb=%d λ=%g %s bits %d..%d devices=%d schedule=%s)",
+						ci, t, rec.N, rec.NB, rec.Lambda, rec.Region, rec.MinBit, rec.MaxBit, rec.Devices,
+						Cell{NoLookahead: rec.NoLookahead}.Schedule())
 				}
 				results[ci][t] = trialResult{record: rec, trial: rec.toTrial(), resumed: true}
 				completed[ci*nTrials+t] = true

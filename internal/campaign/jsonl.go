@@ -42,9 +42,13 @@ type TrialRecord struct {
 	// Devices is the cell's device-pool size (0 = the legacy
 	// single-device schedule); omitted from old records, which therefore
 	// resume-match only single-device cells.
-	Devices int    `json:"devices,omitempty"`
-	Trial   int    `json:"trial"`
-	Seed    uint64 `json:"seed"`
+	Devices int `json:"devices,omitempty"`
+	// NoLookahead marks a trial run with the depth-1 lookahead schedule
+	// disabled; omitted from old records and from default-schedule
+	// trials, which therefore resume-match only lookahead cells.
+	NoLookahead bool   `json:"no_lookahead,omitempty"`
+	Trial       int    `json:"trial"`
+	Seed        uint64 `json:"seed"`
 
 	Outcome string             `json:"outcome"`
 	Plans   []InjectionSummary `json:"plans,omitempty"`

@@ -16,8 +16,9 @@ import (
 
 // Cell is one grid point of a sweep: a fully specified fault-injection
 // configuration. Cells are numbered in canonical grid order (N outermost,
-// then NB, lambda, region, bit range, device count), and that numbering —
-// together with the sweep seed — fixes every trial's random stream.
+// then NB, lambda, region, bit range, device count, schedule), and that
+// numbering — together with the sweep seed — fixes every trial's random
+// stream.
 type Cell struct {
 	Index  int          `json:"cell"`
 	N      int          `json:"n"`
@@ -31,7 +32,30 @@ type Cell struct {
 	// (the multi-device path is bit-identical across pool sizes, so a
 	// devices axis separates substrate effects from fault coverage).
 	Devices int `json:"devices,omitempty"`
+	// NoLookahead disables the depth-1 lookahead for the cell's trials.
+	// The default schedule factors panel k+1 under trailing update k;
+	// both compute bit-identical results, so this axis separates the
+	// schedule's effect on modeled time from fault coverage — which the
+	// split checksum algebra must keep unchanged.
+	NoLookahead bool `json:"no_lookahead,omitempty"`
 }
+
+// Schedule names the cell's update schedule (ScheduleLookahead or
+// ScheduleSerial).
+func (c Cell) Schedule() string {
+	if c.NoLookahead {
+		return ScheduleSerial
+	}
+	return ScheduleLookahead
+}
+
+// The two update schedules a cell can run: the default depth-1 lookahead
+// and the serial (lookahead-off) order. Bit-identical results either way;
+// only the modeled time differs.
+const (
+	ScheduleLookahead = "lookahead"
+	ScheduleSerial    = "serial"
+)
 
 // Sweep runs a grid of campaign cells on a bounded worker pool.
 type Sweep struct {
@@ -49,6 +73,9 @@ type Sweep struct {
 	// DeviceCounts is the grid of simulated device-pool sizes (default
 	// {0} = the legacy single-device schedule; see Cell.Devices).
 	DeviceCounts []int
+	// Schedules is the grid of update schedules: ScheduleLookahead
+	// and/or ScheduleSerial (default {ScheduleLookahead}).
+	Schedules []string
 	// TrialsPerCell is the number of independent runs per cell (required).
 	TrialsPerCell int
 	// Seed fixes every trial's random stream (with the cell and trial
@@ -166,11 +193,14 @@ func (s *Sweep) cells() []Cell {
 				for _, reg := range s.Regions {
 					for _, br := range s.BitRanges {
 						for _, dk := range s.DeviceCounts {
-							out = append(out, Cell{
-								Index: len(out), N: n, NB: nb, Lambda: lam,
-								Region: reg, MinBit: br[0], MaxBit: br[1],
-								Devices: dk,
-							})
+							for _, sched := range s.Schedules {
+								out = append(out, Cell{
+									Index: len(out), N: n, NB: nb, Lambda: lam,
+									Region: reg, MinBit: br[0], MaxBit: br[1],
+									Devices:     dk,
+									NoLookahead: sched == ScheduleSerial,
+								})
+							}
 						}
 					}
 				}
@@ -228,6 +258,15 @@ func (s *Sweep) validate() error {
 			return fmt.Errorf("campaign: invalid device count %d", dk)
 		}
 	}
+	if len(s.Schedules) == 0 {
+		s.Schedules = []string{ScheduleLookahead}
+	}
+	for _, sched := range s.Schedules {
+		if sched != ScheduleLookahead && sched != ScheduleSerial {
+			return fmt.Errorf("campaign: unknown schedule %q (want %s or %s)",
+				sched, ScheduleLookahead, ScheduleSerial)
+		}
+	}
 	if s.ResidualTol <= 0 {
 		s.ResidualTol = 1e-12
 	}
@@ -262,7 +301,7 @@ func (s *Sweep) Run() (*SweepReport, error) {
 	}
 	baselines := s.baselines(cells)
 	for ci, cell := range cells {
-		cr := aggregateCell(cell, results[ci], baselines[baseKey{cell.N, cell.NB, cell.Devices}])
+		cr := aggregateCell(cell, results[ci], baselines[baseKey{cell.N, cell.NB, cell.Devices, cell.NoLookahead}])
 		if s.Triage {
 			for _, res := range results[ci] {
 				o := res.record.outcome()
@@ -351,11 +390,11 @@ func RunSweep(s *Sweep) (*SweepReport, error) {
 func (r *SweepReport) Print(w io.Writer) {
 	fmt.Fprintf(w, "Soft-error sweep campaign: %d cells × %d trials = %d trials, seed %d\n",
 		len(r.Cells), r.TrialsPerCell, r.TotalTrials, r.Seed)
-	fmt.Fprintf(w, "%6s %6s %4s %3s %7s %-6s %7s | %6s %6s %6s %6s %6s | %8s %9s %9s\n",
-		"cell", "N", "nb", "K", "lambda", "region", "bits", "clean", "recov", "benign", "corrpt", "uncorr", "coverage", "overhead", "worst-res")
+	fmt.Fprintf(w, "%6s %6s %4s %3s %-9s %7s %-6s %7s | %6s %6s %6s %6s %6s | %8s %9s %9s\n",
+		"cell", "N", "nb", "K", "sched", "lambda", "region", "bits", "clean", "recov", "benign", "corrpt", "uncorr", "coverage", "overhead", "worst-res")
 	for _, c := range r.Cells {
-		fmt.Fprintf(w, "%6d %6d %4d %3d %7.2f %-6s %3d..%2d | %6d %6d %6d %6d %6d | %7.1f%% %8.2f%% %9.2e\n",
-			c.Cell.Index, c.Cell.N, c.Cell.NB, c.Cell.Devices, c.Cell.Lambda, c.Cell.Region,
+		fmt.Fprintf(w, "%6d %6d %4d %3d %-9s %7.2f %-6s %3d..%2d | %6d %6d %6d %6d %6d | %7.1f%% %8.2f%% %9.2e\n",
+			c.Cell.Index, c.Cell.N, c.Cell.NB, c.Cell.Devices, c.Cell.Schedule(), c.Cell.Lambda, c.Cell.Region,
 			c.Cell.MinBit, c.Cell.MaxBit,
 			c.Outcome(CleanPass), c.Outcome(Recovered), c.Outcome(SilentBenign),
 			c.Outcome(SilentCorrupt), c.Outcome(Uncorrectable),

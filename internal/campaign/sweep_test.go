@@ -162,6 +162,91 @@ func TestSweepOverheadAndCoverage(t *testing.T) {
 	}
 }
 
+func TestSweepScheduleAxis(t *testing.T) {
+	// Two single-cell sweeps with the same seed, differing only in the
+	// schedule, run identical fault plans (trial seeds depend on the cell
+	// index, 0 in both). The lookahead schedule is bit-identical to the
+	// serial one, so every coverage-bearing field must match exactly —
+	// only the modeled time moves.
+	base := func(sched string, sink *bytes.Buffer) *Sweep {
+		return &Sweep{
+			Ns: []int{126}, NBs: []int{16}, Lambdas: []float64{1.5},
+			DeviceCounts: []int{2}, Schedules: []string{sched},
+			TrialsPerCell: 6, Seed: 13, Workers: 2, TrialSink: sink,
+		}
+	}
+	var laSink, serSink bytes.Buffer
+	la, err := RunSweep(base(ScheduleLookahead, &laSink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := RunSweep(base(ScheduleSerial, &serSink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, cs := la.Cells[0], ser.Cells[0]
+	if cl.ByName["silent-corrupt"] != 0 || cs.ByName["silent-corrupt"] != 0 {
+		t.Fatalf("silent corruption: lookahead %v, serial %v", cl.ByName, cs.ByName)
+	}
+	if cl.Coverage != cs.Coverage || cl.Detections != cs.Detections ||
+		cl.Recoveries != cs.Recoveries || cl.WorstResidual != cs.WorstResidual ||
+		!mapsEqual(cl.ByName, cs.ByName) {
+		t.Fatalf("detection coverage moved with the schedule:\nlookahead %+v\nserial    %+v", cl, cs)
+	}
+	if cl.FaultedTrials == 0 || cl.Detections == 0 {
+		t.Fatal("schedule-axis sweep exercised no faults")
+	}
+	// At this tiny order the lookahead's extra kernel launches outweigh
+	// the hidden panel (the win needs N in the thousands — see
+	// BENCH_lookahead.json), so only assert the schedules were measured
+	// against their own baselines, not which one is faster.
+	if cl.BaselineSimSeconds == cs.BaselineSimSeconds {
+		t.Fatalf("lookahead and serial cells share a baseline (%.4fs); want per-schedule baselines",
+			cl.BaselineSimSeconds)
+	}
+
+	// Resume compatibility: lookahead trials serialize without the
+	// no_lookahead field — exactly like pre-schedule-axis records — so
+	// old JSONL resumes a default-schedule sweep in full, and is
+	// rejected (not silently reused) against a serial grid.
+	if strings.Contains(laSink.String(), "no_lookahead") {
+		t.Fatal("default-schedule records carry no_lookahead; old JSONL would stop resuming")
+	}
+	if !strings.Contains(serSink.String(), `"no_lookahead":true`) {
+		t.Fatal("serial records do not carry no_lookahead")
+	}
+	resume, err := LoadTrialJSONL(strings.NewReader(laSink.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var appended bytes.Buffer
+	s := base(ScheduleLookahead, &appended)
+	s.Resume = resume
+	if _, err := RunSweep(s); err != nil {
+		t.Fatal(err)
+	}
+	if appended.Len() != 0 {
+		t.Fatalf("fully recorded sweep re-emitted %d bytes on resume", appended.Len())
+	}
+	s = base(ScheduleSerial, nil)
+	s.Resume = resume
+	if _, err := RunSweep(s); err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("lookahead records resumed into a serial grid: %v", err)
+	}
+}
+
+func mapsEqual(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
 func TestTriageCapturesJournal(t *testing.T) {
 	s := testSweep(1, nil)
 	if err := s.validate(); err != nil {

@@ -78,7 +78,11 @@ type Options struct {
 	FinalHCheck        bool
 	DisableQProtection bool
 	DisableOverlap     bool
-	Hook               ft.Hook
+	// DisableLookahead turns off the depth-1 lookahead schedule (panel
+	// k+1 factored under trailing update k) in both hybrid algorithms.
+	// Results are bit-identical either way; only modeled time changes.
+	DisableLookahead bool
+	Hook             ft.Hook
 	// Obs, when set, receives run metrics (per-phase timers, kernel-kind
 	// time, lane utilization, FT counters). Journal receives the typed
 	// fault-tolerance event stream. Both are ignored by CPUOnly.
@@ -211,8 +215,9 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 		hopt := hybrid.Options{
 			Ctx: opt.Ctx,
 			NB:  nb, DisableOverlap: opt.DisableOverlap,
-			Obs:   opt.Obs,
-			Trace: opt.Trace,
+			DisableLookahead: opt.DisableLookahead,
+			Obs:              opt.Obs,
+			Trace:            opt.Trace,
 		}
 		if pool != nil {
 			hopt.Devices = pool
@@ -236,6 +241,7 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 			FinalHCheck:        opt.FinalHCheck,
 			DisableQProtection: opt.DisableQProtection,
 			DisableOverlap:     opt.DisableOverlap,
+			DisableLookahead:   opt.DisableLookahead,
 			Hook:               opt.Hook,
 			Obs:                opt.Obs,
 			Journal:            opt.Journal,

@@ -60,6 +60,19 @@ type Shard struct {
 	lastGemv         []sim.Event
 	pendingGemv      []panelBatch
 
+	// Lookahead split state. PriorityUpdate applies the full right+left
+	// update chain to just the next panel's columns ahead of everything
+	// else; priSlab/priEnd mark those columns so RightUpdate/LeftUpdate
+	// skip them for the rest of the iteration (priSlab is -1 when no
+	// split is active). nextPanelSlab/nextPanelEv carry the priority
+	// chain's completion into the next iteration, where PanelD2H starts
+	// the panel offload there instead of after the whole trailing update.
+	priSlab, priEnd int
+	nextPanelSlab   int
+	nextPanelEv     sim.Event
+	vsumReady       []sim.Event
+	vsumHave        []bool
+
 	// Host staging.
 	stageCol  []*matrix.Matrix // per device: N × maxSlabs
 	stageWide []*matrix.Matrix // per device: (N+Pad) × maxSlabs·NB
@@ -90,6 +103,10 @@ func NewShard(pool *Pool, n, nb, pad int) *Shard {
 	sh.evT = make([]sim.Event, k)
 	sh.evY = make([]sim.Event, k)
 	sh.lastGemv = make([]sim.Event, k)
+	sh.priSlab = -1
+	sh.nextPanelSlab = -1
+	sh.vsumReady = make([]sim.Event, k)
+	sh.vsumHave = make([]bool, k)
 	sh.stageCol = make([]*matrix.Matrix, k)
 	sh.stageWide = make([]*matrix.Matrix, k)
 	for d, dev := range pool.Devices {
@@ -152,14 +169,32 @@ func (sh *Shard) Upload(hostA *matrix.Matrix) {
 	}
 }
 
+// later merges two completion times: in the timeline model an event is
+// purely an instant, so waiting on the later of two events waits on both.
+func later(a, b sim.Event) sim.Event {
+	if b.At > a.At {
+		return b
+	}
+	return a
+}
+
 // PanelD2H copies the lower part of the panel (rows k..n-1 of columns
-// p..p+ib-1) from the owning slab to the host and waits for it.
+// p..p+ib-1) from the owning slab to the host and waits for it. When the
+// previous iteration priority-updated exactly these columns, the copy
+// depends only on that priority chain — the slab's remainder update can
+// still be in flight on the compute stream (it touches disjoint columns),
+// which is what lets the host factorize panel k+1 under trailing update k.
 func (sh *Shard) PanelD2H(hostA *matrix.Matrix, p, k, ib int) {
 	ps := sh.Part.SlabOf(p)
 	dev := sh.Owner(ps)
 	sh.Pool.Issue(dev)
-	e := dev.D2HAsync(hostA.View(k, p, sh.N-k, ib), sh.SlabM[ps], k, p-sh.Part.Slabs[ps].Start, sh.Last[ps])
-	sh.Last[ps] = e
+	dep := sh.Last[ps]
+	if sh.nextPanelSlab == ps {
+		dep = sh.nextPanelEv
+		sh.nextPanelSlab = -1
+	}
+	e := dev.D2HAsync(hostA.View(k, p, sh.N-k, ib), sh.SlabM[ps], k, p-sh.Part.Slabs[ps].Start, dep)
+	sh.Last[ps] = later(sh.Last[ps], e)
 	sh.Pool.Wait(e)
 }
 
@@ -188,9 +223,20 @@ type panelBatch struct {
 // one GEMV per slab and returns its partial block in a single transfer.
 // The caller overlaps host work with the round trip and then calls
 // PanelGemvCollect.
-func (sh *Shard) PanelGemvIssue(hostA *matrix.Matrix, yCol, p, k, ib int) {
+//
+// With la the GEMVs run on each device's lookahead stream and do not wait
+// for the previous iteration's remainder update: the slab contents they
+// would see there are one trailing update stale, so each partial carries
+// correction terms against the still-broadcast previous V, T and Y
+// (w₁ = V_sᵀ·v and w₂ = (TᵀVᵀC)_s·v, then y_s += A_s·v − Y·w₁ − V·w₂ —
+// the lookahead GEMM restructuring), charged as extra stream time. The
+// eager arithmetic is issued after the remainder in program order, so the
+// corrected partial equals the non-lookahead one and results stay
+// bit-identical.
+func (sh *Shard) PanelGemvIssue(hostA *matrix.Matrix, yCol, p, k, ib int, la bool) {
 	n := sh.N
 	pool := sh.Pool
+	pp := pool.Params
 	c := p + yCol
 	vtail := hostA.View(p+ib, c, n-p-ib, 1)
 
@@ -210,14 +256,37 @@ func (sh *Shard) PanelGemvIssue(hostA *matrix.Matrix, yCol, p, k, ib int) {
 				up = dev.H2DAsync(sh.dVcol[d], 0, 0, vtail, sh.lastGemv[d])
 				first = false
 			}
-			kg := dev.Gemv(blas.NoTrans, n-k, cnt, 1, sh.SlabM[s], k, lo,
-				sh.dVcol[d], g-(p+ib), 0, 0, sh.dYpart[d], 0, len(active), up, sh.Last[s])
-			sh.Last[s] = kg
+			var kg sim.Event
+			if la {
+				// Per-slab correction contraction: w₁ₛ = V_sᵀ·v and
+				// w₂ₛ = S_sᵀ·v are small (cnt×ib) and fuse into the main
+				// GEMV's pass over the slab (extra operand streaming, no
+				// extra launch); applying Y·w₁ and V·w₂ happens once per
+				// device below, not per slab.
+				extra := 2 * (pp.GemvDevice(cnt, ib) - pp.KernelLaunchSec)
+				kg = dev.GemvLA(blas.NoTrans, n-k, cnt, extra, 1, sh.SlabM[s], k, lo,
+					sh.dVcol[d], g-(p+ib), 0, 0, sh.dYpart[d], 0, len(active),
+					up, sh.evVexp[d], sh.evY[d])
+				// The corrected read is an anti-dependency for this
+				// iteration's updates of the slab, not a serialization
+				// behind the previous remainder.
+				sh.Last[s] = later(sh.Last[s], kg)
+			} else {
+				kg = dev.Gemv(blas.NoTrans, n-k, cnt, 1, sh.SlabM[s], k, lo,
+					sh.dVcol[d], g-(p+ib), 0, 0, sh.dYpart[d], 0, len(active), up, sh.Last[s])
+				sh.Last[s] = kg
+			}
 			kgs = append(kgs, kg)
 			active = append(active, s)
 		}
 		if len(active) == 0 {
 			continue
+		}
+		if la {
+			// Apply the summed corrections to the device's partials:
+			// y_d −= Y·Σw₁ₛ + V·Σw₂ₛ — one fused kernel streaming both
+			// (n−k)×ib operands, once per device and column.
+			kgs = []sim.Event{dev.CustomLA(pp.GemvDevice(n-k, 2*ib), func() {}, kgs...)}
 		}
 		ev := dev.D2HAsync(sh.stageCol[d].View(0, 0, n-k, len(active)), sh.dYpart[d], 0, 0, kgs...)
 		sh.lastGemv[d] = ev
@@ -279,6 +348,10 @@ func (sh *Shard) Broadcast(hostA, tHost *matrix.Matrix, p, k, ib int) {
 	n := sh.N
 	pool := sh.Pool
 	pp := pool.Params
+
+	for d := range sh.vsumHave {
+		sh.vsumHave[d] = false
+	}
 
 	ps := sh.Part.SlabOf(p)
 	pdev := sh.Owner(ps)
@@ -418,11 +491,78 @@ func (sh *Shard) BroadcastY(yHost *matrix.Matrix, ib int) {
 	}
 }
 
+// vsumRow returns the event for device d's global V column-sum vector
+// (eᵀV, 1×ib), computing it at most once per iteration: the priority and
+// remainder left-update parts consume the same vector.
+func (sh *Shard) vsumRow(d int, dev *gpu.Device, vrows, ib int) sim.Event {
+	if !sh.vsumHave[d] {
+		sh.vsumReady[d] = dev.ColSums(sh.dVexp[d], 0, 0, vrows, ib, sh.dVsumRow[d], 0, 0, sh.evVexp[d])
+		sh.vsumHave[d] = true
+	}
+	return sh.vsumReady[d]
+}
+
+// PriorityUpdate applies the complete right+left trailing-update chain to
+// just the next panel's columns [p+ib, p+ib+ib2) on their owning device,
+// enqueued ahead of every remainder kernel — the depth-1 lookahead split.
+// The checksum algebra splits the same way: when the priority columns sit
+// in a non-panel halo slab, their checksum-row entries ride the priority
+// chain (row n of the right GEMM, plus the left chkrow GEMM restricted to
+// those columns), while the slab's checksum column — one vector spanning
+// every column of the slab — stays whole in the remainder. Per-element
+// arithmetic is exactly the unsplit kernels' restricted to disjoint column
+// ranges, so results are bit-identical to the non-lookahead schedule.
+//
+// RightUpdate/LeftUpdate skip the priority columns for the rest of this
+// iteration, and the next iteration's PanelD2H starts at the recorded
+// priority event instead of after the whole remainder.
+func (sh *Shard) PriorityUpdate(p, k, ib, ib2 int) {
+	n := sh.N
+	pool := sh.Pool
+	ps := sh.Part.SlabOf(p)
+	nextP := p + ib
+	ns := sh.Part.SlabOf(nextP)
+	d := sh.Part.Slabs[ns].Owner
+	dev := pool.Devices[d]
+	lo := nextP - sh.Part.Slabs[ns].Start
+	pool.Issue(dev)
+
+	// Right: the Vexp rows pairing with columns [nextP, nextP+ib2) start
+	// at row nextP−k — splitting the GEMM by output columns offsets the
+	// transposed operand's rows by the same amount.
+	rows := n
+	if sh.Pad > 0 && ns != ps {
+		rows = n + 1 // checksum row rides as row n (Y's row n is Yce)
+	}
+	e := dev.Gemm(blas.NoTrans, blas.Trans, rows, ib2, ib, -1,
+		sh.dYb[d], 0, 0, sh.dVexp[d], nextP-k, 0, 1, sh.SlabM[ns], 0, lo,
+		sh.evVexp[d], sh.evY[d], sh.Last[ns])
+
+	// Left: S = Tᵀ·Vᵀ·C over the priority columns only, then C −= V·S.
+	e = dev.Gemm(blas.Trans, blas.NoTrans, ib, ib2, n-k, 1,
+		sh.dVexp[d], 0, 0, sh.SlabM[ns], k, lo, 0, sh.dSbuf[d], 0, 0,
+		sh.evVexp[d], e)
+	e = dev.Trmm(blas.Left, blas.Upper, blas.Trans, blas.NonUnit, ib, ib2, 1,
+		sh.dTb[d], 0, 0, sh.dSbuf[d], 0, 0, sh.evT[d], e)
+	e = dev.Gemm(blas.NoTrans, blas.NoTrans, n-k, ib2, ib, -1,
+		sh.dVexp[d], 0, 0, sh.dSbuf[d], 0, 0, 1, sh.SlabM[ns], k, lo, e)
+	if sh.Pad > 0 && ns != ps {
+		e = dev.Gemm(blas.NoTrans, blas.NoTrans, 1, ib2, ib, -1,
+			sh.dVsumRow[d], 0, 0, sh.dSbuf[d], 0, 0, 1, sh.SlabM[ns], n, lo,
+			sh.vsumRow(d, dev, n-k, ib), e)
+	}
+	sh.Last[ns] = e
+	sh.priSlab, sh.priEnd = ns, nextP+ib2
+	sh.nextPanelSlab, sh.nextPanelEv = ns, e
+}
+
 // RightUpdate applies A := A − Y·Vexpᵀ to every slab's share of columns
 // k..n-1 on its owner. Non-panel slabs with Pad carry the halo through
 // the update: the checksum row rides as row n of the GEMM (Y's row n is
 // Yce) and the checksum column is updated with the slab's V column sums.
 // The panel slab is updated data-only (it is re-encoded afterwards).
+// Columns already covered by PriorityUpdate are skipped; their slab's
+// whole-slab checksum column update still runs here.
 func (sh *Shard) RightUpdate(p, k, ib int) {
 	n := sh.N
 	pool := sh.Pool
@@ -448,8 +588,13 @@ func (sh *Shard) RightUpdate(p, k, ib int) {
 					e = dev.Gemm(blas.NoTrans, blas.Trans, k, ib-1, ib, -1,
 						sh.dYb[d], 0, 0, sh.dVexp[d], 0, 0, 1, sh.SlabM[s], 0, k-sh.Part.Slabs[s].Start, deps...)
 				}
-				// ... and the trailing share, full data height, no halo.
-				if tLo, tCnt, tg, tok := sh.updRange(s, p+ib); tok {
+				// ... and the trailing share, full data height, no halo,
+				// starting past any priority-updated columns.
+				tFrom := p + ib
+				if s == sh.priSlab {
+					tFrom = sh.priEnd
+				}
+				if tLo, tCnt, tg, tok := sh.updRange(s, tFrom); tok {
 					e = dev.Gemm(blas.NoTrans, blas.Trans, n, tCnt, ib, -1,
 						sh.dYb[d], 0, 0, sh.dVexp[d], tg-k, 0, 1, sh.SlabM[s], 0, tLo,
 						sh.evVexp[d], sh.evY[d], e)
@@ -457,11 +602,21 @@ func (sh *Shard) RightUpdate(p, k, ib int) {
 				sh.Last[s] = e
 				continue
 			}
-			e := dev.Gemm(blas.NoTrans, blas.Trans, n+sh.Pad, cnt, ib, -1,
-				sh.dYb[d], 0, 0, sh.dVexp[d], g-k, 0, 1, sh.SlabM[s], 0, lo, deps...)
+			e := sh.Last[s]
+			dLo, dCnt, dg, dok := lo, cnt, g, true
+			if s == sh.priSlab {
+				dLo, dCnt, dg, dok = sh.updRange(s, sh.priEnd)
+			}
+			if dok {
+				e = dev.Gemm(blas.NoTrans, blas.Trans, n+sh.Pad, dCnt, ib, -1,
+					sh.dYb[d], 0, 0, sh.dVexp[d], dg-k, 0, 1, sh.SlabM[s], 0, dLo, deps...)
+			}
 			if sh.Pad > 0 {
-				// Column-sum vector of the slab's Vexp rows, then
-				// chkcol −= Y·vsumᵀ (row n of Y keeps the corner coherent).
+				// Column-sum vector of the slab's Vexp rows — always the
+				// slab's full column range, priority columns included: the
+				// checksum column is one vector spanning every column, so
+				// its update stays whole here — then chkcol −= Y·vsumᵀ
+				// (row n of Y keeps the corner coherent).
 				vs := dev.Gemv(blas.Trans, cnt, ib, 1, sh.dVexp[d], g-k, 0,
 					sh.dOnes[d], 0, 0, 0, sh.dVsumCol[d], 0, 0, sh.evVexp[d])
 				e = dev.Gemv(blas.NoTrans, n+1, ib, -1, sh.dYb[d], 0, 0,
@@ -484,20 +639,27 @@ func (sh *Shard) LeftUpdate(p, k, ib int) {
 
 	for d, dev := range pool.Devices {
 		issued := false
-		vsumReady := sim.Event{}
-		vsumDone := false
 		for _, s := range sh.DevSlabs[d] {
-			lo, cnt, _, ok := sh.updRange(s, p+ib)
-			if !ok {
-				continue
-			}
-			if !issued {
-				pool.Issue(dev)
-				issued = true
+			from := p + ib
+			if s == sh.priSlab {
+				from = sh.priEnd
 			}
 			pad := sh.Pad
 			if s == ps {
 				pad = 0
+			}
+			lo, cnt, _, ok := sh.updRange(s, from)
+			if !ok {
+				if pad == 0 || s != sh.priSlab {
+					continue
+				}
+				// The priority part covered every data column of the slab;
+				// the checksum column still transforms by the operator here.
+				lo, cnt = sh.Part.Slabs[s].Cols, 0
+			}
+			if !issued {
+				pool.Issue(dev)
+				issued = true
 			}
 			e := dev.Gemm(blas.Trans, blas.NoTrans, ib, cnt+pad, n-k, 1,
 				sh.dVexp[d], 0, 0, sh.SlabM[s], k, lo, 0, sh.dSbuf[d], 0, 0,
@@ -507,17 +669,15 @@ func (sh *Shard) LeftUpdate(p, k, ib int) {
 			e = dev.Gemm(blas.NoTrans, blas.NoTrans, n-k, cnt+pad, ib, -1,
 				sh.dVexp[d], 0, 0, sh.dSbuf[d], 0, 0, 1, sh.SlabM[s], k, lo, e)
 			if pad > 0 {
-				if !vsumDone {
-					vsumReady = dev.ColSums(sh.dVexp[d], 0, 0, n-k, ib, sh.dVsumRow[d], 0, 0, sh.evVexp[d])
-					vsumDone = true
-				}
 				// chkrow −= (eᵀV)·S, covering the chkcol column's corner too.
 				e = dev.Gemm(blas.NoTrans, blas.NoTrans, 1, cnt+pad, ib, -1,
-					sh.dVsumRow[d], 0, 0, sh.dSbuf[d], 0, 0, 1, sh.SlabM[s], n, lo, vsumReady, e)
+					sh.dVsumRow[d], 0, 0, sh.dSbuf[d], 0, 0, 1, sh.SlabM[s], n, lo,
+					sh.vsumRow(d, dev, n-k, ib), e)
 			}
 			sh.Last[s] = e
 		}
 	}
+	sh.priSlab = -1
 }
 
 // Gather copies every slab's full data region back to the host matrix

@@ -187,6 +187,15 @@ type Options struct {
 	// DisableOverlap serializes the finished-block transfer with the
 	// trailing update (ablation).
 	DisableOverlap bool
+	// DisableLookahead turns off the depth-1 lookahead schedule and
+	// reverts to the fully serialized iteration (ablation). Under
+	// lookahead — the default — each trailing update (and the Sre/Sce
+	// checksum-maintenance algebra riding on it) is split into a priority
+	// part covering only the next panel's columns and a remainder part,
+	// so the next panel's offload and host factorization overlap the
+	// remainder. Detection stays at every iteration boundary and the
+	// results are bit-identical either way.
+	DisableLookahead bool
 	// DisableQProtection turns off the host-side Q checksums (ablation).
 	DisableQProtection bool
 	// FinalHCheck adds a whole-matrix fresh-vs-maintained checksum sweep
@@ -276,6 +285,12 @@ type reducer struct {
 	// checksum-row segment.
 	ckPanel  *matrix.Matrix
 	ckChkRow *matrix.Matrix
+	// lookahead schedule: la mirrors !Options.DisableLookahead, and
+	// panelReady is the completion event of the priority part of the most
+	// recent trailing update — the earliest instant the next panel's
+	// columns (checksum-row segment included) are final on the device.
+	la         bool
+	panelReady sim.Event
 	// thresholds
 	normA1 float64
 	tauDet float64
@@ -375,6 +390,7 @@ func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) 
 	r := &reducer{
 		opt:   opt,
 		dev:   dev,
+		la:    !opt.DisableLookahead,
 		n:     n,
 		nb:    nb,
 		hostA: a.Clone(),
@@ -474,7 +490,7 @@ func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) 
 				// propagating until the single end-of-run detection.
 				break
 			}
-			if !r.detectAt(iter) {
+			if !r.detectAt(iter, prevLeft) {
 				break
 			}
 			r.res.Detections++
@@ -500,7 +516,7 @@ func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) 
 	// Post-processing comparator: one detection at the end; a propagated
 	// error cannot be located and corrected anymore, so recovery means
 	// re-executing the entire factorization with per-iteration checks.
-	if opt.PostProcess && iter > 0 && r.detectAt(iter) {
+	if opt.PostProcess && iter > 0 && r.detectAt(iter, prevLeft) {
 		r.res.Detections++
 		r.count("ft_detections_total")
 		det := obs.Ev(obs.KindDetection, iter)
@@ -594,6 +610,21 @@ func (r *reducer) iteration(iter, p, ib int, prevLeft sim.Event, redo bool) (sim
 	k := p + 1
 	pp := dev.Params
 
+	// Under lookahead the panel's offload and host factorization overlap
+	// the previous iteration's remainder update: the offload waits only
+	// for the priority part (panelReady), and the hidden work is reported
+	// under its own phase. A re-execution reads the checkpoint instead,
+	// with the whole previous attempt already reversed, so it never hides.
+	hidden := r.la && iter > 0 && !redo
+	panelPhase := "panel"
+	if hidden {
+		panelPhase = "panel_hidden"
+	}
+	panelDep := prevLeft
+	if r.la {
+		panelDep = r.panelReady
+	}
+
 	if redo {
 		// Retrieve the pre-factorized panel from the diskless checkpoint
 		// (host memory), as the paper's recovery procedure does.
@@ -611,9 +642,9 @@ func (r *reducer) iteration(iter, p, ib int, prevLeft sim.Event, redo bool) (sim
 		// transfers the full column height: the extra top rows are the
 		// diskless checkpoint of the data the device-side right update
 		// will overwrite.
-		dev.SetPhase("panel")
+		dev.SetPhase(panelPhase)
 		panel := r.hostA.View(0, p, n, ib)
-		dev.Sync(dev.D2HAsync(panel, r.dA, 0, p, prevLeft))
+		dev.Sync(dev.D2HAsync(panel, r.dA, 0, p, panelDep))
 		dev.SetPhase("checkpoint")
 		dev.HostOp(pp.VecHost(n*ib), func() {
 			r.ckPanel.View(0, 0, n, ib).CopyFrom(panel)
@@ -621,7 +652,7 @@ func (r *reducer) iteration(iter, p, ib int, prevLeft sim.Event, redo bool) (sim
 		// Checkpoint the checksum-row segment of the panel columns, which
 		// the end-of-iteration refresh overwrites.
 		ckSeg := r.ckChkRow.View(0, 0, 1, ib)
-		dev.Sync(dev.D2HAsync(ckSeg, r.dA, n, p, prevLeft))
+		dev.Sync(dev.D2HAsync(ckSeg, r.dA, n, p, panelDep))
 		r.count("ft_checkpoints_total")
 		r.res.Checkpoints++
 		ck := obs.Ev(obs.KindCheckpointSave, iter)
@@ -631,8 +662,8 @@ func (r *reducer) iteration(iter, p, ib int, prevLeft sim.Event, redo bool) (sim
 
 	// Line 5: hybrid panel factorization (CPU + device GEMV), identical to
 	// the non-fault-tolerant algorithm.
-	dev.SetPhase("panel")
-	if err := hybrid.PanelFactor(dev, r.hostA, r.yHost, r.tHost, r.tau, r.dataView(), r.dVcol, r.dYcol, n, p, k, ib); err != nil {
+	dev.SetPhase(panelPhase)
+	if err := hybrid.PanelFactor(dev, r.hostA, r.yHost, r.tHost, r.tau, r.dataView(), r.dVcol, r.dYcol, n, p, k, ib, hidden); err != nil {
 		return prevLeft, err
 	}
 
@@ -643,11 +674,14 @@ func (r *reducer) iteration(iter, p, ib int, prevLeft sim.Event, redo bool) (sim
 		r.qprot.absorbPanel(dev, pp, r.hostA, p, ib)
 	}
 
-	// Upload the factored panel, Y's lower rows, and T.
+	// Upload the factored panel, Y's lower rows, and T. The panel columns
+	// belong to the previous priority part, so that copy is free to land;
+	// dY/dT are still read by the in-flight remainder kernels and must
+	// wait for them (prevLeft) — a no-op when nothing overlaps.
 	dev.SetPhase("right_update")
 	dev.H2D(r.dA, k, p, r.hostA.View(k, p, n-k, ib))
-	dev.H2D(r.dY, k, 0, r.yHost.View(k, 0, n-k, ib))
-	dev.H2D(r.dT, 0, 0, r.tHost.View(0, 0, ib, ib))
+	dev.Sync(dev.H2DAsync(r.dY, k, 0, r.yHost.View(k, 0, n-k, ib), prevLeft))
+	dev.Sync(dev.H2DAsync(r.dT, 0, 0, r.tHost.View(0, 0, ib, ib), prevLeft))
 
 	// Line 7: column sums of V (unit-diagonal aware), Vce's extension row.
 	dev.SetPhase("checksum_maintenance")
@@ -687,24 +721,50 @@ func (r *reducer) iteration(iter, p, ib int, prevLeft sim.Event, redo bool) (sim
 	}
 
 	// Lines 8 and 10: right update of Mre (top rows + checksum handling)
-	// and Gfe (lower rows + checksum row), with the EI corner trick.
+	// and Gfe (lower rows + checksum row), with the EI corner trick. Under
+	// lookahead the update — and the checksum-row maintenance riding on it
+	// — is split column-wise: a priority part covering only the next
+	// panel's ib2 columns (all n+1 extended rows) completes first and
+	// gates the next panel offload; the remainder streams behind it. The
+	// checksum COLUMN's Gemv stays whole inside the remainder so its
+	// summation order, and hence the Sre/Sce comparison, is untouched.
 	dev.SetPhase("right_update")
 	ei := r.hostA.At(p+ib, p+ib-1)
 	e1 := dev.Set(r.dA, p+ib, p+ib-1, 1, ytopDone, ychkDone)
-	eM := dev.Gemm(blas.NoTrans, blas.Trans, k, n-p-ib, ib, -1, r.dY, 0, 0, r.dA, p+ib, p, 1, r.dA, 0, p+ib, e1)
-	// G rows k..n-1 plus the checksum row n in one GEMM (dY row n = Yce).
-	eG := dev.Gemm(blas.NoTrans, blas.Trans, n+1-k, n-p-ib, ib, -1, r.dY, k, 0, r.dA, p+ib, p, 1, r.dA, k, p+ib, eM, chkSegDone)
-	// Checksum column under the right update: Ace −= Y·(Vᵀe).
-	dev.SetPhase("checksum_maintenance")
-	eCk := dev.Gemv(blas.NoTrans, n, ib, -1, r.dY, 0, 0, r.dVsum, 0, 0, 1, r.dA, 0, n, eG)
-	dev.SetPhase("right_update")
-	eC := dev.Set(r.dA, p+ib, p+ib-1, ei, eCk)
+	var left sim.Event
+	if ib2 := min(ib, n-1-(p+ib)); r.la && n-1-(p+ib) > max(r.nb, 2) {
+		// Priority: next panel's columns, top rows then rows k..n.
+		eMp := dev.Gemm(blas.NoTrans, blas.Trans, k, ib2, ib, -1, r.dY, 0, 0, r.dA, p+ib, p, 1, r.dA, 0, p+ib, e1)
+		eGp := dev.Gemm(blas.NoTrans, blas.Trans, n+1-k, ib2, ib, -1, r.dY, k, 0, r.dA, p+ib, p, 1, r.dA, k, p+ib, eMp, chkSegDone)
+		dev.SetPhase("left_update")
+		r.panelReady = r.leftUpdateCols(p, ib, 0, ib2, eGp)
+		// Remainder: every other trailing column plus the checksum column.
+		dev.SetPhase("right_update")
+		eM := dev.Gemm(blas.NoTrans, blas.Trans, k, n-p-ib-ib2, ib, -1, r.dY, 0, 0, r.dA, p+ib+ib2, p, 1, r.dA, 0, p+ib+ib2, e1)
+		eG := dev.Gemm(blas.NoTrans, blas.Trans, n+1-k, n-p-ib-ib2, ib, -1, r.dY, k, 0, r.dA, p+ib+ib2, p, 1, r.dA, k, p+ib+ib2, eM, chkSegDone)
+		dev.SetPhase("checksum_maintenance")
+		eCk := dev.Gemv(blas.NoTrans, n, ib, -1, r.dY, 0, 0, r.dVsum, 0, 0, 1, r.dA, 0, n, eG)
+		dev.SetPhase("right_update")
+		eC := dev.Set(r.dA, p+ib, p+ib-1, ei, eCk)
+		dev.SetPhase("left_update")
+		left = r.leftUpdateCols(p, ib, ib2, n-p-ib+1, eC)
+	} else {
+		eM := dev.Gemm(blas.NoTrans, blas.Trans, k, n-p-ib, ib, -1, r.dY, 0, 0, r.dA, p+ib, p, 1, r.dA, 0, p+ib, e1)
+		// G rows k..n-1 plus the checksum row n in one GEMM (dY row n = Yce).
+		eG := dev.Gemm(blas.NoTrans, blas.Trans, n+1-k, n-p-ib, ib, -1, r.dY, k, 0, r.dA, p+ib, p, 1, r.dA, k, p+ib, eM, chkSegDone)
+		// Checksum column under the right update: Ace −= Y·(Vᵀe).
+		dev.SetPhase("checksum_maintenance")
+		eCk := dev.Gemv(blas.NoTrans, n, ib, -1, r.dY, 0, 0, r.dVsum, 0, 0, 1, r.dA, 0, n, eG)
+		dev.SetPhase("right_update")
+		eC := dev.Set(r.dA, p+ib, p+ib-1, ei, eCk)
 
-	// Line 11: left update of trail(A)fe — data columns p+ib..n-1 plus the
-	// checksum column (col n), with the checksum row updated through the
-	// retained intermediate S.
-	dev.SetPhase("left_update")
-	left := r.leftUpdate(p, ib, eC)
+		// Line 11: left update of trail(A)fe — data columns p+ib..n-1 plus
+		// the checksum column (col n), with the checksum row updated
+		// through the retained intermediate S.
+		dev.SetPhase("left_update")
+		left = r.leftUpdate(p, ib, eC)
+		r.panelReady = left
+	}
 	if r.opt.DisableOverlap {
 		dev.SetPhase("d2h_overlap")
 		dev.Sync(dev.D2HAsync(finished, r.dA, 0, p, aDone, left))
@@ -789,28 +849,38 @@ func (r *reducer) kernPanelColSums(p, ib int, deps ...sim.Event) sim.Event {
 // the checksum row gets the Vce extension. The intermediate S = (CᵀV)·T
 // is retained in dS for reverse computation.
 func (r *reducer) leftUpdate(p, ib int, dep sim.Event) sim.Event {
+	return r.leftUpdateCols(p, ib, 0, r.n-p-ib+1, dep)
+}
+
+// leftUpdateCols is the left update restricted to trailing columns
+// [lo, hi) — column c here means global column p+ib+c, with c =
+// n-p-ib addressing the checksum column. Each part builds its own rows
+// of S, so S's row c always holds column c's intermediate regardless of
+// how the update was split, and the recovery reversal (a full-range
+// call) reads the exact values the forward pass retained.
+func (r *reducer) leftUpdateCols(p, ib, lo, hi int, dep sim.Event) sim.Event {
 	dev := r.dev
 	n, k := r.n, p+1
-	nc := n - p - ib + 1 // trailing data columns plus the checksum column
+	cnt := hi - lo
 
-	// S := C1ᵀ·V1 + C2ᵀ·V2  (nc×ib), C = dA(k:n-1, p+ib..n).
-	e := dev.Custom(dev.Params.KernelLaunchSec+16*float64(nc)*float64(ib)/(dev.Params.GPUBandwidthGBps*1e9), func() {
+	// S[lo:hi] := C1ᵀ·V1 + C2ᵀ·V2  (cnt×ib), C = dA(k:n-1, p+ib+lo..p+ib+hi).
+	e := dev.Custom(dev.Params.KernelLaunchSec+16*float64(cnt)*float64(ib)/(dev.Params.GPUBandwidthGBps*1e9), func() {
 		for j := 0; j < ib; j++ {
-			blas.Dcopy(nc, r.dA.Data[(p+ib)*r.dA.Stride+k+j:], r.dA.Stride, r.dS.Data[j*r.dS.Stride:], 1)
+			blas.Dcopy(cnt, r.dA.Data[(p+ib+lo)*r.dA.Stride+k+j:], r.dA.Stride, r.dS.Data[j*r.dS.Stride+lo:], 1)
 		}
 	}, dep)
-	e = dev.Trmm(blas.Right, blas.Lower, blas.NoTrans, blas.Unit, nc, ib, 1, r.dA, k, p, r.dS, 0, 0, e)
+	e = dev.Trmm(blas.Right, blas.Lower, blas.NoTrans, blas.Unit, cnt, ib, 1, r.dA, k, p, r.dS, lo, 0, e)
 	if n-k > ib {
-		e = dev.Gemm(blas.Trans, blas.NoTrans, nc, ib, n-k-ib, 1, r.dA, k+ib, p+ib, r.dA, k+ib, p, 1, r.dS, 0, 0, e)
+		e = dev.Gemm(blas.Trans, blas.NoTrans, cnt, ib, n-k-ib, 1, r.dA, k+ib, p+ib+lo, r.dA, k+ib, p, 1, r.dS, lo, 0, e)
 	}
 	// S := S·T  (Hᵀ uses T here; see lapack.Dlarfb's TRANST convention).
-	e = dev.Trmm(blas.Right, blas.Upper, blas.NoTrans, blas.NonUnit, nc, ib, 1, r.dT, 0, 0, r.dS, 0, 0, e)
+	e = dev.Trmm(blas.Right, blas.Upper, blas.NoTrans, blas.NonUnit, cnt, ib, 1, r.dT, 0, 0, r.dS, lo, 0, e)
 	// C := C sign·V·Sᵀ, split as in DLARFB because V's stored upper
 	// triangle holds H data, not zeros.
-	e = r.applyVS(p, ib, -1, e)
+	e = r.applyVSCols(p, ib, lo, hi, -1, e)
 	// Checksum row: chkrow(j) −= S[j,:]·vsum for the data columns.
 	prevPhase := dev.SetPhase("checksum_maintenance")
-	e = r.kernChkRowLeft(p, ib, -1, e)
+	e = r.kernChkRowLeftCols(p, ib, lo, hi, -1, e)
 	dev.SetPhase(prevPhase)
 	return e
 }
@@ -819,22 +889,28 @@ func (r *reducer) leftUpdate(p, ib int, dep sim.Event) sim.Event {
 // the retained S, honoring V's implicit unit lower-triangular leading
 // block. sign=-1 is the forward left update; sign=+1 reverses it.
 func (r *reducer) applyVS(p, ib int, sign float64, dep sim.Event) sim.Event {
+	return r.applyVSCols(p, ib, 0, r.n-p-ib+1, sign, dep)
+}
+
+// applyVSCols is applyVS restricted to trailing columns [lo, hi), using
+// S rows [lo, hi) and the matching rows of the W workspace.
+func (r *reducer) applyVSCols(p, ib, lo, hi int, sign float64, dep sim.Event) sim.Event {
 	dev := r.dev
 	n, k := r.n, p+1
-	nc := n - p - ib + 1
+	cnt := hi - lo
 	// C2 (rows ib..) gets the dense part: C2 += sign·V2·Sᵀ.
 	e := dep
 	if n-k > ib {
-		e = dev.Gemm(blas.NoTrans, blas.Trans, n-k-ib, nc, ib, sign, r.dA, k+ib, p, r.dS, 0, 0, 1, r.dA, k+ib, p+ib, e)
+		e = dev.Gemm(blas.NoTrans, blas.Trans, n-k-ib, cnt, ib, sign, r.dA, k+ib, p, r.dS, lo, 0, 1, r.dA, k+ib, p+ib+lo, e)
 	}
 	// C1 (rows 0..ib-1): W := S·V1ᵀ (unit lower), then C1 += sign·Wᵀ.
-	e = dev.CopyBlock(r.dW, 0, 0, r.dS, 0, 0, nc, ib, e)
-	e = dev.Trmm(blas.Right, blas.Lower, blas.Trans, blas.Unit, nc, ib, 1, r.dA, k, p, r.dW, 0, 0, e)
-	cost := dev.Params.KernelLaunchSec + 24*float64(nc)*float64(ib)/(dev.Params.GPUBandwidthGBps*1e9)
+	e = dev.CopyBlock(r.dW, lo, 0, r.dS, lo, 0, cnt, ib, e)
+	e = dev.Trmm(blas.Right, blas.Lower, blas.Trans, blas.Unit, cnt, ib, 1, r.dA, k, p, r.dW, lo, 0, e)
+	cost := dev.Params.KernelLaunchSec + 24*float64(cnt)*float64(ib)/(dev.Params.GPUBandwidthGBps*1e9)
 	dA, dW := r.dA, r.dW
 	return dev.Custom(cost, func() {
 		for j := 0; j < ib; j++ {
-			for i := 0; i < nc; i++ {
+			for i := lo; i < hi; i++ {
 				dA.Data[(p+ib+i)*dA.Stride+k+j] += sign * dW.Data[j*dW.Stride+i]
 			}
 		}
@@ -844,13 +920,21 @@ func (r *reducer) applyVS(p, ib int, sign float64, dep sim.Event) sim.Event {
 // kernChkRowLeft applies sign·(eᵀV)·Tᵀ·Vᵀ·C to the checksum-row entries of
 // the trailing data columns, using the retained intermediate S.
 func (r *reducer) kernChkRowLeft(p, ib int, sign float64, deps ...sim.Event) sim.Event {
+	return r.kernChkRowLeftCols(p, ib, 0, r.n-p-ib, sign, deps...)
+}
+
+// kernChkRowLeftCols is kernChkRowLeft over trailing columns [lo, hi),
+// clamped to the data columns (the checksum column has no row entry).
+func (r *reducer) kernChkRowLeftCols(p, ib, lo, hi int, sign float64, deps ...sim.Event) sim.Event {
 	dev := r.dev
 	n := r.n
-	ndata := n - p - ib // data columns only (exclude the checksum column)
-	cost := dev.Params.GemvDevice(ndata, ib)
+	if ndata := n - p - ib; hi > ndata {
+		hi = ndata
+	}
+	cost := dev.Params.GemvDevice(hi-lo, ib)
 	dA, dS, dVsum := r.dA, r.dS, r.dVsum
 	return dev.Custom(cost, func() {
-		for j := 0; j < ndata; j++ {
+		for j := lo; j < hi; j++ {
 			s := 0.0
 			for l := 0; l < ib; l++ {
 				s += dS.Data[l*dS.Stride+j] * dVsum.Data[l]

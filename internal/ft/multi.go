@@ -62,6 +62,10 @@ type multiReducer struct {
 	normA1  float64
 	tauDet  float64
 	lastGap float64
+	// la enables depth-1 lookahead: panel k+1's columns are priority-
+	// updated and its factorization overlaps the remainder update, with
+	// boundary detection running optimistically (see detectSweep).
+	la bool
 
 	qprot *qChecksums
 	res   *Result
@@ -137,6 +141,7 @@ func reduceMulti(a *matrix.Matrix, opt Options) (*Result, error) {
 		hostA: a.Clone(),
 		tau:   make([]float64, max(n-1, 1)),
 		res:   &Result{N: n, NB: nb},
+		la:    !opt.DisableLookahead,
 	}
 	r.res.Packed = r.hostA
 	r.res.Tau = r.tau
@@ -210,9 +215,17 @@ func reduceMulti(a *matrix.Matrix, opt Options) (*Result, error) {
 			}
 		}
 
-		pool.SetPhase("panel")
+		// After the first iteration of a lookahead run the panel's columns
+		// were priority-updated ahead of the remainder, so the offload and
+		// the host factorization hide under the in-flight trailing update.
+		hidden := r.la && iter > 0
+		if hidden {
+			pool.SetPhase("panel_hidden")
+		} else {
+			pool.SetPhase("panel")
+		}
 		sh.PanelD2H(r.hostA, p, k, ib)
-		if err := hybrid.PanelFactorMulti(sh, r.hostA, r.yHost, r.tHost, r.tau, n, p, k, ib); err != nil {
+		if err := hybrid.PanelFactorMulti(sh, r.hostA, r.yHost, r.tHost, r.tau, n, p, k, ib, hidden); err != nil {
 			return r.res, err
 		}
 
@@ -229,6 +242,9 @@ func reduceMulti(a *matrix.Matrix, opt Options) (*Result, error) {
 		sh.Broadcast(r.hostA, r.tHost, p, k, ib)
 		sh.YTop(r.yHost, r.tHost, p, k, ib)
 		sh.BroadcastY(r.yHost, ib)
+		if r.la && n-1-(p+nb) > nx {
+			sh.PriorityUpdate(p, k, ib, nb)
+		}
 		sh.RightUpdate(p, k, ib)
 		pool.SetPhase("left_update")
 		sh.LeftUpdate(p, k, ib)
@@ -400,11 +416,23 @@ func (r *multiReducer) detectSweep(iter, p int) []int {
 		if len(active) == 0 {
 			continue
 		}
-		ev := dev.D2HAsync(r.chkHost[d].View(0, 0, 3, len(active)), r.dChk[d], 0, 0, kgs...)
+		var ev sim.Event
+		if r.la {
+			// Lookahead: the verdict rides the compute stream's tail
+			// (device-mapped read), naturally behind the update kernels
+			// that produce the totals, without occupying the copy engine —
+			// an async copy depending on the whole remainder would make
+			// the next panel offload queue behind it.
+			ev = dev.D2HTail(r.chkHost[d].View(0, 0, 3, len(active)), r.dChk[d], 0, 0, kgs...)
+		} else {
+			ev = dev.D2HAsync(r.chkHost[d].View(0, 0, 3, len(active)), r.dChk[d], 0, 0, kgs...)
+		}
 		batches = append(batches, devBatch{ev: ev, d: d, active: active})
 	}
-	for _, b := range batches {
-		pool.Wait(b.ev)
+	if !r.la {
+		for _, b := range batches {
+			pool.Wait(b.ev)
+		}
 	}
 	r.count("ft_checksum_checks_total")
 
@@ -424,6 +452,16 @@ func (r *multiReducer) detectSweep(iter, p int) []int {
 					bad = append(bad, s)
 				}
 			}
+		}
+	}
+	if r.la && len(bad) > 0 {
+		// Optimistic clock: the staged totals were produced eagerly in
+		// program order, so a clean sweep never blocks the host on the
+		// verdict — detection cost is charged on the compute streams and
+		// the boundary stays eager. Only a mismatch pays the
+		// synchronization, because recovery must observe the verdict.
+		for _, b := range batches {
+			pool.Wait(b.ev)
 		}
 	}
 	ev := obs.Ev(obs.KindChecksumCheck, iter)

@@ -16,17 +16,38 @@ import (
 // Both totals estimate the grand sum of the mathematical matrix; a data
 // corruption during the iteration leaves an asymmetric footprint in the
 // maintained checksums and the totals diverge. iter identifies the blocked
-// iteration for the event journal.
-func (r *reducer) detectAt(iter int) bool {
+// iteration for the event journal. dataReady is the iteration's
+// left-update completion event, the last writer of both checksums.
+//
+// Under the lookahead schedule the check is optimistic: the totals run on
+// the device's lookahead stream and the host charges the verdict's
+// round-trip only when a mismatch actually fires — a clean boundary never
+// blocks the next panel's factorization. The comparison itself still
+// happens here, in program order, before the next iteration consumes
+// anything, so the detection boundary (and every recovery decision) is
+// identical to the serialized schedule.
+func (r *reducer) detectAt(iter int, dataReady sim.Event) bool {
 	dev := r.dev
 	n := r.n
 	prevPhase := dev.SetPhase("detect")
 	defer dev.SetPhase(prevPhase)
 	var sre, sce float64
-	e1 := dev.Sum(r.dA, 0, n, n, &sre)
-	dev.ReadScalar(e1)
-	e2 := dev.SumRow(r.dA, n, 0, n, &sce)
-	dev.ReadScalar(e2)
+	var verdict sim.Event
+	if r.la {
+		// The totals stay on the compute queue (they are its tail: FIFO
+		// order puts them right after the remainder update they verify),
+		// and the verdict rides back through device-mapped reads on the
+		// same stream — the copy engine stays free for the next panel.
+		e1 := dev.Sum(r.dA, 0, n, n, &sre, dataReady)
+		r1 := dev.ReadScalarTail(e1)
+		e2 := dev.SumRow(r.dA, n, 0, n, &sce, dataReady)
+		verdict = dev.ReadScalarTail(e2, r1)
+	} else {
+		e1 := dev.Sum(r.dA, 0, n, n, &sre)
+		dev.ReadScalar(e1)
+		e2 := dev.SumRow(r.dA, n, 0, n, &sce)
+		dev.ReadScalar(e2)
+	}
 
 	var mismatch bool
 	if dev.Mode == gpu.CostOnly {
@@ -48,6 +69,11 @@ func (r *reducer) detectAt(iter int) bool {
 		if math.IsNaN(r.lastDetectGap) || math.IsInf(sre, 0) || math.IsInf(sce, 0) {
 			mismatch = true
 		}
+	}
+	if mismatch && r.la {
+		// Pessimistic path: the host only learns the verdict once the
+		// detection read lands, so charge that wait before recovering.
+		dev.Sync(verdict)
 	}
 	r.count("ft_checksum_checks_total")
 	ev := obs.Ev(obs.KindChecksumCheck, iter)

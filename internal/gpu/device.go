@@ -53,10 +53,15 @@ type Device struct {
 	Mode   Mode
 
 	// Host is the CPU timeline; Compute and Copy are the device streams
-	// (MAGMA's hybrid DGEHRD uses exactly one of each).
-	Host    *sim.Timeline
-	Compute *sim.Timeline
-	Copy    *sim.Timeline
+	// (MAGMA's hybrid DGEHRD uses exactly one of each). Lookahead is a
+	// second, lower-priority-independent compute stream used by the
+	// lookahead schedule: the next panel's device GEMVs issue there so
+	// they can run concurrently with the remainder of the trailing update
+	// still queued on Compute (MAGMA's priority-stream pattern).
+	Host      *sim.Timeline
+	Compute   *sim.Timeline
+	Copy      *sim.Timeline
+	Lookahead *sim.Timeline
 
 	allocBytes int64
 	kernels    int64
@@ -116,6 +121,7 @@ func New(p sim.Params, mode Mode) *Device {
 		Host:       sim.NewTimeline("host"),
 		Compute:    sim.NewTimeline("gpu-compute"),
 		Copy:       sim.NewTimeline("gpu-copy"),
+		Lookahead:  sim.NewTimeline("gpu-lookahead"),
 		busyByKind: make(map[string]float64),
 	}
 }
@@ -137,6 +143,7 @@ func NewIndexed(p sim.Params, mode Mode, k int) *Device {
 		Host:       sim.NewTimeline(name + "-host"),
 		Compute:    sim.NewTimeline(name + "-compute"),
 		Copy:       sim.NewTimeline(name + "-copy"),
+		Lookahead:  sim.NewTimeline(name + "-lookahead"),
 		busyByKind: make(map[string]float64),
 	}
 }
@@ -306,7 +313,14 @@ func (d *Device) FinishRun() {
 	}
 	makespan := d.Elapsed()
 	d.obs.Gauge("sim_makespan_seconds", d.label()...).Set(makespan)
-	for _, t := range []*sim.Timeline{d.Host, d.Compute, d.Copy} {
+	lanes := []*sim.Timeline{d.Host, d.Compute, d.Copy}
+	if d.Lookahead.Ops() > 0 {
+		// The lookahead stream only appears in the lane gauges when the
+		// schedule actually used it, so non-lookahead runs keep their
+		// historical series set.
+		lanes = append(lanes, d.Lookahead)
+	}
+	for _, t := range lanes {
 		l := d.label(obs.L("lane", t.Name()))
 		d.obs.Gauge("lane_busy_seconds", l...).Set(t.Busy())
 		d.obs.Gauge("lane_ops", l...).Set(float64(t.Ops()))
@@ -394,6 +408,31 @@ func (d *Device) D2HAsync(dst *matrix.Matrix, src *Matrix, si, sj int, deps ...s
 	return e
 }
 
+// D2HTail copies a small device block to the host through device-mapped
+// memory at the tail of the compute queue: the read is charged on the
+// compute stream, not the copy engine. Detection verdicts ride here so
+// that they serialize naturally behind the update kernels that produce
+// them without occupying the copy FIFO — an async copy that depended on
+// the whole trailing update would make every later transfer (the next
+// panel offload in particular) queue behind it and destroy the overlap.
+func (d *Device) D2HTail(dst *matrix.Matrix, src *Matrix, si, sj int, deps ...sim.Event) sim.Event {
+	d.checkRange("D2H", src, si, sj, dst.Rows, dst.Cols)
+	bytes := dst.Rows * dst.Cols * 8
+	d.transfers++
+	d.bytesMoved += int64(bytes)
+	if d.Mode == Real && dst.Rows > 0 && dst.Cols > 0 {
+		for j := 0; j < dst.Cols; j++ {
+			copy(dst.Col(j), src.ptr(si, sj+j)[:dst.Rows])
+		}
+	}
+	deps = append(deps, d.enqueue())
+	cost := d.Params.Transfer(bytes)
+	d.busyByKind["d2h"] += cost
+	e := d.Compute.Schedule(cost, deps...)
+	d.record(d.Compute.Name(), "d2h", e.At, cost)
+	return e
+}
+
 func (d *Device) checkRange(op string, m *Matrix, i, j, r, c int) {
 	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.Rows || j+c > m.Cols {
 		panic(fmt.Sprintf("gpu: %s block (%d,%d)+%dx%d out of %dx%d", op, i, j, r, c, m.Rows, m.Cols))
@@ -406,9 +445,9 @@ func (d *Device) Sync(e sim.Event) {
 	d.noteSync(e.At)
 }
 
-// DeviceSynchronize blocks the host until both streams drain.
+// DeviceSynchronize blocks the host until all device streams drain.
 func (d *Device) DeviceSynchronize() {
-	d.Host.AdvanceTo(sim.Makespan(d.Compute, d.Copy))
+	d.Host.AdvanceTo(sim.Makespan(d.Compute, d.Copy, d.Lookahead))
 }
 
 // HostOp charges cost seconds of CPU work and, in Real mode, runs f.
@@ -426,7 +465,7 @@ func (d *Device) HostOp(cost float64, f func()) {
 
 // Elapsed returns the simulated makespan so far.
 func (d *Device) Elapsed() float64 {
-	return sim.Makespan(d.Host, d.Compute, d.Copy)
+	return sim.Makespan(d.Host, d.Compute, d.Copy, d.Lookahead)
 }
 
 // ResetClocks zeroes all timelines (buffers are preserved).
@@ -434,4 +473,5 @@ func (d *Device) ResetClocks() {
 	d.Host.Reset()
 	d.Compute.Reset()
 	d.Copy.Reset()
+	d.Lookahead.Reset()
 }

@@ -21,11 +21,17 @@ import (
 // launch enqueues a kernel of the given duration on the compute stream,
 // accounting its cost under the given operation family.
 func (d *Device) launch(kind string, cost float64, deps []sim.Event, f func()) sim.Event {
+	return d.launchOn(d.Compute, kind, cost, deps, f)
+}
+
+// launchOn enqueues a kernel on an explicit stream (Compute for the main
+// FIFO, Lookahead for the priority stream of the lookahead schedule).
+func (d *Device) launchOn(t *sim.Timeline, kind string, cost float64, deps []sim.Event, f func()) sim.Event {
 	d.kernels++
 	d.busyByKind[kind] += cost
 	deps = append(deps, d.enqueue())
-	e := d.Compute.Schedule(cost, deps...)
-	d.record(d.Compute.Name(), kind, e.At, cost)
+	e := t.Schedule(cost, deps...)
+	d.record(t.Name(), kind, e.At, cost)
 	if d.Mode == Real && f != nil {
 		f()
 	}
@@ -48,6 +54,25 @@ func (d *Device) Gemm(tA, tB blas.Transpose, m, n, k int, alpha float64, a *Matr
 // column of xm at (xi, xj), and y a column of ym at (yi, yj).
 func (d *Device) Gemv(trans blas.Transpose, m, n int, alpha float64, a *Matrix, ai, aj int, xm *Matrix, xi, xj int, beta float64, ym *Matrix, yi, yj int, deps ...sim.Event) sim.Event {
 	return d.launch("gemv", d.Params.GemvDevice(m, n), deps, func() {
+		if m == 0 || n == 0 {
+			return
+		}
+		blas.Dgemv(trans, m, n, alpha, a.ptr(ai, aj), a.Stride, xm.ptr(xi, xj), 1, beta, ym.ptr(yi, yj), 1)
+	})
+}
+
+// GemvLA enqueues the same y := alpha·op(A)·x + beta·y as Gemv, but on the
+// lookahead stream instead of the main compute FIFO, with extraCost extra
+// modeled seconds folded into the kernel. The lookahead schedule issues the
+// next panel's GEMVs here, depending only on the priority part of the
+// current trailing update; on real hardware each such GEMV would apply the
+// still-pending remainder update to its output as a small correction term,
+// and extraCost charges that correction work so the modeled overlap stays
+// honest. Real-mode arithmetic is unaffected: kernels execute eagerly in
+// program order, and the program still issues the remainder update before
+// the next panel factorization runs.
+func (d *Device) GemvLA(trans blas.Transpose, m, n int, extraCost float64, alpha float64, a *Matrix, ai, aj int, xm *Matrix, xi, xj int, beta float64, ym *Matrix, yi, yj int, deps ...sim.Event) sim.Event {
+	return d.launchOn(d.Lookahead, "gemv", d.Params.GemvDevice(m, n)+extraCost, deps, func() {
 		if m == 0 || n == 0 {
 			return
 		}
@@ -132,6 +157,14 @@ func (d *Device) Syr2k(uplo blas.Uplo, n, k int, alpha float64, a *Matrix, ai, a
 // counterpart; on real hardware these would be small custom CUDA kernels.
 func (d *Device) Custom(cost float64, f func(), deps ...sim.Event) sim.Event {
 	return d.launch("custom", cost, deps, f)
+}
+
+// CustomLA enqueues a custom kernel on the lookahead stream instead of
+// the main compute FIFO. The FT layer issues its boundary-detection sums
+// here under the lookahead schedule so a verification read never queues
+// behind the trailing-update kernels it is checking.
+func (d *Device) CustomLA(cost float64, f func(), deps ...sim.Event) sim.Event {
+	return d.launchOn(d.Lookahead, "custom", cost, deps, f)
 }
 
 // Add enqueues adding v to a single device element.
@@ -243,6 +276,14 @@ func (d *Device) SumRow(m *Matrix, i, j, n int, out *float64, deps ...sim.Event)
 // ReadScalar models the host reading one device scalar (a latency-bound
 // D2H transfer); the value must already have been produced by a kernel.
 func (d *Device) ReadScalar(deps ...sim.Event) {
+	d.Sync(d.ReadScalarAsync(deps...))
+}
+
+// ReadScalarAsync enqueues the scalar D2H without blocking the host and
+// returns its event. The lookahead schedule's optimistic detection uses
+// this: the read is charged, but the host only waits for it (Sync) when
+// the verdict actually demands a recovery.
+func (d *Device) ReadScalarAsync(deps ...sim.Event) sim.Event {
 	d.transfers++
 	d.bytesMoved += 8
 	deps = append(deps, sim.Event{At: d.Host.Tail()})
@@ -250,7 +291,24 @@ func (d *Device) ReadScalar(deps ...sim.Event) {
 	d.busyByKind["d2h"] += cost
 	e := d.Copy.Schedule(cost, deps...)
 	d.record(d.Copy.Name(), "d2h", e.At, cost)
-	d.Sync(e)
+	return e
+}
+
+// ReadScalarTail models fetching a scalar produced at the tail of the
+// compute queue through device-mapped memory: the read is charged on the
+// compute stream, not the copy engine. The optimistic detection path
+// needs this — its verdict waits for the whole trailing update, and a
+// copy-engine read would make every later offload (the next panel's)
+// queue behind that wait.
+func (d *Device) ReadScalarTail(deps ...sim.Event) sim.Event {
+	d.transfers++
+	d.bytesMoved += 8
+	deps = append(deps, sim.Event{At: d.Host.Tail()})
+	cost := d.Params.Transfer(8)
+	d.busyByKind["d2h"] += cost
+	e := d.Compute.Schedule(cost, deps...)
+	d.record(d.Compute.Name(), "d2h", e.At, cost)
+	return e
 }
 
 // Larfb enqueues the block-reflector application

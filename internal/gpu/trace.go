@@ -183,7 +183,7 @@ func (d *Device) TraceSummary(w io.Writer) {
 		a.count++
 		a.busy += s.End - s.Start
 	}
-	known := []string{"host", "gpu-compute", "gpu-copy"}
+	known := []string{"host", "gpu-compute", "gpu-copy", "gpu-lookahead"}
 	rest := make([]string, 0, len(lanes))
 	for lane := range lanes {
 		isKnown := false

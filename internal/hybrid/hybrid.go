@@ -80,6 +80,14 @@ type Options struct {
 	// of the finished block with the trailing update instead of
 	// overlapping them (ablation of the paper's optimization).
 	DisableOverlap bool
+	// DisableLookahead turns off the depth-1 lookahead schedule and
+	// reverts to the fully serialized iteration (ablation). Under
+	// lookahead — the default — iteration k's trailing update is split
+	// into a priority part covering only panel k+1's columns and a
+	// remainder part, and the host-side factorization of panel k+1 runs
+	// concurrently with the remainder; results are bit-identical either
+	// way.
+	DisableLookahead bool
 	// AfterIteration, if set, runs at the end of every blocked iteration.
 	AfterIteration func(info IterInfo)
 	// BeforeIteration, if set, runs before every blocked iteration with
@@ -188,7 +196,12 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 	if nx < 2 {
 		nx = 2
 	}
+	lookahead := !opt.DisableLookahead
 	var prevLeft sim.Event
+	// panelReady gates the next panel's device-to-host transfer: under
+	// lookahead it is the priority left update (which finishes only the
+	// next panel's columns), otherwise the full left update.
+	var panelReady sim.Event
 	p := 0
 	iter := 0
 	for ; n-1-p > nx; p += nb {
@@ -197,6 +210,11 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 		}
 		ib := min(nb, n-1-p)
 		k := p + 1
+		// la: this panel's columns were finished early by the previous
+		// iteration's priority update, so its factorization overlaps the
+		// remainder update still streaming on the device — the panel time
+		// leaves the critical path ("panel_hidden").
+		la := lookahead && iter > 0
 
 		if opt.BeforeIteration != nil {
 			dev.DeviceSynchronize()
@@ -204,22 +222,32 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 		}
 
 		// Line 3: send the lower part of the panel to the host. It is
-		// only valid once the previous iteration's left update finished.
-		dev.SetPhase("panel")
+		// valid once the update that last wrote the panel columns finished:
+		// the previous iteration's full left update, or — under lookahead —
+		// just its priority part.
+		if la {
+			dev.SetPhase("panel_hidden")
+		} else {
+			dev.SetPhase("panel")
+		}
 		panelLower := hostA.View(k, p, n-k, ib)
-		dev.Sync(dev.D2HAsync(panelLower, dA, k, p, prevLeft))
+		dev.Sync(dev.D2HAsync(panelLower, dA, k, p, panelReady))
 
 		// Line 4: hybrid panel factorization (CPU + per-column device
 		// GEMV against the trailing matrix).
-		if err := PanelFactor(dev, hostA, yHost, tHost, tau, dA, dVcol, dYcol, n, p, k, ib); err != nil {
+		if err := PanelFactor(dev, hostA, yHost, tHost, tau, dA, dVcol, dYcol, n, p, k, ib, la); err != nil {
 			return nil, err
 		}
 
-		// Upload V and the factored panel, Y's lower rows, and T.
+		// Upload V and the factored panel, Y's lower rows, and T. The
+		// panel columns are disjoint from everything still in flight, but
+		// dY and dT are read by the previous iteration's remainder update,
+		// so under lookahead their uploads must wait for it (prevLeft is
+		// already in the past on the serialized schedule).
 		dev.SetPhase("right_update")
 		dev.H2D(dA, k, p, hostA.View(k, p, n-k, ib))
-		dev.H2D(dY, k, 0, yHost.View(k, 0, n-k, ib))
-		dev.H2D(dT, 0, 0, tHost.View(0, 0, ib, ib))
+		dev.Sync(dev.H2DAsync(dY, k, 0, yHost.View(k, 0, n-k, ib), prevLeft))
+		dev.Sync(dev.H2DAsync(dT, 0, 0, tHost.View(0, 0, ib, ib), prevLeft))
 
 		// Compute Y's top rows on the device:
 		// Y(0:k-1,:) = A(0:k-1, p+1:n-1)·V·T.
@@ -255,14 +283,37 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 		// for the V-bottom right updates.
 		ei := hostA.At(p+ib, p+ib-1)
 		e1 := dev.Set(dA, p+ib, p+ib-1, 1, ytopDone)
-		// Right update to M's trailing columns (line 5).
-		eM := dev.Gemm(blas.NoTrans, blas.Trans, k, n-p-ib, ib, -1, dY, 0, 0, dA, p+ib, p, 1, dA, 0, p+ib, e1)
-		// Line 7: right update to G.
-		eG := dev.Gemm(blas.NoTrans, blas.Trans, n-k, n-p-ib, ib, -1, dY, k, 0, dA, p+ib, p, 1, dA, k, p+ib, eM)
-		eC := dev.Set(dA, p+ib, p+ib-1, ei, eG)
-		// Line 8: DLARFB left update of the trailing matrix.
-		dev.SetPhase("left_update")
-		prevLeft = dev.Larfb(blas.Trans, n-k, n-p-ib, ib, dA, k, p, dT, 0, 0, dA, k, p+ib, dW, eC)
+		if ib2 := min(nb, n-1-(p+nb)); lookahead && n-1-(p+nb) > nx {
+			// Lookahead split: finish the next panel's ib2 columns first
+			// (priority right update + priority DLARFB), so the next
+			// iteration's panel transfer and host factorization can start
+			// while the remainder of the trailing update streams behind
+			// them. Splitting a GEMM/DLARFB by output columns is exact:
+			// every output element sees the same inputs in the same
+			// accumulation order, so the digests match the serialized
+			// schedule bit for bit.
+			eGp := dev.Gemm(blas.NoTrans, blas.Trans, n-k, ib2, ib, -1, dY, k, 0, dA, p+ib, p, 1, dA, k, p+ib, e1)
+			dev.SetPhase("left_update")
+			panelReady = dev.Larfb(blas.Trans, n-k, ib2, ib, dA, k, p, dT, 0, 0, dA, k, p+ib, dW, eGp)
+			dev.SetPhase("right_update")
+			// Remainder: M's top rows (all trailing columns) and the
+			// right/left updates of the columns past the next panel.
+			eM := dev.Gemm(blas.NoTrans, blas.Trans, k, n-p-ib, ib, -1, dY, 0, 0, dA, p+ib, p, 1, dA, 0, p+ib, e1)
+			eG := dev.Gemm(blas.NoTrans, blas.Trans, n-k, n-p-ib-ib2, ib, -1, dY, k, 0, dA, p+ib+ib2, p, 1, dA, k, p+ib+ib2, eM)
+			eC := dev.Set(dA, p+ib, p+ib-1, ei, eG)
+			dev.SetPhase("left_update")
+			prevLeft = dev.Larfb(blas.Trans, n-k, n-p-ib-ib2, ib, dA, k, p, dT, 0, 0, dA, k, p+ib+ib2, dW, eC)
+		} else {
+			// Right update to M's trailing columns (line 5).
+			eM := dev.Gemm(blas.NoTrans, blas.Trans, k, n-p-ib, ib, -1, dY, 0, 0, dA, p+ib, p, 1, dA, 0, p+ib, e1)
+			// Line 7: right update to G.
+			eG := dev.Gemm(blas.NoTrans, blas.Trans, n-k, n-p-ib, ib, -1, dY, k, 0, dA, p+ib, p, 1, dA, k, p+ib, eM)
+			eC := dev.Set(dA, p+ib, p+ib-1, ei, eG)
+			// Line 8: DLARFB left update of the trailing matrix.
+			dev.SetPhase("left_update")
+			prevLeft = dev.Larfb(blas.Trans, n-k, n-p-ib, ib, dA, k, p, dT, 0, 0, dA, k, p+ib, dW, eC)
+			panelReady = prevLeft
+		}
 		if opt.DisableOverlap {
 			// Ablation: transfer the finished block synchronously after
 			// the trailing update instead of overlapping with it.
@@ -325,16 +376,36 @@ func cleanupCost(pp sim.Params, n, p int) float64 {
 // each panel column; on cancellation PanelFactor abandons the
 // half-factorized panel and returns the context error — the caller is
 // expected to discard the whole computation.
-func PanelFactor(dev *gpu.Device, hostA, y, t *matrix.Matrix, tau []float64, dA *gpu.Matrix, dVcol, dYcol *gpu.Matrix, n, p, k, ib int) error {
+//
+// When la is set the factorization runs under the lookahead schedule:
+// the previous iteration's remainder update is still streaming on the
+// compute FIFO, so the per-column GEMVs issue on the device's lookahead
+// stream instead, charged with the extra cost of the correction terms
+// that reconcile the not-yet-applied remainder (on real hardware the
+// lookahead GEMV folds Y·(Vᵀv) and V·(Sv) corrections per tile, the
+// restructuring the online-ABFT GEMM literature uses). In the simulation
+// kernels execute eagerly in program order, so the arithmetic — and
+// therefore the result digest — is identical with and without la.
+func PanelFactor(dev *gpu.Device, hostA, y, t *matrix.Matrix, tau []float64, dA *gpu.Matrix, dVcol, dYcol *gpu.Matrix, n, p, k, ib int, la bool) error {
 	pp := dev.Params
 	ldy := y.Stride
 	ytmp := make([]float64, n-k)
 	ytmpM := matrix.FromColMajor(n-k, 1, max(n-k, 1), ytmp)
+	// Correction-term charge per lookahead GEMV: two skinny GEMVs against
+	// V and Y (plus the left-update share), ≈ 3 device GEMVs of shape
+	// (n-k)×ib, fused into the main GEMV's pass (extra operand streaming,
+	// no extra launches).
+	extra := pp.GemvDevice(n-k, 3*ib) - pp.KernelLaunchSec
 	var pending sim.Event
 	issue := func(i, c int) {
 		vtail := hostA.View(p+ib, c, n-p-ib, 1)
 		up := dev.H2DAsync(dVcol, 0, 0, vtail)
-		kg := dev.Gemv(blas.NoTrans, n-k, n-p-ib, 1, dA, k, p+ib, dVcol, 0, 0, 0, dYcol, 0, 0, up)
+		var kg sim.Event
+		if la {
+			kg = dev.GemvLA(blas.NoTrans, n-k, n-p-ib, extra, 1, dA, k, p+ib, dVcol, 0, 0, 0, dYcol, 0, 0, up)
+		} else {
+			kg = dev.Gemv(blas.NoTrans, n-k, n-p-ib, 1, dA, k, p+ib, dVcol, 0, 0, 0, dYcol, 0, 0, up)
+		}
 		pending = dev.D2HAsync(ytmpM, dYcol, 0, 0, kg)
 	}
 	collect := func(i, c int) {

@@ -24,11 +24,13 @@ import (
 // per-column trailing-matrix GEMV sharded across the pool: each owner
 // computes its slabs' partials and the host combines them in ascending
 // slab order (see PanelFactor for the single-device variant and the
-// meaning of the arguments).
-func PanelFactorMulti(sh *devpool.Shard, hostA, y, t *matrix.Matrix, tau []float64, n, p, k, ib int) error {
+// meaning of the arguments). With la the per-slab GEMVs run on each
+// device's lookahead stream, overlapping the previous iteration's
+// remainder update (see Shard.PanelGemvIssue).
+func PanelFactorMulti(sh *devpool.Shard, hostA, y, t *matrix.Matrix, tau []float64, n, p, k, ib int, la bool) error {
 	pool := sh.Pool
 	return panelFactorWith(pool, pool.Params, hostA, y, t, tau, n, p, k, ib,
-		func(i, c int) { sh.PanelGemvIssue(hostA, i, p, k, ib) },
+		func(i, c int) { sh.PanelGemvIssue(hostA, i, p, k, ib, la) },
 		func(i, c int) { sh.PanelGemvCollect(y, i, k) })
 }
 
@@ -72,6 +74,7 @@ func reduceMulti(a *matrix.Matrix, opt Options) (*Result, error) {
 	tHost := matrix.New(nb, nb)
 	yHost := matrix.New(n, nb)
 
+	lookahead := !opt.DisableLookahead
 	nx := nb
 	if nx < 2 {
 		nx = 2
@@ -85,22 +88,34 @@ func reduceMulti(a *matrix.Matrix, opt Options) (*Result, error) {
 		ib := min(nb, n-1-p)
 		k := p + 1
 
-		// Panel to the host, factorize with sharded trailing GEMVs.
-		pool.SetPhase("panel")
+		// Panel to the host, factorize with sharded trailing GEMVs. After
+		// the first iteration of a lookahead run these columns were
+		// priority-updated ahead of the remainder, so the offload and the
+		// host factorization hide under the in-flight trailing update.
+		la := lookahead && iter > 0
+		if la {
+			pool.SetPhase("panel_hidden")
+		} else {
+			pool.SetPhase("panel")
+		}
 		sh.PanelD2H(hostA, p, k, ib)
-		if err := PanelFactorMulti(sh, hostA, yHost, tHost, tau, n, p, k, ib); err != nil {
+		if err := PanelFactorMulti(sh, hostA, yHost, tHost, tau, n, p, k, ib, la); err != nil {
 			return nil, err
 		}
 
 		// Broadcast the panel products, assemble Y's top rows on the
 		// host (AllReduce over per-slab partials), and apply the two
-		// trailing updates slab-locally on every owner. The stored
+		// trailing updates slab-locally on every owner — the next panel's
+		// columns first (priority), then the remainder. The stored
 		// subdiagonal beta needs no EI corner trick here: the dense
 		// broadcast V carries the unit diagonal explicitly.
 		pool.SetPhase("right_update")
 		sh.Broadcast(hostA, tHost, p, k, ib)
 		sh.YTop(yHost, tHost, p, k, ib)
 		sh.BroadcastY(yHost, ib)
+		if lookahead && n-1-(p+nb) > nx {
+			sh.PriorityUpdate(p, k, ib, nb)
+		}
 		sh.RightUpdate(p, k, ib)
 		pool.SetPhase("left_update")
 		sh.LeftUpdate(p, k, ib)

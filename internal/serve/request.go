@@ -82,6 +82,11 @@ type JobRequest struct {
 	FinalHCheck        bool    `json:"final_h_check,omitempty"`
 	DisableQProtection bool    `json:"disable_q_protection,omitempty"`
 	DisableOverlap     bool    `json:"disable_overlap,omitempty"`
+	// Lookahead, when present and false, disables the depth-1 lookahead
+	// schedule (panel k+1 factored under trailing update k). Absent or
+	// true runs with lookahead — the default, and bit-identical either
+	// way; only the modeled time changes.
+	Lookahead *bool `json:"lookahead,omitempty"`
 	// Devices, when > 0, leases that many whole devices from the server's
 	// farm (Config.Devices) and runs the multi-device pool path; the job
 	// waits until its subset is free. Requires a device algorithm

@@ -523,6 +523,7 @@ func (s *Server) execute(j *Job) (*JobResult, error) {
 		FinalHCheck:        req.FinalHCheck,
 		DisableQProtection: req.DisableQProtection,
 		DisableOverlap:     req.DisableOverlap,
+		DisableLookahead:   req.Lookahead != nil && !*req.Lookahead,
 		Obs:                s.reg,
 		Journal:            j.journal,
 		Trace:              trace,
