@@ -18,6 +18,10 @@
 //	                                # sweep the update-schedule axis
 //	                                # (coverage must not move: both
 //	                                # schedules are bit-identical)
+//	campaign -n 190 -devices 3 -killrate 0,0.5
+//	                                # sweep the fail-stop device-loss
+//	                                # axis: each killed trial must end
+//	                                # recovered, never silent-corrupt
 //
 // Exit codes: 0 — campaign ran, no silent corruption; 1 — campaign ran
 // and found silent corruption (the failure mode the scheme exists to
@@ -60,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	bits := fs.String("bits", "20..62", "flipped-bit range(s) min..max, comma-separated sweep grid")
 	devices := fs.String("devices", "0", "device-pool size(s), comma-separated sweep grid (0 = single device)")
 	schedules := fs.String("schedule", campaign.ScheduleLookahead, "update schedule(s): lookahead|serial, comma-separated sweep grid")
+	killRates := fs.String("killrate", "0", "fail-stop device-loss probability per trial, comma-separated sweep grid (>0 on a pool enables parity recovery)")
 	trials := fs.Int("trials", 50, "trials per sweep cell")
 	seed := fs.Uint64("seed", 1, "campaign seed (fixes every trial at any worker count)")
 	workers := fs.Int("workers", 1, "worker-pool width (results are identical at any value)")
@@ -98,6 +103,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	for _, f := range strings.Split(*schedules, ",") {
 		s.Schedules = append(s.Schedules, strings.TrimSpace(f))
+	}
+	if s.KillRates, err = parseFloats(*killRates); err != nil {
+		return fail(stderr, err)
 	}
 
 	if *resume && *out == "" {

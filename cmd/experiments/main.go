@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|tableI|fig2|fig6|tableII|tableIII|ablation|breakdown|multierror|multigpu|lookahead|trace|timeline|serveobs")
+	exp := flag.String("exp", "all", "experiment: all|tableI|fig2|fig6|tableII|tableIII|ablation|breakdown|multierror|multigpu|lookahead|failstop|trace|timeline|serveobs")
 	nb := flag.Int("nb", 32, "block size")
 	sizesFlag := flag.String("sizes", "", "comma-separated matrix sizes (overrides defaults)")
 	paper := flag.Bool("paper", false, "use the paper's full size grid for fig6 (cost-only, still fast)")
@@ -33,6 +33,7 @@ func main() {
 	traceOut := flag.String("traceout", "", "write a Chrome trace JSON of the timeline experiment to this file")
 	serveObsOut := flag.String("serveobsout", "BENCH_serveobs.json", "artifact path for the serveobs experiment (empty to skip writing)")
 	lookaheadOut := flag.String("lookaheadout", "BENCH_lookahead.json", "artifact path for the lookahead experiment (empty to skip writing)")
+	failstopOut := flag.String("failstopout", "BENCH_failstop.json", "artifact path for the failstop experiment (empty to skip writing)")
 	flag.Parse()
 
 	params := sim.K40c()
@@ -94,6 +95,16 @@ func main() {
 			}
 			if err := bench.LookaheadReport(out, art, *lookaheadOut); err != nil {
 				fmt.Fprintf(os.Stderr, "lookahead: %v\n", err)
+				os.Exit(2)
+			}
+		case "failstop":
+			art, err := bench.FailStop([]int{512, 1024, 2048}, []int{2, 3, 4}, *nb, params)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "failstop: %v\n", err)
+				os.Exit(2)
+			}
+			if err := bench.FailStopReport(out, art, *failstopOut); err != nil {
+				fmt.Fprintf(os.Stderr, "failstop: %v\n", err)
 				os.Exit(2)
 			}
 		case "trace":

@@ -10,6 +10,10 @@
 //	fthess -n 4030 -costonly               # model-only timing at paper scale
 //	fthess -n 2048 -devices 4 -costonly    # 4-GPU pool, sharded trailing update
 //	fthess -n 256 -devices 2 -checksum     # pool run + result digest (CI probe)
+//	fthess -n 256 -devices 3 -failstop \
+//	       -kill-device 1 -kill-iter 2 -kill-point update -checksum
+//	                                       # kill a device mid-run; the digest
+//	                                       # matches the fault-free line
 //	fthess -n 256 -eig                     # full eigenvalue pipeline
 package main
 
@@ -134,6 +138,10 @@ func main() {
 	count := flag.Int("count", 1, "number of simultaneous errors")
 	iter := flag.Int("iter", 1, "iteration at whose start to inject")
 	bitflip := flag.Bool("bitflip", false, "flip a mantissa bit instead of adding a delta")
+	failStop := flag.Bool("failstop", false, "maintain a parity device for fail-stop device-loss recovery (needs -devices > 0)")
+	killPoint := flag.String("kill-point", "", "kill a pool device at this sync point: boundary|panel|update|recovery")
+	killDevice := flag.Int("kill-device", 0, "pool slot of the device to kill (with -kill-point)")
+	killIter := flag.Int("kill-iter", 1, "blocked iteration at which the kill strikes (with -kill-point)")
 	eig := flag.Bool("eig", false, "continue to eigenvalues (Francis QR)")
 	sym := flag.Bool("sym", false, "symmetric path: FT-DSYTRD tridiagonalization + QL eigenvalues")
 	metricsPath := flag.String("metrics", "", "write run metrics in Prometheus text format to this file")
@@ -158,9 +166,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-devices %d must be >= 0\n", *devices)
 		os.Exit(2)
 	}
+	if *failStop && *devices == 0 {
+		fmt.Fprintln(os.Stderr, "-failstop needs a device pool (-devices > 0)")
+		os.Exit(2)
+	}
+	if *killPoint != "" && (*killDevice < 0 || (*devices > 0 && *killDevice >= *devices)) {
+		fmt.Fprintf(os.Stderr, "-kill-device %d outside the pool [0,%d)\n", *killDevice, *devices)
+		os.Exit(2)
+	}
 	opt := core.Options{
 		NB: *nb, CostOnly: *costOnly, DeviceCount: *devices,
 		DisableLookahead: !*lookahead, DisableOverlap: *noOverlap,
+		FailStop: *failStop,
 	}
 	if *metricsPath != "" {
 		opt.Obs = obs.NewRegistry()
@@ -206,7 +223,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	var in *fault.Injector
+	var plans []fault.Plan
 	if *inject != "" {
 		var area fault.Area
 		switch *inject {
@@ -220,7 +237,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown injection area %q\n", *inject)
 			os.Exit(2)
 		}
-		in = fault.New(fault.Plan{Area: area, TargetIter: *iter, Count: *count, Seed: *seed, BitFlip: *bitflip, Bit: 60})
+		plans = append(plans, fault.Plan{Area: area, TargetIter: *iter, Count: *count, Seed: *seed, BitFlip: *bitflip, Bit: 60})
+	}
+	if *killPoint != "" {
+		kp, err := fault.ParseKillPoint(*killPoint)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		plans = append(plans, fault.Plan{TargetIter: *killIter, KillPoint: kp, KillDevice: *killDevice})
+	}
+	var in *fault.Injector
+	if len(plans) > 0 {
+		in = fault.NewSchedule(plans...)
 		in.Journal = opt.Journal
 		opt.Hook = in
 	}
@@ -260,7 +289,7 @@ func main() {
 	if res.SimSeconds > 0 {
 		fmt.Printf("simulated time: %.4fs (%.1f GFLOPS)\n", res.SimSeconds, res.ModelGFLOPS)
 	}
-	if in != nil {
+	if in != nil && *inject != "" {
 		fmt.Printf("injected: %d fault(s)", len(in.Log))
 		for _, l := range in.Log {
 			fmt.Printf("  (%d,%d) Δ=%.3g@iter%d", l.Row, l.Col, l.Delta, l.Iter)
@@ -270,6 +299,10 @@ func main() {
 	if res.Algorithm == core.FaultTolerant {
 		fmt.Printf("resilience: %d detection(s), %d recovery(ies), %d H correction(s), %d Q correction(s)\n",
 			res.Detections, res.Recoveries, len(res.CorrectedH), res.QCorrections)
+		if *failStop || res.DeviceLosses > 0 {
+			fmt.Printf("fail-stop: %d device loss(es), %d reconstruction(s)\n",
+				res.DeviceLosses, res.FailStopRecoveries)
+		}
 	}
 	if !*costOnly {
 		fmt.Printf("residual ‖A−QHQᵀ‖₁/(N‖A‖₁) = %.3e\n", res.Residual(a))

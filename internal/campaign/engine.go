@@ -109,12 +109,31 @@ func (s *Sweep) runTrial(cell Cell, trial int, a *matrix.Matrix, journal *obs.Jo
 		Cell: cell.Index, N: cell.N, NB: cell.NB, Lambda: cell.Lambda,
 		Region: cell.Region, MinBit: cell.MinBit, MaxBit: cell.MaxBit,
 		Devices: cell.Devices, NoLookahead: cell.NoLookahead,
-		Trial: trial, Seed: seed,
+		KillRate: cell.KillRate,
+		Trial:    trial, Seed: seed,
 	}
 	for _, p := range plans {
 		rec.Plans = append(rec.Plans, InjectionSummary{
 			Iter: p.TargetIter, Area: p.Area.String(), Bit: p.Bit,
 		})
+	}
+	// Fail-stop axis: with probability KillRate one device dies this
+	// trial, at a uniform iteration, device, and kill window. The draws
+	// happen only on kill-rate cells, so every other cell's random
+	// stream — and its resumable records — is untouched by the axis.
+	if cell.KillRate > 0 && iters > 0 && rng.Float64() < cell.KillRate {
+		points := []fault.KillPoint{fault.KillBoundary, fault.KillPanel, fault.KillUpdate}
+		kp := fault.Plan{
+			TargetIter: rng.Intn(iters),
+			KillPoint:  points[rng.Intn(len(points))],
+		}
+		if cell.Devices > 0 {
+			kp.KillDevice = rng.Intn(cell.Devices)
+		}
+		plans = append(plans, kp)
+		rec.KillIter = kp.TargetIter
+		rec.KillPoint = string(kp.KillPoint)
+		rec.KillDevice = kp.KillDevice
 	}
 
 	var hook ft.Hook
@@ -129,6 +148,9 @@ func (s *Sweep) runTrial(cell Cell, trial int, a *matrix.Matrix, journal *obs.Jo
 		Hook:             hook,
 		Journal:          journal,
 		DisableLookahead: cell.NoLookahead,
+		// Kill-rate cells on a pool run with fail-stop recovery, so the
+		// cell measures loss survival (and its parity upkeep cost).
+		FailStop: cell.KillRate > 0 && cell.Devices > 0,
 	}
 	s.applyDevices(&opt, cell.Devices)
 	res, err := ft.Reduce(a, opt)
@@ -143,6 +165,7 @@ func (s *Sweep) runTrial(cell Cell, trial int, a *matrix.Matrix, journal *obs.Jo
 			rec.Detections = res.Detections
 			rec.Recoveries = res.Recoveries
 			rec.Reexecutions = res.Reexecutions
+			rec.DeviceLosses = res.DeviceLosses
 			t.Err = nil
 		} else {
 			rec.Err = err.Error()
@@ -156,13 +179,15 @@ func (s *Sweep) runTrial(cell Cell, trial int, a *matrix.Matrix, journal *obs.Jo
 		rec.Recoveries = res.Recoveries
 		rec.Reexecutions = res.Reexecutions
 		rec.QCorrections = res.QCorrections
+		rec.DeviceLosses = res.DeviceLosses
+		rec.FailStopRecoveries = res.FailStopRecoveries
 		rec.SimSeconds = res.SimSeconds
 		t.Residual = lapack.FactorizationResidual(a, res.Q(), res.H())
 		rec.Residual = JSONFloat(t.Residual)
 		correct := t.Residual <= s.ResidualTol
-		handled := res.Detections > 0 || res.QCorrections > 0
+		handled := res.Detections > 0 || res.QCorrections > 0 || res.FailStopRecoveries > 0
 		switch {
-		case rec.Injections == 0:
+		case rec.Injections == 0 && res.DeviceLosses == 0:
 			t.Outcome = CleanPass
 		case handled && correct:
 			t.Outcome = Recovered
@@ -198,10 +223,11 @@ func (s *Sweep) runTrials(cells []Cell) ([][]trialResult, error) {
 			if ok && rec.Err == "" {
 				if rec.N != cell.N || rec.NB != cell.NB || rec.Lambda != cell.Lambda ||
 					rec.Region != cell.Region || rec.MinBit != cell.MinBit || rec.MaxBit != cell.MaxBit ||
-					rec.Devices != cell.Devices || rec.NoLookahead != cell.NoLookahead {
-					return nil, fmt.Errorf("campaign: resume record for cell %d trial %d does not match the sweep grid (have N=%d nb=%d λ=%g %s bits %d..%d devices=%d schedule=%s)",
+					rec.Devices != cell.Devices || rec.NoLookahead != cell.NoLookahead ||
+					rec.KillRate != cell.KillRate {
+					return nil, fmt.Errorf("campaign: resume record for cell %d trial %d does not match the sweep grid (have N=%d nb=%d λ=%g %s bits %d..%d devices=%d schedule=%s kill_rate=%g)",
 						ci, t, rec.N, rec.NB, rec.Lambda, rec.Region, rec.MinBit, rec.MaxBit, rec.Devices,
-						Cell{NoLookahead: rec.NoLookahead}.Schedule())
+						Cell{NoLookahead: rec.NoLookahead}.Schedule(), rec.KillRate)
 				}
 				results[ci][t] = trialResult{record: rec, trial: rec.toTrial(), resumed: true}
 				completed[ci*nTrials+t] = true

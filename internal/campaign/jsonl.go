@@ -46,22 +46,32 @@ type TrialRecord struct {
 	// NoLookahead marks a trial run with the depth-1 lookahead schedule
 	// disabled; omitted from old records and from default-schedule
 	// trials, which therefore resume-match only lookahead cells.
-	NoLookahead bool   `json:"no_lookahead,omitempty"`
-	Trial       int    `json:"trial"`
-	Seed        uint64 `json:"seed"`
+	NoLookahead bool `json:"no_lookahead,omitempty"`
+	// KillRate is the cell's fail-stop device-loss probability; omitted
+	// from old records, which therefore resume-match only no-kill cells.
+	KillRate float64 `json:"kill_rate,omitempty"`
+	Trial    int     `json:"trial"`
+	Seed     uint64  `json:"seed"`
 
 	Outcome string             `json:"outcome"`
 	Plans   []InjectionSummary `json:"plans,omitempty"`
 	// Injections counts performed corruptions (a plan can be void, e.g.
 	// Area 3 before any panel has finished).
-	Injections   int       `json:"injections"`
-	Detections   int       `json:"detections"`
-	Recoveries   int       `json:"recoveries"`
-	Reexecutions int       `json:"reexecutions"`
-	QCorrections int       `json:"q_corrections"`
-	Residual     JSONFloat `json:"residual"`
-	SimSeconds   float64   `json:"sim_seconds"`
-	Err          string    `json:"err,omitempty"`
+	Injections   int `json:"injections"`
+	Detections   int `json:"detections"`
+	Recoveries   int `json:"recoveries"`
+	Reexecutions int `json:"reexecutions"`
+	QCorrections int `json:"q_corrections"`
+	// The trial's sampled fail-stop kill (kill-rate cells with a loss
+	// drawn): where the device died and whether parity recovered it.
+	KillIter           int       `json:"kill_iter,omitempty"`
+	KillPoint          string    `json:"kill_point,omitempty"`
+	KillDevice         int       `json:"kill_device,omitempty"`
+	DeviceLosses       int       `json:"device_losses,omitempty"`
+	FailStopRecoveries int       `json:"failstop_recoveries,omitempty"`
+	Residual           JSONFloat `json:"residual"`
+	SimSeconds         float64   `json:"sim_seconds"`
+	Err                string    `json:"err,omitempty"`
 
 	out Outcome
 }

@@ -16,9 +16,9 @@ import (
 
 // Cell is one grid point of a sweep: a fully specified fault-injection
 // configuration. Cells are numbered in canonical grid order (N outermost,
-// then NB, lambda, region, bit range, device count, schedule), and that
-// numbering — together with the sweep seed — fixes every trial's random
-// stream.
+// then NB, lambda, region, bit range, device count, schedule, kill rate),
+// and that numbering — together with the sweep seed — fixes every trial's
+// random stream.
 type Cell struct {
 	Index  int          `json:"cell"`
 	N      int          `json:"n"`
@@ -38,6 +38,12 @@ type Cell struct {
 	// schedule's effect on modeled time from fault coverage — which the
 	// split checksum algebra must keep unchanged.
 	NoLookahead bool `json:"no_lookahead,omitempty"`
+	// KillRate is the per-trial probability of one fail-stop device loss
+	// (uniform iteration, device, and kill window). A non-zero rate on a
+	// device-pool cell also enables parity-based fail-stop recovery
+	// (DESIGN.md §13), so its trials measure loss survival; on a
+	// single-device cell a sampled kill is always fatal (uncorrectable).
+	KillRate float64 `json:"kill_rate,omitempty"`
 }
 
 // Schedule names the cell's update schedule (ScheduleLookahead or
@@ -76,6 +82,9 @@ type Sweep struct {
 	// Schedules is the grid of update schedules: ScheduleLookahead
 	// and/or ScheduleSerial (default {ScheduleLookahead}).
 	Schedules []string
+	// KillRates is the grid of fail-stop device-loss probabilities per
+	// trial (default {0} = no losses; see Cell.KillRate).
+	KillRates []float64
 	// TrialsPerCell is the number of independent runs per cell (required).
 	TrialsPerCell int
 	// Seed fixes every trial's random stream (with the cell and trial
@@ -129,6 +138,10 @@ type CellReport struct {
 	Recoveries   int `json:"recoveries"`
 	Reexecutions int `json:"reexecutions"`
 	QCorrections int `json:"q_corrections"`
+	// Fail-stop tallies (kill-rate cells): permanent device deaths across
+	// the cell's trials and the parity reconstructions that survived them.
+	DeviceLosses       int `json:"device_losses,omitempty"`
+	FailStopRecoveries int `json:"failstop_recoveries,omitempty"`
 
 	// FaultedTrials counts trials with ≥1 injection; DetectedTrials the
 	// subset where the scheme reacted (a detection, a Q correction, or an
@@ -194,12 +207,15 @@ func (s *Sweep) cells() []Cell {
 					for _, br := range s.BitRanges {
 						for _, dk := range s.DeviceCounts {
 							for _, sched := range s.Schedules {
-								out = append(out, Cell{
-									Index: len(out), N: n, NB: nb, Lambda: lam,
-									Region: reg, MinBit: br[0], MaxBit: br[1],
-									Devices:     dk,
-									NoLookahead: sched == ScheduleSerial,
-								})
+								for _, kr := range s.KillRates {
+									out = append(out, Cell{
+										Index: len(out), N: n, NB: nb, Lambda: lam,
+										Region: reg, MinBit: br[0], MaxBit: br[1],
+										Devices:     dk,
+										NoLookahead: sched == ScheduleSerial,
+										KillRate:    kr,
+									})
+								}
 							}
 						}
 					}
@@ -265,6 +281,14 @@ func (s *Sweep) validate() error {
 		if sched != ScheduleLookahead && sched != ScheduleSerial {
 			return fmt.Errorf("campaign: unknown schedule %q (want %s or %s)",
 				sched, ScheduleLookahead, ScheduleSerial)
+		}
+	}
+	if len(s.KillRates) == 0 {
+		s.KillRates = []float64{0}
+	}
+	for _, kr := range s.KillRates {
+		if kr < 0 || kr > 1 {
+			return fmt.Errorf("campaign: invalid kill rate %g (want 0..1)", kr)
 		}
 	}
 	if s.ResidualTol <= 0 {
@@ -348,12 +372,14 @@ func aggregateCell(cell Cell, results []trialResult, baseline float64) CellRepor
 		cr.Recoveries += r.Recoveries
 		cr.Reexecutions += r.Reexecutions
 		cr.QCorrections += r.QCorrections
+		cr.DeviceLosses += r.DeviceLosses
+		cr.FailStopRecoveries += r.FailStopRecoveries
 		if r.Residual > cr.WorstResidual {
 			cr.WorstResidual = r.Residual
 		}
-		if r.Injections > 0 {
+		if r.Injections > 0 || r.DeviceLosses > 0 {
 			cr.FaultedTrials++
-			if r.Detections > 0 || r.QCorrections > 0 || o == Uncorrectable {
+			if r.Detections > 0 || r.QCorrections > 0 || r.FailStopRecoveries > 0 || o == Uncorrectable {
 				cr.DetectedTrials++
 			}
 			if r.Err == "" && r.SimSeconds > 0 {
@@ -390,11 +416,11 @@ func RunSweep(s *Sweep) (*SweepReport, error) {
 func (r *SweepReport) Print(w io.Writer) {
 	fmt.Fprintf(w, "Soft-error sweep campaign: %d cells × %d trials = %d trials, seed %d\n",
 		len(r.Cells), r.TrialsPerCell, r.TotalTrials, r.Seed)
-	fmt.Fprintf(w, "%6s %6s %4s %3s %-9s %7s %-6s %7s | %6s %6s %6s %6s %6s | %8s %9s %9s\n",
-		"cell", "N", "nb", "K", "sched", "lambda", "region", "bits", "clean", "recov", "benign", "corrpt", "uncorr", "coverage", "overhead", "worst-res")
+	fmt.Fprintf(w, "%6s %6s %4s %3s %-9s %5s %7s %-6s %7s | %6s %6s %6s %6s %6s | %8s %9s %9s\n",
+		"cell", "N", "nb", "K", "sched", "krate", "lambda", "region", "bits", "clean", "recov", "benign", "corrpt", "uncorr", "coverage", "overhead", "worst-res")
 	for _, c := range r.Cells {
-		fmt.Fprintf(w, "%6d %6d %4d %3d %-9s %7.2f %-6s %3d..%2d | %6d %6d %6d %6d %6d | %7.1f%% %8.2f%% %9.2e\n",
-			c.Cell.Index, c.Cell.N, c.Cell.NB, c.Cell.Devices, c.Cell.Schedule(), c.Cell.Lambda, c.Cell.Region,
+		fmt.Fprintf(w, "%6d %6d %4d %3d %-9s %5.2f %7.2f %-6s %3d..%2d | %6d %6d %6d %6d %6d | %7.1f%% %8.2f%% %9.2e\n",
+			c.Cell.Index, c.Cell.N, c.Cell.NB, c.Cell.Devices, c.Cell.Schedule(), c.Cell.KillRate, c.Cell.Lambda, c.Cell.Region,
 			c.Cell.MinBit, c.Cell.MaxBit,
 			c.Outcome(CleanPass), c.Outcome(Recovered), c.Outcome(SilentBenign),
 			c.Outcome(SilentCorrupt), c.Outcome(Uncorrectable),

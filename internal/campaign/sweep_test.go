@@ -348,3 +348,78 @@ func TestSweepDeviceAxis(t *testing.T) {
 		t.Fatalf("JSONL device counts: %v", seen)
 	}
 }
+
+func TestSweepKillRateAxis(t *testing.T) {
+	// The kill-rate axis: at rate 1 every trial loses a device. On a
+	// 3-device pool fail-stop recovery must turn each loss into a
+	// Recovered trial (never silent corruption); on the single-device
+	// substrate the same loss is always fatal and must be reported
+	// uncorrectable. The sampled kill coordinates ride the JSONL records.
+	var sink bytes.Buffer
+	s := &Sweep{
+		Ns:            []int{126},
+		NBs:           []int{16},
+		Lambdas:       []float64{0.5},
+		DeviceCounts:  []int{0, 3},
+		KillRates:     []float64{0, 1},
+		TrialsPerCell: 3,
+		Seed:          13,
+		Workers:       2,
+		TrialSink:     &sink,
+	}
+	rep, err := RunSweep(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 4 {
+		t.Fatalf("expected 4 cells (devices × kill rate), got %d", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Outcome(SilentCorrupt) > 0 {
+			t.Fatalf("devices=%d kill_rate=%g: silent corruption", c.Cell.Devices, c.Cell.KillRate)
+		}
+		switch {
+		case c.Cell.KillRate == 0:
+			if c.DeviceLosses != 0 || c.FailStopRecoveries != 0 {
+				t.Fatalf("kill_rate=0 cell saw losses: %+v", c)
+			}
+		case c.Cell.Devices == 0:
+			// Single device: every killed trial dies loudly.
+			if c.Outcome(Uncorrectable) != c.Trials {
+				t.Fatalf("devices=0 kill_rate=1: %d/%d uncorrectable", c.Outcome(Uncorrectable), c.Trials)
+			}
+		default:
+			// Pool with fail-stop: every loss reconstructed, every trial
+			// correct.
+			if c.DeviceLosses != c.Trials || c.FailStopRecoveries != c.Trials {
+				t.Fatalf("devices=3 kill_rate=1: losses=%d recoveries=%d over %d trials",
+					c.DeviceLosses, c.FailStopRecoveries, c.Trials)
+			}
+			if c.Outcome(Uncorrectable) > 0 {
+				t.Fatalf("devices=3 kill_rate=1: uncorrectable despite fail-stop recovery")
+			}
+			if c.Coverage != 1 {
+				t.Fatalf("devices=3 kill_rate=1: coverage %.2f, want 1", c.Coverage)
+			}
+		}
+	}
+	recs, err := LoadTrialJSONL(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := 0
+	for _, r := range recs {
+		if r.KillRate == 1 && r.Devices == 3 {
+			if r.KillPoint == "" {
+				t.Fatalf("killed trial lost its kill coordinates: %+v", r)
+			}
+			if r.KillDevice < 0 || r.KillDevice >= 3 {
+				t.Fatalf("kill device %d out of pool range", r.KillDevice)
+			}
+			killed++
+		}
+	}
+	if killed != 3 {
+		t.Fatalf("JSONL kill records: %d, want 3", killed)
+	}
+}

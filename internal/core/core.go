@@ -82,7 +82,14 @@ type Options struct {
 	// k+1 factored under trailing update k) in both hybrid algorithms.
 	// Results are bit-identical either way; only modeled time changes.
 	DisableLookahead bool
-	Hook             ft.Hook
+	// FailStop enables fail-stop device-loss recovery on the multi-device
+	// path (DESIGN.md §13): a parity slab on a checksum device lets a run
+	// survive one permanently dead device bit-identically. SpareDevice,
+	// when set, supplies replacement (and parity) devices; otherwise they
+	// are fabricated from Params/CostOnly. Both pass through to ft.
+	FailStop    bool
+	SpareDevice func() *gpu.Device
+	Hook        ft.Hook
 	// Obs, when set, receives run metrics (per-phase timers, kernel-kind
 	// time, lane utilization, FT counters). Journal receives the typed
 	// fault-tolerance event stream. Both are ignored by CPUOnly.
@@ -124,6 +131,10 @@ type Result struct {
 	Recoveries   int
 	CorrectedH   []ft.Injection
 	QCorrections int
+	// Fail-stop statistics (FaultTolerant on a device pool, DESIGN.md §13):
+	// permanent device deaths and parity reconstructions that survived them.
+	DeviceLosses       int
+	FailStopRecoveries int
 }
 
 // H extracts the upper Hessenberg factor.
@@ -242,6 +253,8 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 			DisableQProtection: opt.DisableQProtection,
 			DisableOverlap:     opt.DisableOverlap,
 			DisableLookahead:   opt.DisableLookahead,
+			FailStop:           opt.FailStop,
+			SpareDevice:        opt.SpareDevice,
 			Hook:               opt.Hook,
 			Obs:                opt.Obs,
 			Journal:            opt.Journal,
@@ -262,6 +275,8 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 			SimSeconds: res.SimSeconds, ModelGFLOPS: res.ModelGFLOPS,
 			Detections: res.Detections, Recoveries: res.Recoveries,
 			CorrectedH: res.CorrectedH, QCorrections: res.QCorrections,
+			DeviceLosses:       res.DeviceLosses,
+			FailStopRecoveries: res.FailStopRecoveries,
 		}, nil
 	}
 }

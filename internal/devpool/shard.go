@@ -139,6 +139,63 @@ func NewShard(pool *Pool, n, nb, pad int) *Shard {
 	return sh
 }
 
+// Reattach reallocates the device-resident state of pool slot d on the
+// device now occupying it — fail-stop recovery, after Pool.ReplaceDevice
+// swapped a spare into a dead device's slot. Slab storage is allocated
+// empty (Parity.Reconstruct fills it); workspaces mirror NewShard. All
+// of the slot's completion events reset to time zero — the spare starts
+// with drained streams — and the cached V column sums are invalidated
+// so the left update recomputes them from the rebroadcast V (bitwise
+// identical: same input, same kernel).
+func (sh *Shard) Reattach(d int) {
+	dev := sh.Pool.Devices[d]
+	n, nb, pad := sh.N, sh.NB, sh.Pad
+	for _, s := range sh.DevSlabs[d] {
+		sh.SlabM[s] = dev.Alloc(n+pad, sh.Part.Slabs[s].Cols+pad)
+		sh.Last[s] = sim.Event{}
+	}
+	sh.evVexp[d], sh.evT[d], sh.evY[d] = sim.Event{}, sim.Event{}, sim.Event{}
+	sh.lastGemv[d] = sim.Event{}
+	sh.vsumReady[d] = sim.Event{}
+	sh.vsumHave[d] = false
+	if len(sh.DevSlabs[d]) == 0 {
+		return
+	}
+	maxSlabs := sh.Part.MaxSlabsPerOwner(sh.Pool.K())
+	sh.dVexp[d] = dev.Alloc(n, nb)
+	sh.dYb[d] = dev.Alloc(n+pad, nb)
+	sh.dTb[d] = dev.Alloc(nb, nb)
+	sh.dVcol[d] = dev.Alloc(n, 1)
+	sh.dYpart[d] = dev.Alloc(n, maxSlabs)
+	sh.dWide[d] = dev.Alloc(n+pad, maxSlabs*nb)
+	sh.dSbuf[d] = dev.Alloc(nb, sh.Part.Width+pad)
+	if pad > 0 {
+		sh.dOnes[d] = dev.Alloc(n, 1)
+		sh.dVsumCol[d] = dev.Alloc(nb, 1)
+		sh.dVsumRow[d] = dev.Alloc(1, nb)
+		ones := sh.dOnes[d]
+		dev.Custom(dev.Params.VecDevice(n), func() {
+			for i := range ones.Data {
+				ones.Data[i] = 1
+			}
+		})
+	}
+}
+
+// Rebroadcast re-uploads the current iteration's host-resident operands
+// (dense expanded V, T, and the assembled Y) to pool slot d. Used when
+// a device is replaced mid-iteration: the broadcast values its
+// predecessor held are gone, but the host still has every one of them,
+// so the remaining update kernels read identical bits from the spare.
+func (sh *Shard) Rebroadcast(d int, tHost, yHost *matrix.Matrix, k, ib int) {
+	dev := sh.Pool.Devices[d]
+	sh.Pool.Issue(dev)
+	sh.evVexp[d] = dev.H2DAsync(sh.dVexp[d], 0, 0, sh.vexpHost.View(0, 0, sh.N-k, ib))
+	sh.evT[d] = dev.H2DAsync(sh.dTb[d], 0, 0, tHost.View(0, 0, ib, ib))
+	sh.evY[d] = dev.H2DAsync(sh.dYb[d], 0, 0, yHost.View(0, 0, sh.N+sh.Pad, ib))
+	sh.vsumHave[d] = false
+}
+
 // Free releases all device allocations of the shard.
 func (sh *Shard) Free() {
 	for s, m := range sh.SlabM {

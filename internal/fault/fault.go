@@ -1,9 +1,12 @@
 // Package fault implements the paper's failure model (Section IV-A) and
-// the injection methodology of its evaluation (Section VI): transient
-// single- or multi-element corruptions injected at blocked-iteration
-// boundaries ("the error is injected when iteration i has finished, and
-// iteration i+1 has not yet started"), aimed at the three areas of
-// Figure 2(a):
+// the injection methodology of its evaluation (Section VI), plus a
+// beyond-paper fail-stop extension (DESIGN.md §13, flagged per the
+// DESIGN.md §2 convention).
+//
+// The paper's model is transient: single- or multi-element corruptions
+// injected at blocked-iteration boundaries ("the error is injected when
+// iteration i has finished, and iteration i+1 has not yet started"),
+// aimed at the three areas of Figure 2(a):
 //
 //	Area 1 — the upper part of the trailing matrix (intermediate data
 //	         above the panel rows); the error propagates row-wise.
@@ -11,6 +14,17 @@
 //	         into almost the whole trailing block.
 //	Area 3 — the finished part on the host (the Householder vectors of
 //	         Q); the error does not propagate.
+//
+// The fail-stop extension models a different failure class: a pool
+// device that goes permanently dead mid-iteration (Plan.KillPoint /
+// Plan.KillDevice), taking every slab it owns with it. Unlike a
+// transient flip — corrupted values in memory that still responds — a
+// killed device never answers again: reads return poison, writes are
+// dropped, and the only way forward is the parity-based reconstruction
+// in internal/ft. The KillPoint names where inside the blocked
+// iteration the loss strikes (boundary, panel offload, mid trailing
+// update, or during a recovery already in flight), so tests and the
+// campaign can stress each window of the recovery protocol.
 //
 // The Injector type implements ft.Hook for the fault-tolerant reduction
 // and also adapts to the baseline hybrid reduction's BeforeIteration hook
@@ -196,6 +210,41 @@ type Pos struct {
 	Row, Col int
 }
 
+// KillPoint names the program point within a blocked iteration at which
+// a fail-stop device loss strikes (beyond-paper, DESIGN.md §13). Kills
+// fire only at parity-consistent sync points, mirroring real detection:
+// a lost device is noticed when the host next touches it, and the parity
+// slab is refreshed at exactly these points.
+type KillPoint string
+
+const (
+	// KillNone means the plan kills no device.
+	KillNone KillPoint = ""
+	// KillBoundary kills at the iteration boundary, before the checksum
+	// sweep — the device dies with only completed iterations on it.
+	KillBoundary KillPoint = "boundary"
+	// KillPanel kills as the panel offload begins — after the boundary
+	// checksum sweep, before PanelD2H reads the panel slab.
+	KillPanel KillPoint = "panel"
+	// KillUpdate kills mid-iteration, after the right update (and its
+	// parity refresh) but before the left update — the lookahead-split
+	// window where priority and remainder state coexist.
+	KillUpdate KillPoint = "update"
+	// KillRecovery arms a second loss that fires the moment fail-stop
+	// reconstruction begins: the double-fault case, which must surface
+	// as ErrUncorrectable, never silently.
+	KillRecovery KillPoint = "recovery"
+)
+
+// ParseKillPoint validates a kill-point name.
+func ParseKillPoint(s string) (KillPoint, error) {
+	switch KillPoint(s) {
+	case KillNone, KillBoundary, KillPanel, KillUpdate, KillRecovery:
+		return KillPoint(s), nil
+	}
+	return KillNone, fmt.Errorf("fault: unknown kill point %q (want boundary|panel|update|recovery)", s)
+}
+
 // Plan describes a deterministic injection campaign.
 type Plan struct {
 	// Area selects the target region (ignored when Positions is set).
@@ -218,6 +267,13 @@ type Plan struct {
 	Bit     uint
 	// Seed drives the deterministic position sampling.
 	Seed uint64
+	// KillPoint, when non-empty, turns the plan into (or adds) a
+	// fail-stop device loss: device KillDevice dies permanently at this
+	// point of TargetIter. A plan with a KillPoint and no Area performs
+	// no transient injection.
+	KillPoint KillPoint
+	// KillDevice is the pool index of the device to kill.
+	KillDevice int
 }
 
 // Injector performs the injections of one or more Plans (one per target
@@ -312,6 +368,12 @@ func (in *Injector) BeforeIteration(ctx *ft.IterCtx) {
 	for _, plan := range in.plans {
 		if ctx.Iter != plan.TargetIter {
 			continue
+		}
+		if plan.KillPoint != KillNone {
+			ctx.KillDevice(plan.KillDevice, string(plan.KillPoint))
+			if plan.Area == 0 && len(plan.Positions) == 0 {
+				continue // kill-only plan: no transient injection
+			}
 		}
 		for i, pos := range positions(plan, ctx.N, ctx.Panel, ctx.NB) {
 			in.inject(ctx, plan, pos, ctx.Iter, i)

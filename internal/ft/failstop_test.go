@@ -1,0 +1,210 @@
+package ft
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/lapack"
+	"repro/internal/matrix"
+	"repro/internal/sim"
+)
+
+// killSpec arms one device kill at one iteration.
+type killSpec struct {
+	iter  int
+	dev   int
+	point string
+}
+
+// killHook arms fail-stop device kills through IterCtx.KillDevice; it
+// performs no transient injections.
+type killHook struct {
+	kills []killSpec
+}
+
+func (h *killHook) BeforeIteration(ctx *IterCtx) {
+	for _, k := range h.kills {
+		if ctx.Iter == k.iter {
+			ctx.KillDevice(k.dev, k.point)
+		}
+	}
+}
+func (h *killHook) ConsumePendingH() int { return 0 }
+func (h *killHook) PendingQ() int        { return 0 }
+
+// mustReduceClean runs a fault-free reduction as the bit-identical
+// reference.
+func mustReduceClean(t *testing.T, a *matrix.Matrix, nb, k int) *Result {
+	t.Helper()
+	res, err := Reduce(a, Options{NB: nb, Devices: newDevs(k, gpu.Real)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func checkBitIdentical(t *testing.T, res, ref *Result, label string) {
+	t.Helper()
+	if !res.Packed.Equal(ref.Packed) {
+		d := res.Packed.Sub(ref.Packed).MaxAbs()
+		t.Fatalf("%s: packed not bit-identical to fault-free run (max |Δ| = %g)", label, d)
+	}
+	for i := range ref.Tau {
+		if res.Tau[i] != ref.Tau[i] {
+			t.Fatalf("%s: tau[%d] = %v vs clean %v", label, i, res.Tau[i], ref.Tau[i])
+		}
+	}
+}
+
+// The parity layer must never leak into the data path: a clean run with
+// fail-stop on is bit-identical to one with it off, with no phantom
+// loss or reconstruction events.
+func TestFailStopCleanBitIdentical(t *testing.T) {
+	n, nb := 192, 16
+	a := matrix.Random(n, n, 41)
+	for _, k := range []int{1, 2, 3} {
+		ref := mustReduceClean(t, a, nb, k)
+		res, err := Reduce(a, Options{NB: nb, Devices: newDevs(k, gpu.Real), FailStop: true})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if res.DeviceLosses != 0 || res.FailStopRecoveries != 0 {
+			t.Fatalf("k=%d: phantom fail-stop events: %+v", k, res)
+		}
+		checkBitIdentical(t, res, ref, "clean failstop")
+	}
+}
+
+// A device killed at each recovery window — iteration boundary, panel
+// offload, and mid trailing update (the lookahead-split window) — is
+// reconstructed onto a spare and the result stays bit-identical to the
+// fault-free run.
+func TestFailStopKillPointsBitIdentical(t *testing.T) {
+	n, nb, k := 192, 16, 3
+	a := matrix.Random(n, n, 42)
+	ref := mustReduceClean(t, a, nb, k)
+	for _, point := range []string{"boundary", "panel", "update"} {
+		for dev := 0; dev < k; dev++ {
+			hook := &killHook{kills: []killSpec{{iter: 2, dev: dev, point: point}}}
+			res, err := Reduce(a, Options{
+				NB: nb, Devices: newDevs(k, gpu.Real), FailStop: true, Hook: hook,
+			})
+			if err != nil {
+				t.Fatalf("%s d%d: %v", point, dev, err)
+			}
+			if res.DeviceLosses != 1 || res.FailStopRecoveries != 1 {
+				t.Fatalf("%s d%d: losses=%d recoveries=%d", point, dev,
+					res.DeviceLosses, res.FailStopRecoveries)
+			}
+			checkBitIdentical(t, res, ref, point+" kill")
+			h, q := res.H(), res.Q()
+			if r := lapack.FactorizationResidual(a, q, h); r > 1e-13 {
+				t.Fatalf("%s d%d: residual after recovery %v", point, dev, r)
+			}
+		}
+	}
+}
+
+// Killing the panel slab's owner as the offload begins exercises the
+// sharpest window: the reconstructed slab immediately feeds the host
+// factorization. Run with lookahead disabled too — the recovery must
+// not depend on the schedule.
+func TestFailStopNoLookaheadKill(t *testing.T) {
+	n, nb, k := 192, 16, 2
+	a := matrix.Random(n, n, 43)
+	ref, err := Reduce(a, Options{NB: nb, Devices: newDevs(k, gpu.Real), DisableLookahead: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, point := range []string{"panel", "update"} {
+		hook := &killHook{kills: []killSpec{{iter: 1, dev: 1, point: point}}}
+		res, err := Reduce(a, Options{
+			NB: nb, Devices: newDevs(k, gpu.Real), FailStop: true,
+			DisableLookahead: true, Hook: hook,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", point, err)
+		}
+		if res.FailStopRecoveries != 1 {
+			t.Fatalf("%s: recoveries=%d", point, res.FailStopRecoveries)
+		}
+		checkBitIdentical(t, res, ref, "no-lookahead "+point)
+	}
+}
+
+// A second device lost while reconstruction is in flight exceeds the
+// parity's single-loss budget: the run must fail with ErrUncorrectable,
+// never silently.
+func TestFailStopDoubleFaultUncorrectable(t *testing.T) {
+	n, nb, k := 192, 16, 3
+	a := matrix.Random(n, n, 44)
+	hook := &killHook{kills: []killSpec{
+		{iter: 2, dev: 0, point: "update"},
+		{iter: 2, dev: 1, point: "recovery"},
+	}}
+	res, err := Reduce(a, Options{
+		NB: nb, Devices: newDevs(k, gpu.Real), FailStop: true, Hook: hook,
+	})
+	if !errors.Is(err, ErrUncorrectable) {
+		t.Fatalf("double fault: err = %v, want ErrUncorrectable", err)
+	}
+	if res.DeviceLosses != 2 {
+		t.Fatalf("double fault: losses=%d, want 2", res.DeviceLosses)
+	}
+	if res.FailStopRecoveries != 0 {
+		t.Fatalf("double fault: phantom recovery")
+	}
+}
+
+// A device loss with fail-stop recovery disabled must fail loudly.
+func TestFailStopDisabledKillUncorrectable(t *testing.T) {
+	n, nb, k := 192, 16, 2
+	a := matrix.Random(n, n, 45)
+	hook := &killHook{kills: []killSpec{{iter: 1, dev: 0, point: "boundary"}}}
+	res, err := Reduce(a, Options{NB: nb, Devices: newDevs(k, gpu.Real), Hook: hook})
+	if !errors.Is(err, ErrUncorrectable) {
+		t.Fatalf("failstop off: err = %v, want ErrUncorrectable", err)
+	}
+	if res.DeviceLosses != 1 {
+		t.Fatalf("failstop off: losses=%d, want 1", res.DeviceLosses)
+	}
+}
+
+// The single-device path has no peers to reconstruct from: a kill there
+// is always fatal, with or without FailStop.
+func TestFailStopSingleDeviceKillUncorrectable(t *testing.T) {
+	n, nb := 96, 16
+	a := matrix.Random(n, n, 46)
+	hook := &killHook{kills: []killSpec{{iter: 1, dev: 0, point: "boundary"}}}
+	_, err := Reduce(a, Options{NB: nb, Device: gpu.New(sim.K40c(), gpu.Real), Hook: hook})
+	if !errors.Is(err, ErrUncorrectable) {
+		t.Fatalf("single device: err = %v, want ErrUncorrectable", err)
+	}
+}
+
+// Cost-only mode carries the fail-stop machinery too (the bench sweeps
+// run there): kills, reconstruction charges, and counters all behave,
+// and the modeled makespan with a recovery exceeds the clean one.
+func TestFailStopCostOnlyRecovery(t *testing.T) {
+	n, nb, k := 384, 32, 3
+	a := matrix.Random(n, n, 47)
+	clean, err := Reduce(a, Options{NB: nb, Devices: newDevs(k, gpu.CostOnly), FailStop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := &killHook{kills: []killSpec{{iter: 2, dev: 1, point: "update"}}}
+	res, err := Reduce(a, Options{
+		NB: nb, Devices: newDevs(k, gpu.CostOnly), FailStop: true, Hook: hook,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailStopRecoveries != 1 || res.DeviceLosses != 1 {
+		t.Fatalf("cost-only: losses=%d recoveries=%d", res.DeviceLosses, res.FailStopRecoveries)
+	}
+	if res.SimSeconds <= clean.SimSeconds {
+		t.Fatalf("reconstruction charged no time: killed %v <= clean %v",
+			res.SimSeconds, clean.SimSeconds)
+	}
+}

@@ -135,6 +135,24 @@ func (c *IterCtx) FlipBitH(row, col int, bit uint) float64 {
 	return 0
 }
 
+// KillDevice arms a fail-stop device loss for the upcoming iteration:
+// pool device d dies permanently at the named program point ("boundary",
+// "panel", "update", or "recovery" — see fault.KillPoint). On the
+// multi-device path the loss fires at that sync point and, with
+// Options.FailStop, is recovered by parity reconstruction; without it
+// the run fails with ErrUncorrectable. On the single-device path a lost
+// device is always fatal (there are no peers to reconstruct from).
+// Out-of-range device indices are ignored.
+func (c *IterCtx) KillDevice(d int, point string) {
+	if c.multi != nil {
+		c.multi.fsArm(d, point)
+		return
+	}
+	if c.reducer != nil {
+		c.reducer.deviceLost = true
+	}
+}
+
 // Hook lets a fault campaign inject errors at iteration boundaries, the
 // paper's failure model ("the error is injected when iteration i has
 // finished and iteration i+1 has not yet started").
@@ -202,6 +220,21 @@ type Options struct {
 	// after the last blocked iteration, catching errors that struck
 	// already-finished H data (an extension beyond the paper).
 	FinalHCheck bool
+	// FailStop enables the fail-stop device-loss layer on the multi-device
+	// path (beyond-paper, DESIGN.md §13): a parity copy of every snake
+	// round's slabs — the bitwise XOR, so reconstruction is exact — lives
+	// on a dedicated checksum device and is refreshed at two sync points
+	// per iteration; when a pool device dies (gpu.Device.Kill), its slabs
+	// are rebuilt from parity ⊕ survivors onto a spare and the reduction
+	// resumes in place, bit-identical to a fault-free run. Ignored on the
+	// single-device path.
+	FailStop bool
+	// SpareDevice supplies replacement devices for the fail-stop layer:
+	// called once at setup for the parity device and once per device
+	// loss. When nil, spares are fabricated with the pool's params and
+	// mode (indices above the pool). The serving layer passes a farm
+	// lease here so recovery draws on real capacity when available.
+	SpareDevice func() *gpu.Device
 	// PostProcess switches to the post-processing detection scheme of the
 	// prior work the paper compares against (Du et al.): checksums are
 	// still maintained, but the Sre/Sce comparison runs only once, after
@@ -249,6 +282,12 @@ type Result struct {
 	CorrectedH []Injection
 	// QCorrections counts elements repaired by the Q checksum check.
 	QCorrections int
+	// DeviceLosses counts fail-stop device deaths observed during the run
+	// (equals the ft_device_losses_total counter).
+	DeviceLosses int
+	// FailStopRecoveries counts successful parity reconstructions onto a
+	// spare (equals the ft_failstop_reconstructions_total counter).
+	FailStopRecoveries int
 	// SimSeconds and ModelGFLOPS report the simulated performance.
 	SimSeconds  float64
 	ModelGFLOPS float64
@@ -296,6 +335,10 @@ type reducer struct {
 	tauDet float64
 	// lastDetectGap is |Sre−Sce| from the most recent detect() (Real mode).
 	lastDetectGap float64
+	// deviceLost marks a fail-stop kill request (IterCtx.KillDevice):
+	// with a single device there are no peers to reconstruct from, so
+	// the reduction fails immediately rather than computing on poison.
+	deviceLost bool
 	// Q protection
 	qprot *qChecksums
 	res   *Result
@@ -336,6 +379,8 @@ var ftCounterNames = []string{
 	"ft_reexecutions_total",
 	"ft_checkpoints_total",
 	"ft_q_corrections_total",
+	"ft_device_losses_total",
+	"ft_failstop_reconstructions_total",
 }
 
 // Reduce runs the fault-tolerant hybrid Hessenberg reduction of a
@@ -476,6 +521,14 @@ func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) 
 				Iter: iter, Panel: p, NB: ib, N: n,
 				reducer: r,
 			})
+		}
+		if r.deviceLost {
+			r.res.DeviceLosses++
+			r.count("ft_device_losses_total")
+			ev := obs.Ev(obs.KindDeviceLoss, iter)
+			ev.Target = obs.TargetH
+			r.journal(ev)
+			return r.res, fmt.Errorf("%w: device lost at iteration %d (fail-stop recovery requires the multi-device path)", ErrUncorrectable, iter)
 		}
 
 		recovered := 0

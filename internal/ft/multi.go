@@ -69,6 +69,13 @@ type multiReducer struct {
 
 	qprot *qChecksums
 	res   *Result
+
+	// fs is the fail-stop recovery state (failstop.go), nil with
+	// Options.FailStop off. fsKills holds armed device kills keyed by
+	// kill point — populated via IterCtx.KillDevice regardless of
+	// FailStop, so a loss with recovery disabled still fails loudly.
+	fs      *failStop
+	fsKills map[string]int
 }
 
 // journal appends one FT event stamped with the pool's simulated time.
@@ -182,6 +189,7 @@ func reduceMulti(a *matrix.Matrix, opt Options) (*Result, error) {
 	for s := range sh.Part.Slabs {
 		r.encodeSlab(s)
 	}
+	defer r.fsSetup()()
 	r.yHost = matrix.New(n+1, nb)
 	r.tHost = matrix.New(nb, nb)
 	r.qprot = newQChecksums(n)
@@ -207,12 +215,27 @@ func reduceMulti(a *matrix.Matrix, opt Options) (*Result, error) {
 			})
 		}
 
+		// A boundary-point device loss strikes here: the dead device holds
+		// only completed iterations, all captured by the last parity
+		// refresh, so reconstruction restores the boundary state exactly.
+		if err := r.fsKillAt(killBoundary, iter, p, k, ib); err != nil {
+			return r.res, err
+		}
+
 		// Boundary check: a fault injected between iterations is caught
 		// here, before this iteration's updates consume the data.
 		if !opt.PostProcess {
 			if err := r.checkAll(iter, p); err != nil {
 				return r.res, err
 			}
+		}
+
+		// A panel-point loss strikes as the panel offload begins — after
+		// the boundary sweep, before PanelD2H reads the panel slab. No
+		// kernel has written any slab since the boundary refresh, so the
+		// reconstruction is again exact; PanelD2H then reads the spare.
+		if err := r.fsKillAt(killPanel, iter, p, k, ib); err != nil {
+			return r.res, err
 		}
 
 		// After the first iteration of a lookahead run the panel's columns
@@ -246,6 +269,17 @@ func reduceMulti(a *matrix.Matrix, opt Options) (*Result, error) {
 			sh.PriorityUpdate(p, k, ib, nb)
 		}
 		sh.RightUpdate(p, k, ib)
+
+		// Mid-iteration parity sync point: capture the post-right-update
+		// state (priority columns ahead of the remainder included, exactly
+		// as the lookahead split left them) so an update-point loss
+		// reconstructs to precisely this state and the left update resumes
+		// on the spare with the rebroadcast V/T/Y.
+		r.fsRefresh(p)
+		if err := r.fsKillAt(killUpdate, iter, p, k, ib); err != nil {
+			return r.res, err
+		}
+
 		pool.SetPhase("left_update")
 		sh.LeftUpdate(p, k, ib)
 
@@ -254,6 +288,9 @@ func reduceMulti(a *matrix.Matrix, opt Options) (*Result, error) {
 		// the final data so the next boundary check sees it consistent.
 		pool.SetPhase("checksum_maintenance")
 		r.encodeSlab(sh.Part.SlabOf(p))
+
+		// Boundary parity sync point: the iteration's writes are complete.
+		r.fsRefresh(p)
 		iter++
 	}
 	r.res.BlockedIters = iter
@@ -533,6 +570,10 @@ func (r *multiReducer) checkAll(iter, p int) error {
 				return fmt.Errorf("%w (iteration %d, slab %d)", ErrDetectionStorm, iter, s)
 			}
 		}
+		// The correction rewrote slab content already folded into the
+		// fail-stop parity; re-encode its round so a later loss does not
+		// resurrect the corrupted bits.
+		r.fsRefreshRoundOf(s)
 	}
 	return nil
 }

@@ -23,6 +23,7 @@ package gpu
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"repro/internal/matrix"
@@ -111,6 +112,13 @@ type Device struct {
 	flowSeq       int
 	flowByEvent   map[float64]int
 	pendingFlowIn []int
+
+	// dead marks a device that suffered a fail-stop loss (Kill). A dead
+	// device's memory is gone: reads return garbage (NaN fill) and writes
+	// are dropped, modeling a detached accelerator whose mappings fault.
+	// The simulated clocks still advance so issuing code keeps a coherent
+	// notion of time until the loss is detected and the device replaced.
+	dead bool
 }
 
 // New creates a device with the given cost parameters and mode.
@@ -151,6 +159,15 @@ func NewIndexed(p sim.Params, mode Mode, k int) *Device {
 // Name reports the pool name of the device ("d0", "d1", …), or "" for a
 // classic single device created with New.
 func (d *Device) Name() string { return d.name }
+
+// Kill marks the device permanently dead (fail-stop loss). From now on
+// D2H transfers from it fill the host buffer with NaN — the poisoned
+// garbage a faulted mapping yields — and H2D transfers into it are
+// dropped. Kill is irreversible; recovery replaces the device instead.
+func (d *Device) Kill() { d.dead = true }
+
+// Dead reports whether the device has been killed.
+func (d *Device) Dead() bool { return d.dead }
 
 // Matrix is a column-major matrix resident in device memory. In CostOnly
 // mode Data is nil.
@@ -366,7 +383,7 @@ func (d *Device) H2DAsync(dst *Matrix, di, dj int, src *matrix.Matrix, deps ...s
 	bytes := src.Rows * src.Cols * 8
 	d.transfers++
 	d.bytesMoved += int64(bytes)
-	if d.Mode == Real && src.Rows > 0 && src.Cols > 0 {
+	if d.Mode == Real && !d.dead && src.Rows > 0 && src.Cols > 0 {
 		for j := 0; j < src.Cols; j++ {
 			copy(dst.ptr(di, dj+j)[:src.Rows], src.Col(j))
 		}
@@ -395,8 +412,12 @@ func (d *Device) D2HAsync(dst *matrix.Matrix, src *Matrix, si, sj int, deps ...s
 	d.transfers++
 	d.bytesMoved += int64(bytes)
 	if d.Mode == Real && dst.Rows > 0 && dst.Cols > 0 {
-		for j := 0; j < dst.Cols; j++ {
-			copy(dst.Col(j), src.ptr(si, sj+j)[:dst.Rows])
+		if d.dead {
+			d.fillNaN(dst)
+		} else {
+			for j := 0; j < dst.Cols; j++ {
+				copy(dst.Col(j), src.ptr(si, sj+j)[:dst.Rows])
+			}
 		}
 	}
 	deps = append(deps, d.enqueue())
@@ -406,6 +427,18 @@ func (d *Device) D2HAsync(dst *matrix.Matrix, src *Matrix, si, sj int, deps ...s
 	d.record(d.Copy.Name(), "d2h", e.At, cost)
 	d.tagFlowOut(e.At)
 	return e
+}
+
+// fillNaN poisons a host destination buffer, modeling a read from a dead
+// device's unmapped memory.
+func (d *Device) fillNaN(dst *matrix.Matrix) {
+	nan := math.NaN()
+	for j := 0; j < dst.Cols; j++ {
+		col := dst.Col(j)
+		for i := range col {
+			col[i] = nan
+		}
+	}
 }
 
 // D2HTail copies a small device block to the host through device-mapped
@@ -421,8 +454,12 @@ func (d *Device) D2HTail(dst *matrix.Matrix, src *Matrix, si, sj int, deps ...si
 	d.transfers++
 	d.bytesMoved += int64(bytes)
 	if d.Mode == Real && dst.Rows > 0 && dst.Cols > 0 {
-		for j := 0; j < dst.Cols; j++ {
-			copy(dst.Col(j), src.ptr(si, sj+j)[:dst.Rows])
+		if d.dead {
+			d.fillNaN(dst)
+		} else {
+			for j := 0; j < dst.Cols; j++ {
+				copy(dst.Col(j), src.ptr(si, sj+j)[:dst.Rows])
+			}
 		}
 	}
 	deps = append(deps, d.enqueue())

@@ -52,6 +52,12 @@ const (
 	KindSnapshotSave Kind = "snapshot_save"
 	// KindSnapshotRestore is a resume from a process-level snapshot.
 	KindSnapshotRestore Kind = "snapshot_restore"
+	// KindDeviceLoss is a fail-stop device death (permanent, unlike the
+	// transient corruptions above); Outcome names the kill point.
+	KindDeviceLoss Kind = "device_loss"
+	// KindReconstruction is a parity rebuild of a dead device's slabs
+	// onto a spare (fail-stop recovery).
+	KindReconstruction Kind = "reconstruction"
 )
 
 // Event is one journal record. Row and Col are -1 unless the record is

@@ -105,6 +105,10 @@ type Reliability struct {
 	Detections     int `json:"detections"`
 	Corrections    int `json:"corrections"`
 	Reexecutions   int `json:"reexecutions"`
+	// Fail-stop events (multi-device jobs with fail_stop on): permanent
+	// device deaths and the parity reconstructions that survived them.
+	DeviceLosses    int `json:"device_losses,omitempty"`
+	Reconstructions int `json:"reconstructions,omitempty"`
 	// Uncorrectable is true when the job failed because the FT machinery
 	// found an error it could not repair.
 	Uncorrectable bool `json:"uncorrectable,omitempty"`
@@ -152,6 +156,10 @@ func (j *Job) reliability() *Reliability {
 			r.Corrections++
 		case obs.KindReexecution:
 			r.Reexecutions++
+		case obs.KindDeviceLoss:
+			r.DeviceLosses++
+		case obs.KindReconstruction:
+			r.Reconstructions++
 		}
 	}
 	return r

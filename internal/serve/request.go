@@ -33,11 +33,13 @@ const (
 )
 
 // FaultSpec is the wire form of one fault.Plan: a transient error
-// injected at the start of a blocked iteration.
+// injected at the start of a blocked iteration, or — when KillPoint is
+// set — a permanent fail-stop device death.
 type FaultSpec struct {
 	// Area is the Figure 2(a) region: 1 (upper trailing), 2 (lower
-	// trailing), 3 (host Q store), 4 (active panel).
-	Area int `json:"area"`
+	// trailing), 3 (host Q store), 4 (active panel). 0 is allowed for a
+	// kill-only spec (KillPoint set, no transient injection).
+	Area int `json:"area,omitempty"`
 	// Iter is the blocked iteration at whose boundary the error strikes.
 	Iter int `json:"iter"`
 	// Count is the number of simultaneous errors (default 1).
@@ -49,12 +51,20 @@ type FaultSpec struct {
 	Bit     uint `json:"bit,omitempty"`
 	// Seed drives the deterministic position sampling.
 	Seed uint64 `json:"seed,omitempty"`
+	// KillPoint, when set, kills KillDevice permanently at this
+	// iteration's named window ("boundary", "panel", "update",
+	// "recovery") — a fail-stop loss, not a transient flip. The job
+	// survives it only with fail_stop recovery on (and a pool large
+	// enough); otherwise it fails uncorrectable.
+	KillPoint  string `json:"kill_point,omitempty"`
+	KillDevice int    `json:"kill_device,omitempty"`
 }
 
 func (f FaultSpec) plan() fault.Plan {
 	return fault.Plan{
 		Area: fault.Area(f.Area), TargetIter: f.Iter, Count: f.Count,
 		Delta: f.Delta, BitFlip: f.BitFlip, Bit: f.Bit, Seed: f.Seed,
+		KillPoint: fault.KillPoint(f.KillPoint), KillDevice: f.KillDevice,
 	}
 }
 
@@ -95,6 +105,13 @@ type JobRequest struct {
 	// typed unsupported error, which the result endpoint reports as a
 	// structured 400-class body (code "unsupported").
 	Devices int `json:"devices,omitempty"`
+	// FailStop enables fail-stop device-loss recovery (DESIGN.md §13) on
+	// a multi-device job: the run carries an extra parity device —
+	// leased from the farm when one is free, fabricated off-farm
+	// otherwise — and survives one kill_point death bit-identically,
+	// finishing with the recovered_failstop outcome instead of failing.
+	// Requires algorithm "ft" and devices > 0.
+	FailStop bool `json:"fail_stop,omitempty"`
 	// Faults schedules transient-error injections (algorithm "ft" only).
 	Faults []FaultSpec `json:"faults,omitempty"`
 	// MatrixMarket, when non-empty, is the input matrix as an inline
@@ -158,8 +175,33 @@ func (r *JobRequest) validate(maxN int) error {
 			return errors.New("fault injection requires algorithm \"ft\"")
 		}
 	}
+	if r.FailStop {
+		if r.Symmetric {
+			return errors.New("fail_stop is not supported on the symmetric path")
+		}
+		if r.Algorithm == AlgBaseline || r.Algorithm == AlgCPU {
+			return errors.New("fail_stop requires algorithm \"ft\"")
+		}
+		if r.Devices == 0 {
+			return errors.New("fail_stop requires a multi-device job (devices > 0)")
+		}
+	}
 	for i, f := range r.Faults {
-		if f.Area < int(fault.Area1) || f.Area > int(fault.AreaPanel) {
+		if f.KillPoint != "" {
+			if _, err := fault.ParseKillPoint(f.KillPoint); err != nil {
+				return fmt.Errorf("faults[%d]: %v", i, err)
+			}
+			if f.KillDevice < 0 || f.KillDevice >= maxDevices {
+				return fmt.Errorf("faults[%d]: kill_device=%d out of range [0,%d)", i, f.KillDevice, maxDevices)
+			}
+		} else if f.KillDevice != 0 {
+			return fmt.Errorf("faults[%d]: kill_device requires kill_point", i)
+		}
+		// Area 0 is only meaningful for a kill-only spec.
+		if f.Area == 0 && f.KillPoint == "" {
+			return fmt.Errorf("faults[%d]: area=0 requires kill_point (kill-only spec)", i)
+		}
+		if f.Area != 0 && (f.Area < int(fault.Area1) || f.Area > int(fault.AreaPanel)) {
 			return fmt.Errorf("faults[%d]: area=%d out of range [1,4]", i, f.Area)
 		}
 		if f.Iter < 0 {

@@ -30,6 +30,11 @@ type JobResult struct {
 	Recoveries   int `json:"recoveries"`
 	Corrections  int `json:"corrections"`
 	QCorrections int `json:"q_corrections"`
+	// Fail-stop statistics (multi-device "ft" jobs with fail_stop on):
+	// permanent device deaths and the parity reconstructions that
+	// survived them.
+	DeviceLosses       int `json:"device_losses,omitempty"`
+	FailStopRecoveries int `json:"failstop_recoveries,omitempty"`
 
 	// Numerical quality against the submitted matrix: ‖A−QHQᵀ‖₁/(N‖A‖₁)
 	// and ‖QQᵀ−I‖₁/N. NaN for cost-only runs, which skip the arithmetic.
@@ -52,6 +57,9 @@ func generalResult(j *Job, res *core.Result) *JobResult {
 		Recoveries:   res.Recoveries,
 		Corrections:  len(res.CorrectedH),
 		QCorrections: res.QCorrections,
+
+		DeviceLosses:       res.DeviceLosses,
+		FailStopRecoveries: res.FailStopRecoveries,
 
 		Residual:      obs.Float(math.NaN()),
 		Orthogonality: obs.Float(math.NaN()),

@@ -400,13 +400,22 @@ func (s *Server) finishLocked(j *Job, res *JobResult, err error) {
 	j.cancel()
 	close(j.done)
 	j.tracer.End(j.spanRoot)
-	s.jobCounter(j.state).Inc()
+	// SLO outcome label: a job that lost a device and finished anyway is
+	// its own class — "done" would hide the reconstruction cost in the
+	// healthy latency distribution, "failed" would be a lie.
+	outcome := j.state
+	if err == nil && res != nil && res.FailStopRecoveries > 0 {
+		outcome = "recovered_failstop"
+	}
+	s.jobCounter(outcome).Inc()
 	if isUncorrectable(err) {
 		s.reg.Counter("serve_jobs_uncorrectable_total").Inc()
 	}
 	fe := obs.FlightEvent{Kind: "job:" + j.state, Job: j.ID}
 	if err != nil {
 		fe.Detail = err.Error()
+	} else if outcome == "recovered_failstop" {
+		fe.Detail = fmt.Sprintf("recovered from %d device loss(es)", res.DeviceLosses)
 	}
 	s.recorder.Record(fe)
 	// The SLO duration histogram covers executed jobs only; a job
@@ -414,7 +423,7 @@ func (s *Server) finishLocked(j *Job, res *JobResult, err error) {
 	if !j.started.IsZero() {
 		s.reg.Histogram("serve_job_duration_seconds",
 			[]float64{0.01, 0.05, 0.25, 1, 5, 30, 120, 600},
-			obs.L("outcome", j.state)).Observe(j.finished.Sub(j.started).Seconds())
+			obs.L("outcome", outcome)).Observe(j.finished.Sub(j.started).Seconds())
 	}
 }
 
@@ -577,6 +586,43 @@ func (s *Server) execute(j *Job) (*JobResult, error) {
 			opt.Devices = devs
 			j.setDevice(devs[0])
 			defer j.captureSimSpans(devs)
+			if req.FailStop {
+				opt.FailStop = true
+				// The parity device and any post-loss replacement re-lease
+				// from the farm when a device is free right now, and fall
+				// back to a fabricated off-farm device otherwise — recovery
+				// must never block on the lease while the job's peers hold
+				// their own devices (classic lease deadlock).
+				var spares []int
+				offFarm := s.cfg.Devices
+				opt.SpareDevice = func() *gpu.Device {
+					var ix int
+					select {
+					case i := <-s.devCh:
+						s.gLeased.Add(1)
+						s.gFree.Add(-1)
+						spares = append(spares, i)
+						ix = i
+						s.recorder.Record(obs.FlightEvent{Kind: "job:spare_leased",
+							Job: j.ID, Detail: fmt.Sprintf("device %d", i)})
+					default:
+						ix = offFarm
+						offFarm++
+					}
+					dev := gpu.NewIndexed(sim.K40c(), mode, ix)
+					if j.tracer != nil {
+						dev.EnableTrace()
+					}
+					return dev
+				}
+				defer func() {
+					if len(spares) > 0 {
+						s.gLeased.Add(-float64(len(spares)))
+						s.gFree.Add(float64(len(spares)))
+						s.releaseDevices(spares)
+					}
+				}()
+			}
 		} else {
 			// A per-job device: its Phase() feeds the status endpoint while
 			// the reduction runs.

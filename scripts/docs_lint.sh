@@ -6,6 +6,13 @@
 #    exist and build.
 # 2. Every internal/* package must carry a non-empty package doc
 #    comment (the reliability story is documented at the source).
+# 3. Every BENCH_*.json artifact referenced in README.md / DESIGN.md /
+#    EXPERIMENTS.md must exist in the repository (a claim citing a
+#    bench artifact that was never committed is drift).
+# 4. Every numeric `DESIGN §N` / `DESIGN.md §N` cross-reference in the
+#    docs and in Go doc comments must resolve to a real `## N.` section
+#    header in DESIGN.md (non-numeric references like `§Host BLAS` are
+#    out of scope).
 #
 # Run from the repository root: ./scripts/docs_lint.sh
 set -eu
@@ -53,5 +60,27 @@ for d in internal/*/; do
     fi
 done
 echo "docs_lint: all internal packages carry package docs"
+
+# --- referenced BENCH artifacts must exist ----------------------------
+arts=$(grep -ho 'BENCH_[a-zA-Z0-9_]*\.json' $docs | sort -u)
+for a in $arts; do
+    if [ ! -f "$a" ]; then
+        echo "docs_lint: docs reference $a but it is not committed" >&2
+        fail=1
+    fi
+done
+echo "docs_lint: $(echo "$arts" | wc -l) referenced BENCH artifacts exist"
+
+# --- numeric DESIGN § cross-references must resolve -------------------
+secs=$( (grep -rho 'DESIGN\(\.md\)\{0,1\} §[0-9][0-9]*' $docs;
+         grep -rho --include='*.go' 'DESIGN\(\.md\)\{0,1\} §[0-9][0-9]*' cmd internal examples) \
+        | grep -o '§[0-9][0-9]*' | tr -d '§' | sort -nu)
+for s in $secs; do
+    if ! grep -q "^## $s\." DESIGN.md; then
+        echo "docs_lint: cross-reference to DESIGN §$s but DESIGN.md has no '## $s.' section" >&2
+        fail=1
+    fi
+done
+echo "docs_lint: $(echo "$secs" | wc -w) DESIGN § cross-references resolve"
 
 exit $fail
