@@ -22,6 +22,11 @@
 //	                                # sweep the fail-stop device-loss
 //	                                # axis: each killed trial must end
 //	                                # recovered, never silent-corrupt
+//	campaign -n 190 -devices 2 -substrate swept,fused
+//	                                # sweep the BLAS FT substrate axis
+//	                                # (fused = per-call in-kernel checks;
+//	                                # coverage must not move: results are
+//	                                # bit-identical across substrates)
 //
 // Exit codes: 0 — campaign ran, no silent corruption; 1 — campaign ran
 // and found silent corruption (the failure mode the scheme exists to
@@ -65,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	devices := fs.String("devices", "0", "device-pool size(s), comma-separated sweep grid (0 = single device)")
 	schedules := fs.String("schedule", campaign.ScheduleLookahead, "update schedule(s): lookahead|serial, comma-separated sweep grid")
 	killRates := fs.String("killrate", "0", "fail-stop device-loss probability per trial, comma-separated sweep grid (>0 on a pool enables parity recovery)")
+	substrates := fs.String("substrate", "swept", "BLAS FT substrate(s): swept|fused, comma-separated sweep grid (fused verifies every device BLAS call in-kernel)")
 	trials := fs.Int("trials", 50, "trials per sweep cell")
 	seed := fs.Uint64("seed", 1, "campaign seed (fixes every trial at any worker count)")
 	workers := fs.Int("workers", 1, "worker-pool width (results are identical at any value)")
@@ -103,6 +109,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	for _, f := range strings.Split(*schedules, ",") {
 		s.Schedules = append(s.Schedules, strings.TrimSpace(f))
+	}
+	for _, f := range strings.Split(*substrates, ",") {
+		s.Substrates = append(s.Substrates, strings.TrimSpace(f))
 	}
 	if s.KillRates, err = parseFloats(*killRates); err != nil {
 		return fail(stderr, err)

@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|tableI|fig2|fig6|tableII|tableIII|ablation|breakdown|multierror|multigpu|lookahead|failstop|trace|timeline|serveobs")
+	exp := flag.String("exp", "all", "experiment: all|tableI|fig2|fig6|tableII|tableIII|ablation|breakdown|multierror|multigpu|lookahead|failstop|blasft|trace|timeline|serveobs")
 	nb := flag.Int("nb", 32, "block size")
 	sizesFlag := flag.String("sizes", "", "comma-separated matrix sizes (overrides defaults)")
 	paper := flag.Bool("paper", false, "use the paper's full size grid for fig6 (cost-only, still fast)")
@@ -34,6 +34,8 @@ func main() {
 	serveObsOut := flag.String("serveobsout", "BENCH_serveobs.json", "artifact path for the serveobs experiment (empty to skip writing)")
 	lookaheadOut := flag.String("lookaheadout", "BENCH_lookahead.json", "artifact path for the lookahead experiment (empty to skip writing)")
 	failstopOut := flag.String("failstopout", "BENCH_failstop.json", "artifact path for the failstop experiment (empty to skip writing)")
+	blasftOut := flag.String("blasftout", "BENCH_blasft.json", "artifact path for the blasft experiment (empty to skip writing)")
+	blasftReps := flag.Int("blasftreps", 5, "wall-clock repetitions per GEMM shape in the blasft experiment")
 	flag.Parse()
 
 	params := sim.K40c()
@@ -105,6 +107,16 @@ func main() {
 			}
 			if err := bench.FailStopReport(out, art, *failstopOut); err != nil {
 				fmt.Fprintf(os.Stderr, "failstop: %v\n", err)
+				os.Exit(2)
+			}
+		case "blasft":
+			art, err := bench.BlasFT(bench.BlasFTShapes, *blasftReps, params)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "blasft: %v\n", err)
+				os.Exit(2)
+			}
+			if err := bench.BlasFTReport(out, art, *blasftOut); err != nil {
+				fmt.Fprintf(os.Stderr, "blasft: %v\n", err)
 				os.Exit(2)
 			}
 		case "trace":

@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/devpool"
 	"repro/internal/fault"
+	"repro/internal/ft"
 	"repro/internal/ftsym"
 	"repro/internal/gpu"
 	"repro/internal/lapack"
@@ -139,6 +140,7 @@ func main() {
 	iter := flag.Int("iter", 1, "iteration at whose start to inject")
 	bitflip := flag.Bool("bitflip", false, "flip a mantissa bit instead of adding a delta")
 	failStop := flag.Bool("failstop", false, "maintain a parity device for fail-stop device-loss recovery (needs -devices > 0)")
+	substrate := flag.String("substrate", "", "BLAS FT substrate: swept (default) or fused (in-kernel ABFT Dgemm + DMR level-2, incremental halo maintenance; ft only)")
 	killPoint := flag.String("kill-point", "", "kill a pool device at this sync point: boundary|panel|update|recovery")
 	killDevice := flag.Int("kill-device", 0, "pool slot of the device to kill (with -kill-point)")
 	killIter := flag.Int("kill-iter", 1, "blocked iteration at which the kill strikes (with -kill-point)")
@@ -174,10 +176,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-kill-device %d outside the pool [0,%d)\n", *killDevice, *devices)
 		os.Exit(2)
 	}
+	if *substrate != "" && *substrate != ft.SubstrateSwept && *substrate != ft.SubstrateFused {
+		fmt.Fprintf(os.Stderr, "unknown -substrate %q (want swept or fused)\n", *substrate)
+		os.Exit(2)
+	}
 	opt := core.Options{
 		NB: *nb, CostOnly: *costOnly, DeviceCount: *devices,
 		DisableLookahead: !*lookahead, DisableOverlap: *noOverlap,
-		FailStop: *failStop,
+		FailStop: *failStop, Substrate: *substrate,
 	}
 	if *metricsPath != "" {
 		opt.Obs = obs.NewRegistry()
@@ -302,6 +308,10 @@ func main() {
 		if *failStop || res.DeviceLosses > 0 {
 			fmt.Printf("fail-stop: %d device loss(es), %d reconstruction(s)\n",
 				res.DeviceLosses, res.FailStopRecoveries)
+		}
+		if *substrate == ft.SubstrateFused {
+			fmt.Printf("substrate: fused, %d in-kernel check(s), %d detection(s)\n",
+				res.SubstrateChecks, res.SubstrateDetections)
 		}
 	}
 	if !*costOnly {

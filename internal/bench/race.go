@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; the
+// blasft wall-clock study skips its timing bars (and artifact rewrite)
+// under its ~10-20× slowdown of the scalar checksum paths.
+const raceEnabled = true

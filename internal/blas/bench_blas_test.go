@@ -66,6 +66,18 @@ func BenchmarkDgemmRankNBTrailing(b *testing.B) {
 	})
 }
 
+// BenchmarkDgemmFTSquare512 is the fused-ABFT variant of the square
+// shape; the gap to BenchmarkDgemmSquare512 is the substrate's wall
+// overhead (bounded at ≤8% by TestBenchBlasFTJSON).
+func BenchmarkDgemmFTSquare512(b *testing.B) {
+	s := benchShapes[0]
+	benchGemm(b, s.m, s.n, s.k, func(m, n, k int, a, bb, c *matrix.Matrix) {
+		if _, err := DgemmFT(NoTrans, NoTrans, m, n, k, 1, a.Data, a.Stride, bb.Data, bb.Stride, 0, c.Data, c.Stride); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
 // BenchmarkDgemmNaive512 is the pre-blocking kernel on the square shape —
 // the baseline the BENCH_blas.json speedups are measured against.
 func BenchmarkDgemmNaive512(b *testing.B) {

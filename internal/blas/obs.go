@@ -34,7 +34,7 @@ func SetObs(r *obs.Registry) *obs.Registry {
 		return prev
 	}
 	s := &blasObs{reg: r, flops: r.Counter("blas_flops_total"), secs: map[string]*obs.Counter{}}
-	for _, op := range []string{"gemm", "gemv", "ger", "syr2k", "trmm"} {
+	for _, op := range []string{"gemm", "gemm_ft", "gemv", "gemv_ft", "ger", "ger_ft", "syr2k", "trmm"} {
 		s.secs[op] = r.Counter("blas_op_seconds_total", obs.L("op", op))
 	}
 	obsState.Store(s)

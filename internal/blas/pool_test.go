@@ -149,6 +149,76 @@ func TestDgemmTallSkinnyPanelShards(t *testing.T) {
 	}
 }
 
+// TestParallelFusedRoutinesMatchSerialBitwise extends the determinism
+// contract to the fused-ABFT substrate: DgemmFT output, its checksum
+// report, and the DMR level-2 wrappers must reproduce the serial result
+// bit for bit at any SetMaxProcs — the checksum accumulators are per-tile
+// state reduced in slot order, never shared across workers.
+func TestParallelFusedRoutinesMatchSerialBitwise(t *testing.T) {
+	origProcs := SetMaxProcs(1)
+	origGemm, origL2 := parallelGemmThreshold, parallelL2Threshold
+	defer func() {
+		SetMaxProcs(origProcs)
+		parallelGemmThreshold, parallelL2Threshold = origGemm, origL2
+	}()
+
+	const m, n, k = 67, 45, 31
+	a := matrix.Random(m, k, 41)
+	b := matrix.Random(k, n, 42)
+	x := matrix.Random(k, 1, 43)
+	xg := matrix.Random(n, 1, 44)
+	yv := matrix.Random(m, 1, 45)
+
+	type result struct {
+		gemm, ger *matrix.Matrix
+		gemv      []float64
+		rep       FTResult
+	}
+	run := func() result {
+		var r result
+		var err error
+		r.gemm = matrix.Random(m, n, 46)
+		r.rep, err = DgemmFT(NoTrans, NoTrans, m, n, k, 1.1, a.Data, a.Stride, b.Data, b.Stride, 0.3, r.gemm.Data, r.gemm.Stride)
+		if err != nil {
+			t.Fatalf("DgemmFT false positive: %v", err)
+		}
+		r.gemv = make([]float64, m)
+		for i := range r.gemv {
+			r.gemv[i] = float64(i)
+		}
+		if _, err = DgemvFT(NoTrans, m, k, 1.2, a.Data, a.Stride, x.Data, 1, 0.7, r.gemv, 1); err != nil {
+			t.Fatalf("DgemvFT false positive: %v", err)
+		}
+		r.ger = matrix.Random(m, n, 47)
+		if _, err = DgerFT(m, n, -0.4, yv.Data, 1, xg.Data, 1, r.ger.Data, r.ger.Stride); err != nil {
+			t.Fatalf("DgerFT false positive: %v", err)
+		}
+		return r
+	}
+
+	serial := run()
+
+	for _, p := range []int{2, 5, 9} {
+		SetMaxProcs(p)
+		parallelGemmThreshold, parallelL2Threshold = 1, 1
+		par := run()
+		if !serial.gemm.Equal(par.gemm) {
+			t.Errorf("procs=%d: parallel DgemmFT differs bitwise from serial", p)
+		}
+		if serial.rep != par.rep {
+			t.Errorf("procs=%d: DgemmFT report %+v differs from serial %+v", p, par.rep, serial.rep)
+		}
+		for i := range serial.gemv {
+			if serial.gemv[i] != par.gemv[i] {
+				t.Fatalf("procs=%d: parallel DgemvFT differs bitwise at %d", p, i)
+			}
+		}
+		if !serial.ger.Equal(par.ger) {
+			t.Errorf("procs=%d: parallel DgerFT differs bitwise from serial", p)
+		}
+	}
+}
+
 // TestParallelRoutinesMatchSerialBitwise pins the determinism contract for
 // every routine that dispatches onto the pool: forcing the parallel path at
 // tiny sizes must reproduce the serial result bit for bit.

@@ -71,6 +71,7 @@ func (s *Sweep) applyDevices(opt *ft.Options, k int) {
 type baseKey struct {
 	n, nb, devices int
 	noLookahead    bool
+	substrate      string
 }
 
 // baselines runs one clean (no-injection) reduction per distinct
@@ -80,11 +81,11 @@ type baseKey struct {
 func (s *Sweep) baselines(cells []Cell) map[baseKey]float64 {
 	out := map[baseKey]float64{}
 	for _, c := range cells {
-		key := baseKey{c.N, c.NB, c.Devices, c.NoLookahead}
+		key := baseKey{c.N, c.NB, c.Devices, c.NoLookahead, c.Substrate}
 		if _, ok := out[key]; ok {
 			continue
 		}
-		opt := ft.Options{NB: c.NB, DisableLookahead: c.NoLookahead}
+		opt := ft.Options{NB: c.NB, DisableLookahead: c.NoLookahead, Substrate: c.Substrate}
 		s.applyDevices(&opt, c.Devices)
 		res, err := ft.Reduce(s.matrixFor(c.N), opt)
 		if err == nil {
@@ -109,8 +110,8 @@ func (s *Sweep) runTrial(cell Cell, trial int, a *matrix.Matrix, journal *obs.Jo
 		Cell: cell.Index, N: cell.N, NB: cell.NB, Lambda: cell.Lambda,
 		Region: cell.Region, MinBit: cell.MinBit, MaxBit: cell.MaxBit,
 		Devices: cell.Devices, NoLookahead: cell.NoLookahead,
-		KillRate: cell.KillRate,
-		Trial:    trial, Seed: seed,
+		KillRate: cell.KillRate, Substrate: cell.Substrate,
+		Trial: trial, Seed: seed,
 	}
 	for _, p := range plans {
 		rec.Plans = append(rec.Plans, InjectionSummary{
@@ -148,6 +149,7 @@ func (s *Sweep) runTrial(cell Cell, trial int, a *matrix.Matrix, journal *obs.Jo
 		Hook:             hook,
 		Journal:          journal,
 		DisableLookahead: cell.NoLookahead,
+		Substrate:        cell.Substrate,
 		// Kill-rate cells on a pool run with fail-stop recovery, so the
 		// cell measures loss survival (and its parity upkeep cost).
 		FailStop: cell.KillRate > 0 && cell.Devices > 0,
@@ -225,9 +227,10 @@ func (s *Sweep) runTrials(cells []Cell) ([][]trialResult, error) {
 					rec.Region != cell.Region || rec.MinBit != cell.MinBit || rec.MaxBit != cell.MaxBit ||
 					rec.Devices != cell.Devices || rec.NoLookahead != cell.NoLookahead ||
 					rec.KillRate != cell.KillRate {
-					return nil, fmt.Errorf("campaign: resume record for cell %d trial %d does not match the sweep grid (have N=%d nb=%d λ=%g %s bits %d..%d devices=%d schedule=%s kill_rate=%g)",
+					return nil, fmt.Errorf("campaign: resume record for cell %d trial %d does not match the sweep grid (have N=%d nb=%d λ=%g %s bits %d..%d devices=%d schedule=%s kill_rate=%g substrate=%s)",
 						ci, t, rec.N, rec.NB, rec.Lambda, rec.Region, rec.MinBit, rec.MaxBit, rec.Devices,
-						Cell{NoLookahead: rec.NoLookahead}.Schedule(), rec.KillRate)
+						Cell{NoLookahead: rec.NoLookahead}.Schedule(), rec.KillRate,
+						Cell{Substrate: rec.Substrate}.SubstrateName())
 				}
 				results[ci][t] = trialResult{record: rec, trial: rec.toTrial(), resumed: true}
 				completed[ci*nTrials+t] = true

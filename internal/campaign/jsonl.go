@@ -50,8 +50,12 @@ type TrialRecord struct {
 	// KillRate is the cell's fail-stop device-loss probability; omitted
 	// from old records, which therefore resume-match only no-kill cells.
 	KillRate float64 `json:"kill_rate,omitempty"`
-	Trial    int     `json:"trial"`
-	Seed     uint64  `json:"seed"`
+	// Substrate is the cell's BLAS FT substrate ("" = sweeps-only);
+	// omitted from old records, which therefore resume-match only
+	// default-substrate cells.
+	Substrate string `json:"substrate,omitempty"`
+	Trial     int    `json:"trial"`
+	Seed      uint64 `json:"seed"`
 
 	Outcome string             `json:"outcome"`
 	Plans   []InjectionSummary `json:"plans,omitempty"`
@@ -64,14 +68,18 @@ type TrialRecord struct {
 	QCorrections int `json:"q_corrections"`
 	// The trial's sampled fail-stop kill (kill-rate cells with a loss
 	// drawn): where the device died and whether parity recovered it.
-	KillIter           int       `json:"kill_iter,omitempty"`
-	KillPoint          string    `json:"kill_point,omitempty"`
-	KillDevice         int       `json:"kill_device,omitempty"`
-	DeviceLosses       int       `json:"device_losses,omitempty"`
-	FailStopRecoveries int       `json:"failstop_recoveries,omitempty"`
-	Residual           JSONFloat `json:"residual"`
-	SimSeconds         float64   `json:"sim_seconds"`
-	Err                string    `json:"err,omitempty"`
+	KillIter           int    `json:"kill_iter,omitempty"`
+	KillPoint          string `json:"kill_point,omitempty"`
+	KillDevice         int    `json:"kill_device,omitempty"`
+	DeviceLosses       int    `json:"device_losses,omitempty"`
+	FailStopRecoveries int    `json:"failstop_recoveries,omitempty"`
+	// Fused-substrate tallies (substrate "fused" cells only): per-call
+	// in-kernel checksum verifications and detections.
+	SubstrateChecks     int       `json:"substrate_checks,omitempty"`
+	SubstrateDetections int       `json:"substrate_detections,omitempty"`
+	Residual            JSONFloat `json:"residual"`
+	SimSeconds          float64   `json:"sim_seconds"`
+	Err                 string    `json:"err,omitempty"`
 
 	out Outcome
 }

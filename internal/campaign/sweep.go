@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/ft"
 	"repro/internal/matrix"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -16,7 +17,8 @@ import (
 
 // Cell is one grid point of a sweep: a fully specified fault-injection
 // configuration. Cells are numbered in canonical grid order (N outermost,
-// then NB, lambda, region, bit range, device count, schedule, kill rate),
+// then NB, lambda, region, bit range, device count, schedule, kill rate,
+// substrate),
 // and that numbering — together with the sweep seed — fixes every trial's
 // random stream.
 type Cell struct {
@@ -44,6 +46,22 @@ type Cell struct {
 	// (DESIGN.md §13), so its trials measure loss survival; on a
 	// single-device cell a sampled kill is always fatal (uncorrectable).
 	KillRate float64 `json:"kill_rate,omitempty"`
+	// Substrate selects the BLAS fault-tolerance substrate: "" (the
+	// default sweeps-only configuration, kept empty so old journals
+	// resume-match it) or ft.SubstrateFused, which verifies every device
+	// BLAS call in-kernel and refreshes the panel-slab halo
+	// incrementally. Bit-identical results; the axis separates per-call
+	// detection from the iteration-boundary sweeps' fault coverage.
+	Substrate string `json:"substrate,omitempty"`
+}
+
+// SubstrateName returns the cell's substrate for display: "swept" for the
+// default empty value, the literal name otherwise.
+func (c Cell) SubstrateName() string {
+	if c.Substrate == "" {
+		return "swept"
+	}
+	return c.Substrate
 }
 
 // Schedule names the cell's update schedule (ScheduleLookahead or
@@ -85,6 +103,10 @@ type Sweep struct {
 	// KillRates is the grid of fail-stop device-loss probabilities per
 	// trial (default {0} = no losses; see Cell.KillRate).
 	KillRates []float64
+	// Substrates is the grid of BLAS FT substrates: "swept" (or "",
+	// normalized to "" so old journals resume-match) and/or "fused"
+	// (default {"swept"}; see Cell.Substrate).
+	Substrates []string
 	// TrialsPerCell is the number of independent runs per cell (required).
 	TrialsPerCell int
 	// Seed fixes every trial's random stream (with the cell and trial
@@ -142,6 +164,10 @@ type CellReport struct {
 	// the cell's trials and the parity reconstructions that survived them.
 	DeviceLosses       int `json:"device_losses,omitempty"`
 	FailStopRecoveries int `json:"failstop_recoveries,omitempty"`
+	// Fused-substrate tallies (substrate "fused" cells): per-call
+	// in-kernel verifications and detections across the cell's trials.
+	SubstrateChecks     int `json:"substrate_checks,omitempty"`
+	SubstrateDetections int `json:"substrate_detections,omitempty"`
 
 	// FaultedTrials counts trials with ≥1 injection; DetectedTrials the
 	// subset where the scheme reacted (a detection, a Q correction, or an
@@ -208,13 +234,16 @@ func (s *Sweep) cells() []Cell {
 						for _, dk := range s.DeviceCounts {
 							for _, sched := range s.Schedules {
 								for _, kr := range s.KillRates {
-									out = append(out, Cell{
-										Index: len(out), N: n, NB: nb, Lambda: lam,
-										Region: reg, MinBit: br[0], MaxBit: br[1],
-										Devices:     dk,
-										NoLookahead: sched == ScheduleSerial,
-										KillRate:    kr,
-									})
+									for _, sub := range s.Substrates {
+										out = append(out, Cell{
+											Index: len(out), N: n, NB: nb, Lambda: lam,
+											Region: reg, MinBit: br[0], MaxBit: br[1],
+											Devices:     dk,
+											NoLookahead: sched == ScheduleSerial,
+											KillRate:    kr,
+											Substrate:   sub,
+										})
+									}
 								}
 							}
 						}
@@ -291,6 +320,21 @@ func (s *Sweep) validate() error {
 			return fmt.Errorf("campaign: invalid kill rate %g (want 0..1)", kr)
 		}
 	}
+	if len(s.Substrates) == 0 {
+		s.Substrates = []string{""}
+	}
+	for i, sub := range s.Substrates {
+		switch sub {
+		case "", ft.SubstrateSwept:
+			// Normalize so default-substrate records stay byte-compatible
+			// with journals written before the axis existed.
+			s.Substrates[i] = ""
+		case ft.SubstrateFused:
+		default:
+			return fmt.Errorf("campaign: unknown substrate %q (want %s or %s)",
+				sub, ft.SubstrateSwept, ft.SubstrateFused)
+		}
+	}
 	if s.ResidualTol <= 0 {
 		s.ResidualTol = 1e-12
 	}
@@ -325,7 +369,7 @@ func (s *Sweep) Run() (*SweepReport, error) {
 	}
 	baselines := s.baselines(cells)
 	for ci, cell := range cells {
-		cr := aggregateCell(cell, results[ci], baselines[baseKey{cell.N, cell.NB, cell.Devices, cell.NoLookahead}])
+		cr := aggregateCell(cell, results[ci], baselines[baseKey{cell.N, cell.NB, cell.Devices, cell.NoLookahead, cell.Substrate}])
 		if s.Triage {
 			for _, res := range results[ci] {
 				o := res.record.outcome()
@@ -374,6 +418,8 @@ func aggregateCell(cell Cell, results []trialResult, baseline float64) CellRepor
 		cr.QCorrections += r.QCorrections
 		cr.DeviceLosses += r.DeviceLosses
 		cr.FailStopRecoveries += r.FailStopRecoveries
+		cr.SubstrateChecks += r.SubstrateChecks
+		cr.SubstrateDetections += r.SubstrateDetections
 		if r.Residual > cr.WorstResidual {
 			cr.WorstResidual = r.Residual
 		}
@@ -416,11 +462,11 @@ func RunSweep(s *Sweep) (*SweepReport, error) {
 func (r *SweepReport) Print(w io.Writer) {
 	fmt.Fprintf(w, "Soft-error sweep campaign: %d cells × %d trials = %d trials, seed %d\n",
 		len(r.Cells), r.TrialsPerCell, r.TotalTrials, r.Seed)
-	fmt.Fprintf(w, "%6s %6s %4s %3s %-9s %5s %7s %-6s %7s | %6s %6s %6s %6s %6s | %8s %9s %9s\n",
-		"cell", "N", "nb", "K", "sched", "krate", "lambda", "region", "bits", "clean", "recov", "benign", "corrpt", "uncorr", "coverage", "overhead", "worst-res")
+	fmt.Fprintf(w, "%6s %6s %4s %3s %-9s %-5s %5s %7s %-6s %7s | %6s %6s %6s %6s %6s | %8s %9s %9s\n",
+		"cell", "N", "nb", "K", "sched", "sub", "krate", "lambda", "region", "bits", "clean", "recov", "benign", "corrpt", "uncorr", "coverage", "overhead", "worst-res")
 	for _, c := range r.Cells {
-		fmt.Fprintf(w, "%6d %6d %4d %3d %-9s %5.2f %7.2f %-6s %3d..%2d | %6d %6d %6d %6d %6d | %7.1f%% %8.2f%% %9.2e\n",
-			c.Cell.Index, c.Cell.N, c.Cell.NB, c.Cell.Devices, c.Cell.Schedule(), c.Cell.KillRate, c.Cell.Lambda, c.Cell.Region,
+		fmt.Fprintf(w, "%6d %6d %4d %3d %-9s %-5s %5.2f %7.2f %-6s %3d..%2d | %6d %6d %6d %6d %6d | %7.1f%% %8.2f%% %9.2e\n",
+			c.Cell.Index, c.Cell.N, c.Cell.NB, c.Cell.Devices, c.Cell.Schedule(), c.Cell.SubstrateName(), c.Cell.KillRate, c.Cell.Lambda, c.Cell.Region,
 			c.Cell.MinBit, c.Cell.MaxBit,
 			c.Outcome(CleanPass), c.Outcome(Recovered), c.Outcome(SilentBenign),
 			c.Outcome(SilentCorrupt), c.Outcome(Uncorrectable),

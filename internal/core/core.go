@@ -89,7 +89,15 @@ type Options struct {
 	// are fabricated from Params/CostOnly. Both pass through to ft.
 	FailStop    bool
 	SpareDevice func() *gpu.Device
-	Hook        ft.Hook
+	// Substrate selects the BLAS fault-tolerance substrate for the
+	// fault-tolerant algorithm: "" or "swept" (default) keeps the
+	// iteration-boundary sweeps only; "fused" additionally verifies every
+	// device BLAS call in-kernel (fused-ABFT Dgemm, DMR Dgemv/Dger) and
+	// refreshes the multi-device panel-slab halo incrementally. Results
+	// are bit-identical either way; only modeled time and the
+	// substrate counters change. Passes through to ft.Options.Substrate.
+	Substrate string
+	Hook      ft.Hook
 	// Obs, when set, receives run metrics (per-phase timers, kernel-kind
 	// time, lane utilization, FT counters). Journal receives the typed
 	// fault-tolerance event stream. Both are ignored by CPUOnly.
@@ -135,6 +143,10 @@ type Result struct {
 	// permanent device deaths and parity reconstructions that survived them.
 	DeviceLosses       int
 	FailStopRecoveries int
+	// Fused-substrate statistics (Options.Substrate = "fused"): per-call
+	// in-kernel checksum verifications and detections.
+	SubstrateChecks     int
+	SubstrateDetections int
 }
 
 // H extracts the upper Hessenberg factor.
@@ -255,6 +267,7 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 			DisableLookahead:   opt.DisableLookahead,
 			FailStop:           opt.FailStop,
 			SpareDevice:        opt.SpareDevice,
+			Substrate:          opt.Substrate,
 			Hook:               opt.Hook,
 			Obs:                opt.Obs,
 			Journal:            opt.Journal,
@@ -275,8 +288,10 @@ func Reduce(a *matrix.Matrix, opt Options) (*Result, error) {
 			SimSeconds: res.SimSeconds, ModelGFLOPS: res.ModelGFLOPS,
 			Detections: res.Detections, Recoveries: res.Recoveries,
 			CorrectedH: res.CorrectedH, QCorrections: res.QCorrections,
-			DeviceLosses:       res.DeviceLosses,
-			FailStopRecoveries: res.FailStopRecoveries,
+			DeviceLosses:        res.DeviceLosses,
+			FailStopRecoveries:  res.FailStopRecoveries,
+			SubstrateChecks:     res.SubstrateChecks,
+			SubstrateDetections: res.SubstrateDetections,
 		}, nil
 	}
 }

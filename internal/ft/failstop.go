@@ -162,7 +162,16 @@ func (r *multiReducer) fsRecover(d int, point string, iter, p, k, ib int) error 
 	if r.fs.parity.Dev.Dead() {
 		return fmt.Errorf("%w: parity device lost with device %s (fail-stop parity covers a single loss)", ErrUncorrectable, lost)
 	}
+	if r.finDev == pool.Devices[d] {
+		// The lost device carried the panel slab's frozen-prefix
+		// accumulator, which is not parity-protected; drop it so the next
+		// maintenance rebuilds the prefix from the reconstructed slab.
+		r.finCol, r.finDev, r.finSlab = nil, nil, -1
+	}
 	pool.ReplaceDevice(d, r.fs.spare())
+	if r.fused {
+		pool.Devices[d].SetSubstrateFused(true)
+	}
 	r.sh.Reattach(d)
 	if err := r.fs.parity.Reconstruct(d); err != nil {
 		return fmt.Errorf("%w: %v", ErrUncorrectable, err)

@@ -257,6 +257,41 @@ type Options struct {
 	// job=<id> label, and the run's coarse stages appear as wall-clock
 	// spans on the context's tracer, parented under Trace.Parent.
 	Trace *obs.TraceContext
+	// Substrate selects the BLAS fault-tolerance substrate. "" or "swept"
+	// (the default) relies solely on the iteration-boundary checksum
+	// sweeps; "fused" additionally switches the device kernels to the
+	// fused-ABFT routines (blas.DgemmFT verifies column/row checksums in
+	// the macro-kernel epilogue of every call, DMR shadows Dgemv/Dger),
+	// charging their modeled overhead and reporting per-call checks and
+	// detections in the Result. On the multi-device path the fused
+	// substrate also replaces the panel slab's full end-of-iteration halo
+	// re-encode with an incremental refresh of only the columns the
+	// iteration changed — the frozen-column prefix is carried forward —
+	// shrinking the checksum_maintenance phase. H and tau are
+	// bit-identical across substrates.
+	Substrate string
+}
+
+// Substrate values for Options.Substrate.
+const (
+	// SubstrateSwept is the default: checksum maintenance and detection
+	// run as separate sweeps at iteration boundaries.
+	SubstrateSwept = "swept"
+	// SubstrateFused turns on the fused-ABFT BLAS substrate: kernels
+	// verify their own output per call, and the multi-device panel-slab
+	// halo is refreshed incrementally instead of re-encoded from scratch.
+	SubstrateFused = "fused"
+)
+
+// substrateFused resolves Options.Substrate, rejecting unknown values.
+func substrateFused(opt Options) (bool, error) {
+	switch opt.Substrate {
+	case "", SubstrateSwept:
+		return false, nil
+	case SubstrateFused:
+		return true, nil
+	}
+	return false, fmt.Errorf("ft: unknown Substrate %q (want %q or %q)", opt.Substrate, SubstrateSwept, SubstrateFused)
 }
 
 // Result extends the hybrid result with resilience statistics.
@@ -288,6 +323,15 @@ type Result struct {
 	// FailStopRecoveries counts successful parity reconstructions onto a
 	// spare (equals the ft_failstop_reconstructions_total counter).
 	FailStopRecoveries int
+	// SubstrateChecks and SubstrateDetections count the fused-ABFT
+	// substrate's per-call checksum verifications and detections across
+	// all devices (Options.Substrate = "fused"; zero under the swept
+	// substrate). Substrate detection is report-only — the boundary
+	// sweeps remain the corrector — except a non-finite checksum total,
+	// which fails the run with ErrUncorrectable rather than risking
+	// silent NaN propagation.
+	SubstrateChecks     int
+	SubstrateDetections int
 	// SimSeconds and ModelGFLOPS report the simulated performance.
 	SimSeconds  float64
 	ModelGFLOPS float64
@@ -324,6 +368,8 @@ type reducer struct {
 	// checksum-row segment.
 	ckPanel  *matrix.Matrix
 	ckChkRow *matrix.Matrix
+	// fused mirrors Options.Substrate == SubstrateFused.
+	fused bool
 	// lookahead schedule: la mirrors !Options.DisableLookahead, and
 	// panelReady is the completion event of the priority part of the most
 	// recent trailing update — the earliest instant the next panel's
@@ -360,6 +406,25 @@ func (r *reducer) count(name string) {
 	r.opt.Obs.Counter(name, ftLabels(r.opt)...).Inc()
 }
 
+// collectSubstrateStats folds one device's fused-substrate statistics
+// into the result and the FT counter set. Runs from a defer on both
+// reduction paths so the counts survive early error returns.
+func collectSubstrateStats(dev *gpu.Device, res *Result, opt Options, journal func(obs.Event)) {
+	checks, det, _ := dev.FTStats()
+	res.SubstrateChecks += int(checks)
+	res.SubstrateDetections += int(det)
+	opt.Obs.Counter("ft_substrate_checks_total", ftLabels(opt)...).Add(float64(checks))
+	opt.Obs.Counter("ft_substrate_detections_total", ftLabels(opt)...).Add(float64(det))
+	if det > 0 {
+		ev := obs.Ev(obs.KindDetection, res.BlockedIters)
+		ev.Target = obs.TargetH
+		ev.Outcome = "substrate"
+		ev.Value = obs.Float(float64(det))
+		ev.Device = dev.Name()
+		journal(ev)
+	}
+}
+
 // ftLabels returns the job label set for the run's FT counters (empty
 // for offline runs without a trace context).
 func ftLabels(opt Options) []obs.Label {
@@ -381,6 +446,8 @@ var ftCounterNames = []string{
 	"ft_q_corrections_total",
 	"ft_device_losses_total",
 	"ft_failstop_reconstructions_total",
+	"ft_substrate_checks_total",
+	"ft_substrate_detections_total",
 }
 
 // Reduce runs the fault-tolerant hybrid Hessenberg reduction of a
@@ -396,6 +463,10 @@ func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) 
 	n := a.Rows
 	if n != a.Cols {
 		return nil, errors.New("ft: matrix must be square")
+	}
+	fused, err := substrateFused(opt)
+	if err != nil {
+		return nil, err
 	}
 	if len(opt.Devices) > 0 {
 		if snap != nil {
@@ -436,11 +507,20 @@ func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) 
 		opt:   opt,
 		dev:   dev,
 		la:    !opt.DisableLookahead,
+		fused: fused,
 		n:     n,
 		nb:    nb,
 		hostA: a.Clone(),
 		tau:   make([]float64, max(n-1, 1)),
 		res:   &Result{N: n, NB: nb},
+	}
+	if fused {
+		prevFused := dev.SetSubstrateFused(true)
+		dev.ResetFTStats()
+		defer func() {
+			collectSubstrateStats(dev, r.res, r.opt, r.journal)
+			dev.SetSubstrateFused(prevFused)
+		}()
 	}
 	r.res.Packed = r.hostA
 	r.res.Tau = r.tau
@@ -625,6 +705,11 @@ func reduceFrom(a *matrix.Matrix, snap *Snapshot, opt Options) (*Result, error) 
 	dev.DeviceSynchronize()
 	dev.SetPhase("")
 	dev.FinishRun()
+	if r.fused {
+		if _, _, nonFinite := dev.FTStats(); nonFinite {
+			return r.res, fmt.Errorf("%w: fused substrate observed a non-finite checksum total", ErrUncorrectable)
+		}
+	}
 
 	r.res.SimSeconds = dev.Elapsed()
 	if r.res.SimSeconds > 0 {

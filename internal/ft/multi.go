@@ -70,6 +70,19 @@ type multiReducer struct {
 	qprot *qChecksums
 	res   *Result
 
+	// fused mirrors Options.Substrate == SubstrateFused. Under the fused
+	// substrate the panel slab's halo is refreshed incrementally: finCol
+	// (n×1, on the slab's owner) accumulates the row sums of the slab's
+	// frozen-column prefix — columns left of the current panel, which no
+	// later iteration touches — so maintenance only re-reads the columns
+	// the iteration actually changed. finSlab/finDev identify the slab
+	// and device the accumulator belongs to (finSlab = -1: invalid,
+	// rebuilt on next touch, e.g. after a fail-stop device loss).
+	fused   bool
+	finCol  *gpu.Matrix
+	finDev  *gpu.Device
+	finSlab int
+
 	// fs is the fail-stop recovery state (failstop.go), nil with
 	// Options.FailStop off. fsKills holds armed device kills keyed by
 	// kill point — populated via IterCtx.KillDevice regardless of
@@ -140,20 +153,45 @@ func reduceMulti(a *matrix.Matrix, opt Options) (*Result, error) {
 	}
 	pool.SetContext(ctx)
 
+	fused, err := substrateFused(opt)
+	if err != nil {
+		return nil, err
+	}
 	r := &multiReducer{
-		opt:   opt,
-		pool:  pool,
-		n:     n,
-		nb:    nb,
-		hostA: a.Clone(),
-		tau:   make([]float64, max(n-1, 1)),
-		res:   &Result{N: n, NB: nb},
-		la:    !opt.DisableLookahead,
+		opt:     opt,
+		pool:    pool,
+		n:       n,
+		nb:      nb,
+		hostA:   a.Clone(),
+		tau:     make([]float64, max(n-1, 1)),
+		res:     &Result{N: n, NB: nb},
+		la:      !opt.DisableLookahead,
+		fused:   fused,
+		finSlab: -1,
 	}
 	r.res.Packed = r.hostA
 	r.res.Tau = r.tau
 	if n <= 1 {
 		return r.res, nil
+	}
+	if fused {
+		for _, dev := range pool.Devices {
+			dev.SetSubstrateFused(true)
+			dev.ResetFTStats()
+		}
+		defer func() {
+			// pool.Devices reflects fail-stop replacements, so this sweeps
+			// every device that computed for the run at its final state.
+			for _, dev := range pool.Devices {
+				collectSubstrateStats(dev, r.res, r.opt, r.journal)
+				dev.SetSubstrateFused(false)
+			}
+		}()
+		defer func() {
+			if r.finCol != nil {
+				r.finDev.Free(r.finCol)
+			}
+		}()
 	}
 
 	pool.SetPhase("setup")
@@ -286,8 +324,15 @@ func reduceMulti(a *matrix.Matrix, opt Options) (*Result, error) {
 		// The panel slab was updated data-only (its columns were being
 		// rewritten by the host factorization); refresh its halo from
 		// the final data so the next boundary check sees it consistent.
+		// The fused substrate verifies every update kernel's output per
+		// call, so the maintenance pass skips the slab's frozen-column
+		// prefix and re-reads only what this iteration changed.
 		pool.SetPhase("checksum_maintenance")
-		r.encodeSlab(sh.Part.SlabOf(p))
+		if r.fused {
+			r.refreshPanelSlab(p, ib)
+		} else {
+			r.encodeSlab(sh.Part.SlabOf(p))
+		}
 
 		// Boundary parity sync point: the iteration's writes are complete.
 		r.fsRefresh(p)
@@ -356,6 +401,13 @@ func reduceMulti(a *matrix.Matrix, opt Options) (*Result, error) {
 	pool.WaitAll()
 	pool.SetPhase("")
 	pool.FinishRun()
+	if r.fused {
+		for _, dev := range pool.Devices {
+			if _, _, nonFinite := dev.FTStats(); nonFinite {
+				return r.res, fmt.Errorf("%w: fused substrate observed a non-finite checksum total on %s", ErrUncorrectable, dev.Name())
+			}
+		}
+	}
 
 	r.res.SimSeconds = pool.Elapsed()
 	if r.res.SimSeconds > 0 {
@@ -376,6 +428,90 @@ func (r *multiReducer) encodeSlab(s int) {
 	e := dev.RowSums(sh.SlabM[s], 0, 0, r.n, sl.Cols, sh.SlabM[s], 0, sl.Cols, sh.Last[s])
 	e = dev.ColSums(sh.SlabM[s], 0, 0, r.n, sl.Cols+1, sh.SlabM[s], r.n, 0, e)
 	sh.Last[s] = e
+}
+
+// refreshPanelSlab is the fused-substrate replacement for the panel
+// slab's end-of-iteration encodeSlab. Columns left of the panel are
+// frozen — no later iteration writes them — and their row sums are
+// carried in the finCol accumulator, so the refresh reads only the
+// columns this iteration changed ([p, slab end)). One fused kernel
+// (encodeSlab needs two, and per-kernel launch latency dominates these
+// bandwidth-bound sweeps) produces everything in a single pass: the
+// changed columns' sums rewrite the checksum-row segment (frozen
+// entries keep their last written values, which still match the frozen
+// data), their row sums merge with the prefix into the checksum column,
+// the grand total lands in the corner, and the newly finished panel
+// columns fold into the prefix for the next iteration. The prefix
+// accumulates column-by-column in ascending order — exactly the order a
+// from-scratch rebuild uses — so a post-loss rebuild from parity-
+// reconstructed data is bit-identical to the incremental value. The
+// accumulator only ever feeds the halo, never a data element, so H and
+// tau stay bit-identical to the swept substrate; the halo's rounding
+// drift against a full re-encode is O(ε·‖A‖), far below τ.
+func (r *multiReducer) refreshPanelSlab(p, ib int) {
+	sh := r.sh
+	s := sh.Part.SlabOf(p)
+	sl := sh.Part.Slabs[s]
+	dev := sh.Owner(s)
+	m := sh.SlabM[s]
+	n := r.n
+	cols := sl.Cols
+	lp0 := p - sl.Start
+	pp := r.pool.Params
+	r.pool.Issue(dev)
+
+	if r.finDev != dev || r.finSlab != s {
+		// First panel of this slab, or the previous carrier was lost to a
+		// fail-stop kill: (re)build the accumulator on the owning device.
+		// Frozen columns never change, so the prefix recomputes exactly
+		// from the (possibly parity-reconstructed) data.
+		if r.finCol != nil {
+			r.finDev.Free(r.finCol)
+		}
+		r.finCol = dev.Alloc(n, 1)
+		r.finDev = dev
+		r.finSlab = s
+		fin := r.finCol
+		sh.Last[s] = dev.Custom(pp.GemvDevice(n, lp0+1), func() {
+			for i := 0; i < n; i++ {
+				fin.Data[i] = 0
+			}
+			for j := 0; j < lp0; j++ {
+				col := m.Data[j*m.Stride : j*m.Stride+n]
+				for i, v := range col {
+					fin.Data[i] += v
+				}
+			}
+		}, sh.Last[s])
+	}
+
+	// One launch; bandwidth for the changed columns plus the checksum
+	// column and prefix traffic (3 n-vectors).
+	fin := r.finCol
+	cost := pp.KernelLaunchSec + 8*float64(n)*float64(cols-lp0+3)/(pp.GPUBandwidthGBps*1e9)
+	sh.Last[s] = dev.Custom(cost, func() {
+		chk := m.Data[cols*m.Stride : cols*m.Stride+n]
+		copy(chk, fin.Data[:n])
+		for j := lp0; j < cols; j++ {
+			col := m.Data[j*m.Stride : j*m.Stride+n]
+			cs := 0.0
+			for i, v := range col {
+				cs += v
+				chk[i] += v
+			}
+			m.Data[j*m.Stride+n] = cs
+			if j < lp0+ib {
+				for i, v := range col {
+					fin.Data[i] += v
+				}
+			}
+		}
+		corner := 0.0
+		for _, v := range chk {
+			corner += v
+		}
+		m.Data[cols*m.Stride+n] = corner
+	}, sh.Last[s])
 }
 
 // slabTotals issues slab s's detection kernel on its owner: the fresh

@@ -119,6 +119,15 @@ type Device struct {
 	// The simulated clocks still advance so issuing code keeps a coherent
 	// notion of time until the loss is detected and the device replaced.
 	dead bool
+
+	// fusedFT routes Gemm/Gemv through the fused-ABFT blas substrate
+	// (DESIGN.md §14): Real-mode kernels run DgemmFT/DgemvFT and the
+	// cost model charges the checksum premium. The per-call verdicts
+	// accumulate below (single-goroutine, like all device state).
+	fusedFT      bool
+	ftChecks     int64
+	ftDetections int64
+	ftNonFinite  bool
 }
 
 // New creates a device with the given cost parameters and mode.
@@ -168,6 +177,40 @@ func (d *Device) Kill() { d.dead = true }
 
 // Dead reports whether the device has been killed.
 func (d *Device) Dead() bool { return d.dead }
+
+// SetSubstrateFused switches the device's GEMM/GEMV kernels onto (or off)
+// the fused-ABFT substrate and returns the previous setting. While on,
+// Real-mode matrix kernels verify their own output in the macro-kernel
+// epilogue (DgemmFT) or by dual modular redundancy (DgemvFT) and the cost
+// model charges the modeled premium; detections accumulate in FTStats.
+// CostOnly mode only changes the charged costs.
+func (d *Device) SetSubstrateFused(on bool) bool {
+	prev := d.fusedFT
+	d.fusedFT = on
+	return prev
+}
+
+// SubstrateFused reports whether the fused-ABFT substrate is active.
+func (d *Device) SubstrateFused() bool { return d.fusedFT }
+
+// FTStats reports the fused-substrate verdicts accumulated since the last
+// ResetFTStats: total checksum/DMR comparisons, threshold exceedances,
+// and whether any compared total was non-finite.
+func (d *Device) FTStats() (checks, detections int64, nonFinite bool) {
+	return d.ftChecks, d.ftDetections, d.ftNonFinite
+}
+
+// ResetFTStats clears the fused-substrate counters.
+func (d *Device) ResetFTStats() {
+	d.ftChecks, d.ftDetections, d.ftNonFinite = 0, 0, false
+}
+
+// noteFT folds one fused-substrate call verdict into the device counters.
+func (d *Device) noteFT(checks, detections int, nonFinite bool) {
+	d.ftChecks += int64(checks)
+	d.ftDetections += int64(detections)
+	d.ftNonFinite = d.ftNonFinite || nonFinite
+}
 
 // Matrix is a column-major matrix resident in device memory. In CostOnly
 // mode Data is nil.

@@ -38,12 +38,31 @@ func (d *Device) launchOn(t *sim.Timeline, kind string, cost float64, deps []sim
 	return e
 }
 
+// ftGemvCostFactor is the modeled premium of the DMR Level-2 kernels: a
+// register-level duplicated FMA stream on a bandwidth-bound op re-reads
+// nothing, so the FT-BLAS measurements put the slowdown near the ALU
+// share of the kernel (~10%).
+const ftGemvCostFactor = 1.10
+
 // Gemm enqueues C(ci:ci+m, cj:cj+n) := alpha·op(A)·op(B) + beta·C on the
 // compute stream, where op(A) is m×k at (ai, aj) and op(B) is k×n at
-// (bi, bj).
+// (bi, bj). With the fused-ABFT substrate on (SetSubstrateFused) the
+// kernel verifies its own output in the macro-kernel epilogue and is
+// charged the modeled checksum premium; detections are accumulated in
+// FTStats, never silently dropped. The substrate only detects — GEMM is
+// not idempotent, so correction stays with the FT layer's sweep.
 func (d *Device) Gemm(tA, tB blas.Transpose, m, n, k int, alpha float64, a *Matrix, ai, aj int, b *Matrix, bi, bj int, beta float64, c *Matrix, ci, cj int, deps ...sim.Event) sim.Event {
-	return d.launch("gemm", d.Params.GemmDevice(m, n, k), deps, func() {
+	cost := d.Params.GemmDevice(m, n, k)
+	if d.fusedFT {
+		cost *= 1 + blas.FTGemmOverheadFrac(m, n, k)
+	}
+	return d.launch("gemm", cost, deps, func() {
 		if m == 0 || n == 0 {
+			return
+		}
+		if d.fusedFT {
+			res, _ := blas.DgemmFT(tA, tB, m, n, k, alpha, a.ptr(ai, aj), a.Stride, b.ptr(bi, bj), b.Stride, beta, c.ptr(ci, cj), c.Stride)
+			d.noteFT(res.Checks, res.Detections, res.NonFinite)
 			return
 		}
 		blas.Dgemm(tA, tB, m, n, k, alpha, a.ptr(ai, aj), a.Stride, b.ptr(bi, bj), b.Stride, beta, c.ptr(ci, cj), c.Stride)
@@ -51,10 +70,21 @@ func (d *Device) Gemm(tA, tB blas.Transpose, m, n, k int, alpha float64, a *Matr
 }
 
 // Gemv enqueues y := alpha·op(A)·x + beta·y with A m×n at (ai, aj), x a
-// column of xm at (xi, xj), and y a column of ym at (yi, yj).
+// column of xm at (xi, xj), and y a column of ym at (yi, yj). With the
+// fused substrate on, the kernel runs under dual modular redundancy
+// (blas.DgemvFT) at the modeled ~10% premium.
 func (d *Device) Gemv(trans blas.Transpose, m, n int, alpha float64, a *Matrix, ai, aj int, xm *Matrix, xi, xj int, beta float64, ym *Matrix, yi, yj int, deps ...sim.Event) sim.Event {
-	return d.launch("gemv", d.Params.GemvDevice(m, n), deps, func() {
+	cost := d.Params.GemvDevice(m, n)
+	if d.fusedFT {
+		cost *= ftGemvCostFactor
+	}
+	return d.launch("gemv", cost, deps, func() {
 		if m == 0 || n == 0 {
+			return
+		}
+		if d.fusedFT {
+			res, _ := blas.DgemvFT(trans, m, n, alpha, a.ptr(ai, aj), a.Stride, xm.ptr(xi, xj), 1, beta, ym.ptr(yi, yj), 1)
+			d.noteFT(res.Checks, res.Detections, res.NonFinite)
 			return
 		}
 		blas.Dgemv(trans, m, n, alpha, a.ptr(ai, aj), a.Stride, xm.ptr(xi, xj), 1, beta, ym.ptr(yi, yj), 1)
@@ -72,8 +102,17 @@ func (d *Device) Gemv(trans blas.Transpose, m, n int, alpha float64, a *Matrix, 
 // program order, and the program still issues the remainder update before
 // the next panel factorization runs.
 func (d *Device) GemvLA(trans blas.Transpose, m, n int, extraCost float64, alpha float64, a *Matrix, ai, aj int, xm *Matrix, xi, xj int, beta float64, ym *Matrix, yi, yj int, deps ...sim.Event) sim.Event {
-	return d.launchOn(d.Lookahead, "gemv", d.Params.GemvDevice(m, n)+extraCost, deps, func() {
+	cost := d.Params.GemvDevice(m, n)
+	if d.fusedFT {
+		cost *= ftGemvCostFactor
+	}
+	return d.launchOn(d.Lookahead, "gemv", cost+extraCost, deps, func() {
 		if m == 0 || n == 0 {
+			return
+		}
+		if d.fusedFT {
+			res, _ := blas.DgemvFT(trans, m, n, alpha, a.ptr(ai, aj), a.Stride, xm.ptr(xi, xj), 1, beta, ym.ptr(yi, yj), 1)
+			d.noteFT(res.Checks, res.Detections, res.NonFinite)
 			return
 		}
 		blas.Dgemv(trans, m, n, alpha, a.ptr(ai, aj), a.Stride, xm.ptr(xi, xj), 1, beta, ym.ptr(yi, yj), 1)

@@ -112,6 +112,12 @@ type JobRequest struct {
 	// finishing with the recovered_failstop outcome instead of failing.
 	// Requires algorithm "ft" and devices > 0.
 	FailStop bool `json:"fail_stop,omitempty"`
+	// Substrate selects the BLAS fault-tolerance substrate on algorithm
+	// "ft": "" or "swept" (default) keeps the iteration-boundary sweeps
+	// only; "fused" additionally verifies every device BLAS call
+	// in-kernel and maintains the multi-device panel-slab halo
+	// incrementally. Results are bit-identical either way.
+	Substrate string `json:"substrate,omitempty"`
 	// Faults schedules transient-error injections (algorithm "ft" only).
 	Faults []FaultSpec `json:"faults,omitempty"`
 	// MatrixMarket, when non-empty, is the input matrix as an inline
@@ -184,6 +190,19 @@ func (r *JobRequest) validate(maxN int) error {
 		}
 		if r.Devices == 0 {
 			return errors.New("fail_stop requires a multi-device job (devices > 0)")
+		}
+	}
+	switch r.Substrate {
+	case "", "swept", "fused":
+	default:
+		return fmt.Errorf("unknown substrate %q (want swept|fused)", r.Substrate)
+	}
+	if r.Substrate == "fused" {
+		if r.Symmetric {
+			return errors.New("substrate \"fused\" is not supported on the symmetric path")
+		}
+		if r.Algorithm == AlgBaseline || r.Algorithm == AlgCPU {
+			return errors.New("substrate \"fused\" requires algorithm \"ft\"")
 		}
 	}
 	for i, f := range r.Faults {

@@ -533,6 +533,7 @@ func (s *Server) execute(j *Job) (*JobResult, error) {
 		DisableQProtection: req.DisableQProtection,
 		DisableOverlap:     req.DisableOverlap,
 		DisableLookahead:   req.Lookahead != nil && !*req.Lookahead,
+		Substrate:          req.Substrate,
 		Obs:                s.reg,
 		Journal:            j.journal,
 		Trace:              trace,
