@@ -25,13 +25,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|tableI|fig2|fig6|tableII|tableIII|ablation|breakdown|multierror|multigpu|lookahead|failstop|blasft|trace|timeline|serveobs")
+	exp := flag.String("exp", "all", "experiment: all|tableI|fig2|fig6|tableII|tableIII|ablation|breakdown|multierror|multigpu|lookahead|failstop|blasft|trace|timeline|serveobs|serve_throughput")
 	nb := flag.Int("nb", 32, "block size")
 	sizesFlag := flag.String("sizes", "", "comma-separated matrix sizes (overrides defaults)")
 	paper := flag.Bool("paper", false, "use the paper's full size grid for fig6 (cost-only, still fast)")
 	seed := flag.Uint64("seed", 158, "workload seed")
 	traceOut := flag.String("traceout", "", "write a Chrome trace JSON of the timeline experiment to this file")
 	serveObsOut := flag.String("serveobsout", "BENCH_serveobs.json", "artifact path for the serveobs experiment (empty to skip writing)")
+	throughputOut := flag.String("throughputout", "BENCH_throughput.json", "artifact path for the serve_throughput experiment (empty to skip writing)")
 	lookaheadOut := flag.String("lookaheadout", "BENCH_lookahead.json", "artifact path for the lookahead experiment (empty to skip writing)")
 	failstopOut := flag.String("failstopout", "BENCH_failstop.json", "artifact path for the failstop experiment (empty to skip writing)")
 	blasftOut := flag.String("blasftout", "BENCH_blasft.json", "artifact path for the blasft experiment (empty to skip writing)")
@@ -131,6 +132,16 @@ func main() {
 			}
 			if err := bench.ServeObsReport(out, art, *serveObsOut); err != nil {
 				fmt.Fprintf(os.Stderr, "serveobs: %v\n", err)
+				os.Exit(2)
+			}
+		case "serve_throughput":
+			art, err := bench.Throughput([]int{64, 128, 256}, 32, 2, 4, 8, 2, 16, 5)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "serve_throughput: %v\n", err)
+				os.Exit(2)
+			}
+			if err := bench.ThroughputReport(out, art, *throughputOut); err != nil {
+				fmt.Fprintf(os.Stderr, "serve_throughput: %v\n", err)
 				os.Exit(2)
 			}
 		default:

@@ -18,12 +18,9 @@
 package main
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"os"
 
 	"repro/internal/blas"
@@ -322,19 +319,7 @@ func main() {
 		// The multi-device schedule is bit-identical at every pool size, so
 		// this digest is the CI determinism probe: -devices 1 and -devices K
 		// must print the same line for the same seed.
-		h := sha256.New()
-		var buf [8]byte
-		for j := 0; j < res.Packed.Cols; j++ {
-			for i := 0; i < res.Packed.Rows; i++ {
-				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(res.Packed.At(i, j)))
-				h.Write(buf[:])
-			}
-		}
-		for _, tv := range res.Tau {
-			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(tv))
-			h.Write(buf[:])
-		}
-		fmt.Printf("result sha256: %x\n", h.Sum(nil))
+		fmt.Printf("result sha256: %s\n", res.Digest())
 	}
 
 	if *metricsPath != "" {

@@ -37,6 +37,8 @@ func main() {
 	drain := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
 	threads := flag.Int("threads", 0, "host BLAS worker threads (0 = GOMAXPROCS)")
 	devices := flag.Int("devices", 0, "simulated device farm size jobs can lease from (0 = one private device per job)")
+	lanes := flag.Int("lanes", 0, "fractional lanes per device for batched jobs (0 = batched requests rejected)")
+	cacheEntries := flag.Int("cache", 0, "digest-keyed result cache entries (0 = caching off)")
 	observe := flag.String("obs", serve.ObserveFull, "observation level: full (per-job traces, journals, labeled series) or slo (anonymous SLO telemetry only)")
 	flight := flag.Int("flight", 0, "FT flight-recorder capacity dumped at /debug/events (0 = default 256)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (operator-facing; off by default)")
@@ -60,6 +62,8 @@ func main() {
 		MaxN:               *maxn,
 		MaxBodyBytes:       *maxBody,
 		Devices:            *devices,
+		DeviceLanes:        *lanes,
+		CacheEntries:       *cacheEntries,
 		Observe:            *observe,
 		FlightRecorderSize: *flight,
 		EnablePprof:        *pprofOn,
@@ -86,11 +90,22 @@ func main() {
 		}
 	}()
 
-	log.Printf("fthessd listening on %s (capacity=%d queue=%d maxn=%d devices=%d obs=%s)",
-		*addr, *capacity, *queue, *maxn, *devices, *observe)
+	bi := serve.Build()
+	log.Printf("fthessd %s (go %s, dirty=%v)", orDev(bi.Revision), bi.GoVersion, bi.Dirty)
+	log.Printf("fthessd listening on %s (capacity=%d queue=%d maxn=%d devices=%d lanes=%d cache=%d obs=%s)",
+		*addr, *capacity, *queue, *maxn, *devices, *lanes, *cacheEntries, *observe)
 	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("listen: %v", err)
 	}
 	<-drained
 	log.Printf("fthessd stopped")
+}
+
+// orDev names a build without VCS stamping (e.g. `go run` of an
+// exported tree) in the startup banner.
+func orDev(rev string) string {
+	if rev == "" {
+		return "(dev build)"
+	}
+	return rev
 }

@@ -1,0 +1,168 @@
+package batch
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/devpool"
+	"repro/internal/gpu"
+	"repro/internal/obs"
+)
+
+// Item is one reduction inside a batched job: a generated input of order
+// N (seeded) reduced at block size NB. Index is its position in the
+// request, preserved through grouping so results line up with inputs.
+type Item struct {
+	Index int
+	N, NB int
+	Seed  uint64
+}
+
+// ItemRun is one item's outcome: the runner's value, the lane that
+// hosted it, and its modeled [Start, End) window on that lane's device
+// clock. Dev is the device the runner returned — nil for cache hits,
+// which consume no device time (Start/End stay zero then); callers read
+// its trace spans for per-lane trace rows.
+type ItemRun struct {
+	Item       Item
+	Lane       string
+	Start, End float64
+	Value      any
+	Dev        *gpu.Device
+	Err        error
+}
+
+// Runner executes one item on a leased lane and returns its value plus
+// the simulated device it ran on. A runner that satisfied the item
+// without touching a device (result cache) returns dev == nil and
+// nothing is charged to the lane clock. The runner owns device
+// construction (gpu.NewNamed with lane.Name()) so the serving layer
+// keeps full control of tracing, metrics labels, and reduction options.
+type Runner func(ctx context.Context, it Item, lane Lane) (val any, dev *gpu.Device, err error)
+
+// Engine schedules batched jobs onto the farm: items are grouped by
+// (N, NB), each group runs back-to-back on one leased lane — lane
+// acquisition and the panel-width-specific warmup amortize across the
+// group — and distinct groups run concurrently up to the farm capacity.
+// One item's failure cancels the job's remaining work (first error wins,
+// in item order).
+type Engine struct {
+	farm  *Farm
+	cache *Cache
+
+	gMakespan *obs.Gauge
+	cGroups   *obs.Counter
+	cItems    *obs.Counter
+}
+
+// NewEngine builds an engine over a farm. cache may be nil (caching
+// disabled); reg may be nil (no metrics).
+func NewEngine(farm *Farm, cache *Cache, reg *obs.Registry) *Engine {
+	e := &Engine{farm: farm, cache: cache}
+	if reg != nil {
+		e.gMakespan = reg.Gauge("batch_farm_makespan_seconds")
+		e.cGroups = reg.Counter("batch_groups_total")
+		e.cItems = reg.Counter("batch_items_total")
+	}
+	return e
+}
+
+// Farm returns the engine's lane farm.
+func (e *Engine) Farm() *Farm { return e.farm }
+
+// Cache returns the engine's result cache (nil when disabled).
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// Run executes items and returns their outcomes in item order. The
+// returned error is the first item error in item order (the remaining
+// groups were cancelled through ctx when it struck); the slice is
+// complete either way, with unrun items carrying the cancellation error.
+func (e *Engine) Run(ctx context.Context, items []Item, run Runner) ([]ItemRun, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Group by (N, NB), preserving request order within each group.
+	type shape struct{ n, nb int }
+	var order []shape
+	groups := make(map[shape][]Item)
+	for _, it := range items {
+		s := shape{it.N, it.NB}
+		if _, ok := groups[s]; !ok {
+			order = append(order, s)
+		}
+		groups[s] = append(groups[s], it)
+	}
+
+	out := make([]ItemRun, len(items))
+	pos := make(map[int]int, len(items)) // item index → out slot
+	for i, it := range items {
+		pos[it.Index] = i
+	}
+
+	var wg sync.WaitGroup
+	for _, s := range order {
+		group := groups[s]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if e.cGroups != nil {
+				e.cGroups.Inc()
+			}
+			lane, err := e.farm.Lease(ctx)
+			if err != nil {
+				for _, it := range group {
+					out[pos[it.Index]] = ItemRun{Item: it, Err: err}
+				}
+				return
+			}
+			defer e.farm.Release(lane)
+			for _, it := range group {
+				r := ItemRun{Item: it, Lane: lane.Name()}
+				if err := ctx.Err(); err != nil {
+					r.Err = err
+					out[pos[it.Index]] = r
+					continue
+				}
+				val, dev, err := run(ctx, it, lane)
+				r.Value, r.Dev, r.Err = val, dev, err
+				if dev != nil {
+					r.Start, r.End = e.farm.Charge(lane, demand(dev))
+				}
+				if e.cItems != nil {
+					e.cItems.Inc()
+				}
+				out[pos[it.Index]] = r
+				if err != nil {
+					// First failure aborts the job: siblings observe the
+					// cancelled context at their next item boundary.
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if e.gMakespan != nil {
+		e.gMakespan.Set(e.farm.Makespan())
+	}
+	for _, r := range out {
+		if r.Err != nil {
+			return out, r.Err
+		}
+	}
+	return out, nil
+}
+
+// demand reads one finished run's engine demand off its (fresh,
+// single-use) device: the standalone makespan, kernel busy-seconds on
+// the compute fabric (compute + lookahead streams), and the two DMA
+// directions. These are the three capacities lanes contend for on the
+// simulated K40c (one SM fabric, two copy engines).
+func demand(dev *gpu.Device) devpool.EngineDemand {
+	tb := dev.TimeBreakdown()
+	return devpool.EngineDemand{
+		Standalone: dev.Elapsed(),
+		Compute:    dev.Compute.Busy() + dev.Lookahead.Busy(),
+		H2D:        tb["h2d"],
+		D2H:        tb["d2h"],
+	}
+}

@@ -1,0 +1,120 @@
+// Package batch is the small-N throughput engine layered between the
+// serving stack and the device pool (DESIGN.md §15). It turns the
+// whole-device, one-reduction-per-job serving model into one built for
+// fleets of small matrices:
+//
+//   - batched jobs: a request carries many independent matrices; items
+//     with the same (N, nb) form a group executed back-to-back on one
+//     leased lane, so lane acquisition and panel-size-specific pool
+//     warmup amortize across the group while distinct groups run
+//     concurrently;
+//   - fractional device leases: each device exposes M lanes over a
+//     devpool.LaneClock that models contention on the shared compute and
+//     DMA engines, so K devices serve K×M concurrent small jobs with
+//     honest modeled completion times (M=1 degenerates to whole-device
+//     leasing — the benchmark's comparison arm);
+//   - a digest-keyed result cache: bounded LRU over the canonical
+//     SHA-256 input digest plus the options that change bits, with
+//     single-flight coalescing of concurrent identical submissions;
+//   - a weighted-fair queue with starvation aging replacing the FIFO in
+//     front of the workers.
+//
+// The package is policy only — it never runs a reduction itself. The
+// serving layer supplies a Runner that builds the per-item device and
+// calls core.Reduce; batch decides where and when, and charges the
+// modeled cost.
+package batch
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/devpool"
+)
+
+// Lane is one fractional lease: lane slot Index on device Device.
+type Lane struct {
+	Device int
+	Index  int
+}
+
+// Name is the lane's identity in metric labels and trace rows ("d0.l1").
+func (l Lane) Name() string { return fmt.Sprintf("d%d.l%d", l.Device, l.Index) }
+
+// Farm hands out fractional leases over K devices × M lanes and owns the
+// per-device virtual clocks. Lease blocks until a lane is free, so the
+// farm is also the engine's concurrency bound.
+type Farm struct {
+	devices int
+	lanes   int
+	free    chan Lane
+	clocks  []*devpool.LaneClock
+}
+
+// NewFarm builds a farm of devices × lanesPerDevice fractional leases.
+// The free list is seeded round-robin by device (d0.l0, d1.l0, …, d0.l1,
+// …) so a burst smaller than the capacity spreads across physical
+// devices before doubling up on any one of them.
+func NewFarm(devices, lanesPerDevice int) *Farm {
+	if devices < 1 {
+		devices = 1
+	}
+	if lanesPerDevice < 1 {
+		lanesPerDevice = 1
+	}
+	f := &Farm{
+		devices: devices,
+		lanes:   lanesPerDevice,
+		free:    make(chan Lane, devices*lanesPerDevice),
+		clocks:  make([]*devpool.LaneClock, devices),
+	}
+	for d := range f.clocks {
+		f.clocks[d] = devpool.NewLaneClock(lanesPerDevice)
+	}
+	for l := 0; l < lanesPerDevice; l++ {
+		for d := 0; d < devices; d++ {
+			f.free <- Lane{Device: d, Index: l}
+		}
+	}
+	return f
+}
+
+// Devices returns the physical device count.
+func (f *Farm) Devices() int { return f.devices }
+
+// LanesPerDevice returns M.
+func (f *Farm) LanesPerDevice() int { return f.lanes }
+
+// Capacity returns the total concurrent-lease capacity (K × M).
+func (f *Farm) Capacity() int { return f.devices * f.lanes }
+
+// Lease blocks until a lane is free (or ctx is done) and returns it.
+func (f *Farm) Lease(ctx context.Context) (Lane, error) {
+	select {
+	case l := <-f.free:
+		return l, nil
+	case <-ctx.Done():
+		return Lane{}, ctx.Err()
+	}
+}
+
+// Release returns a lane to the free list.
+func (f *Farm) Release(l Lane) { f.free <- l }
+
+// Charge places one run onto a leased lane's device clock and returns
+// its modeled [start, end) window.
+func (f *Farm) Charge(l Lane, d devpool.EngineDemand) (start, end float64) {
+	return f.clocks[l.Device].Run(l.Index, d)
+}
+
+// Makespan is the modeled completion time of everything charged so far,
+// across all devices.
+func (f *Farm) Makespan() float64 {
+	var m float64
+	for _, c := range f.clocks {
+		if t := c.Makespan(); t > m {
+			m = t
+		}
+	}
+	return m
+}

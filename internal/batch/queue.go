@@ -1,0 +1,206 @@
+package batch
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Job classes understood by the fair queue. Interactive is the default
+// for plain submissions; Batch marks throughput traffic that tolerates
+// latency. Weights 4:1 mean a saturated queue serves four interactive
+// jobs' worth of cost per batch job's worth — a later interactive
+// arrival overtakes queued batch backlog, but batch always drains.
+const (
+	ClassInteractive = "interactive"
+	ClassBatch       = "batch"
+)
+
+// Queue rejection errors, mapped by the serving layer to 429 / 503.
+var (
+	ErrQueueFull   = errors.New("batch: queue is full")
+	ErrQueueClosed = errors.New("batch: queue is closed")
+)
+
+// item is one queued element with its WFQ virtual-finish tag.
+type item[T any] struct {
+	v       T
+	vfinish float64
+	enq     time.Time
+}
+
+type class[T any] struct {
+	weight     float64
+	lastFinish float64
+	fifo       []item[T]
+}
+
+// Queue is a weighted-fair queue over job classes with starvation aging,
+// replacing the FIFO channel in front of the serving workers.
+//
+// Scheduling is virtual-time WFQ: an arrival to class c is tagged
+//
+//	vfinish = max(vnow, c.lastFinish) + cost/weight
+//
+// and Pop serves the smallest tag among the class heads, advancing vnow
+// to it. Cost is the job's size (batched jobs count their items), so
+// fairness is over work, not job count.
+//
+// Aging bounds starvation without inverting priority: when the oldest
+// queued head has waited longer than AgingAfter, it is served out of tag
+// order — but at most once per AgingAfter interval, so a starving class
+// gets a guaranteed trickle (≥1 job per interval) while the weighted
+// shares keep governing everything else.
+type Queue[T any] struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	depth   int
+	closed  bool
+	vnow    float64
+	classes map[string]*class[T]
+	size    int
+
+	agingAfter time.Duration
+	lastAged   time.Time
+	aged       uint64
+
+	// now is the clock (a test seam; time.Now outside tests).
+	now func() time.Time
+}
+
+// NewQueue builds a fair queue bounded to depth elements. weights maps
+// class name → weight (minimum 1); unknown classes pushed later inherit
+// weight 1. agingAfter ≤ 0 disables aging.
+func NewQueue[T any](depth int, weights map[string]float64, agingAfter time.Duration) *Queue[T] {
+	if depth < 1 {
+		depth = 1
+	}
+	q := &Queue[T]{
+		depth:      depth,
+		classes:    make(map[string]*class[T]),
+		agingAfter: agingAfter,
+		now:        time.Now,
+	}
+	q.cond = sync.NewCond(&q.mu)
+	for name, w := range weights {
+		if w < 1 {
+			w = 1
+		}
+		q.classes[name] = &class[T]{weight: w}
+	}
+	return q
+}
+
+// Push enqueues v under a class with the given cost (clamped to ≥ 1).
+// It never blocks: ErrQueueFull when the depth bound is hit,
+// ErrQueueClosed after Close.
+func (q *Queue[T]) Push(cls string, cost float64, v T) error {
+	if cost < 1 {
+		cost = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if q.size >= q.depth {
+		return ErrQueueFull
+	}
+	c, ok := q.classes[cls]
+	if !ok {
+		c = &class[T]{weight: 1}
+		q.classes[cls] = c
+	}
+	start := q.vnow
+	if c.lastFinish > start {
+		start = c.lastFinish
+	}
+	c.lastFinish = start + cost/c.weight
+	c.fifo = append(c.fifo, item[T]{v: v, vfinish: c.lastFinish, enq: q.now()})
+	q.size++
+	q.cond.Signal()
+	return nil
+}
+
+// Pop blocks until an element is available and returns it; ok is false
+// once the queue is closed and drained (the worker-exit signal).
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.size == 0 {
+		var zero T
+		return zero, false
+	}
+
+	// Class names in sorted order: map iteration is randomized, and the
+	// scheduler's tie-breaks must be deterministic.
+	names := make([]string, 0, len(q.classes))
+	for name, c := range q.classes {
+		if len(c.fifo) > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	// Aging override: serve the oldest head out of tag order if it has
+	// starved past the interval — at most once per interval.
+	now := q.now()
+	var pick *class[T]
+	if q.agingAfter > 0 && now.Sub(q.lastAged) >= q.agingAfter {
+		var oldest time.Time
+		for _, name := range names {
+			c := q.classes[name]
+			if pick == nil || c.fifo[0].enq.Before(oldest) {
+				pick, oldest = c, c.fifo[0].enq
+			}
+		}
+		if pick != nil && now.Sub(oldest) >= q.agingAfter {
+			q.lastAged = now
+			q.aged++
+		} else {
+			pick = nil
+		}
+	}
+	if pick == nil {
+		for _, name := range names {
+			c := q.classes[name]
+			if pick == nil || c.fifo[0].vfinish < pick.fifo[0].vfinish {
+				pick = c
+			}
+		}
+	}
+	it := pick.fifo[0]
+	pick.fifo = pick.fifo[1:]
+	q.size--
+	if it.vfinish > q.vnow {
+		q.vnow = it.vfinish
+	}
+	return it.v, true
+}
+
+// Close stops intake; Pop keeps draining what is queued, then reports
+// closed. Safe to call more than once.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Len returns the number of queued elements.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// Aged returns how many elements were served by the aging override.
+func (q *Queue[T]) Aged() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.aged
+}

@@ -1,0 +1,113 @@
+package devpool
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Fractional device leases (DESIGN.md §15).
+//
+// A whole-device lease wastes most of a K40c on a small reduction: at
+// N=256 the FT reduction keeps the SMs ~37% busy and each DMA engine
+// ~25% busy, so a device could carry several such jobs concurrently if
+// the serving layer could model their contention. LaneClock is that
+// model: each device exposes M lanes (fractional leases), every job
+// leased onto a lane runs on its own fresh gpu.Device — so its bits and
+// its standalone cost model are exactly the single-job ones — and the
+// lane clock then places that standalone run onto the shared physical
+// device, charging its demand against the engines all lanes contend
+// for.
+//
+// The contention model is work-conserving with three engine capacities,
+// matching the simulated K40c's concurrency (GK110B: one compute
+// fabric's worth of SMs plus two independent DMA engines, one per copy
+// direction):
+//
+//	compute — kernel busy-seconds (compute + lookahead streams)
+//	h2d     — host-to-device DMA busy-seconds
+//	d2h     — device-to-host DMA busy-seconds
+//
+// A run charged to lane l with standalone makespan s and engine demand
+// (c, h, d) finishes at
+//
+//	end = max(lane[l] + s, C+c, H+h, D+d)
+//
+// where lane[l] is the lane's serial frontier and C/H/D are the
+// engines' cumulative charged demand (each engine is a serial resource;
+// the run cannot finish before everything charged through an engine it
+// uses has been processed). Lanes are serial chains — a lane's next run
+// starts at its previous run's end — and the device makespan is the
+// maximum over lane frontiers, which the engine bounds push up as soon
+// as any engine saturates. With M=1 the model degenerates to
+// whole-device serial leasing (end = lane + s dominates), which is what
+// the throughput benchmark's comparison arm runs.
+type LaneClock struct {
+	mu    sync.Mutex
+	lanes []float64
+	// Cumulative charged demand per shared engine: compute, h2d, d2h.
+	compute, h2d, d2h float64
+}
+
+// EngineDemand is what one run asks of the shared device: its makespan
+// when run alone, and its busy-seconds on each contended engine
+// (gpu.Device reports these as Compute/Lookahead Busy() and the
+// "h2d"/"d2h" entries of TimeBreakdown()).
+type EngineDemand struct {
+	Standalone float64
+	Compute    float64
+	H2D        float64
+	D2H        float64
+}
+
+// NewLaneClock builds the virtual clock of one device with m lanes.
+func NewLaneClock(m int) *LaneClock {
+	if m < 1 {
+		m = 1
+	}
+	return &LaneClock{lanes: make([]float64, m)}
+}
+
+// Lanes returns the lane count.
+func (c *LaneClock) Lanes() int { return len(c.lanes) }
+
+// Run charges one run's demand to a lane and returns its modeled
+// [start, end) window on the shared device. Panics on a bad lane index
+// (lanes are leased, never guessed).
+func (c *LaneClock) Run(lane int, d EngineDemand) (start, end float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if lane < 0 || lane >= len(c.lanes) {
+		panic(fmt.Sprintf("devpool: lane %d outside [0,%d)", lane, len(c.lanes)))
+	}
+	start = c.lanes[lane]
+	end = start + d.Standalone
+	// Only engines the run actually uses can bound it: charging zero
+	// demand must not inherit the engine's backlog.
+	if d.Compute > 0 {
+		c.compute += d.Compute
+		end = max(end, c.compute)
+	}
+	if d.H2D > 0 {
+		c.h2d += d.H2D
+		end = max(end, c.h2d)
+	}
+	if d.D2H > 0 {
+		c.d2h += d.D2H
+		end = max(end, c.d2h)
+	}
+	c.lanes[lane] = end
+	return start, end
+}
+
+// Makespan is the modeled completion time of everything charged so far:
+// the latest lane frontier (lane frontiers already absorb the engine
+// bounds of the runs placed on them).
+func (c *LaneClock) Makespan() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var m float64
+	for _, t := range c.lanes {
+		m = max(m, t)
+	}
+	return m
+}

@@ -1,0 +1,73 @@
+package devpool
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("%s = %g, want %g", what, got, want)
+	}
+}
+
+// One lane is whole-device leasing: runs chain serially and the engine
+// bounds never dominate (a run's own engine demand is below its
+// standalone makespan by construction).
+func TestLaneClockSingleLaneIsSerial(t *testing.T) {
+	c := NewLaneClock(1)
+	d := EngineDemand{Standalone: 1.0, Compute: 0.4, H2D: 0.25, D2H: 0.25}
+	for i := 0; i < 4; i++ {
+		start, end := c.Run(0, d)
+		almost(t, "start", start, float64(i))
+		almost(t, "end", end, float64(i)+1)
+	}
+	almost(t, "makespan", c.Makespan(), 4)
+}
+
+// With enough lanes the makespan collapses to the hottest engine's total
+// demand — the whole point of fractional leases: 4 identical 37%-compute
+// jobs on 4 lanes finish in ~1.6 standalone units, not 4.
+func TestLaneClockEngineBound(t *testing.T) {
+	c := NewLaneClock(4)
+	d := EngineDemand{Standalone: 1.0, Compute: 0.4, H2D: 0.25, D2H: 0.25}
+	for lane := 0; lane < 4; lane++ {
+		start, end := c.Run(lane, d)
+		almost(t, "start", start, 0)
+		// Lane i can finish no earlier than its own standalone run and no
+		// earlier than the compute demand charged so far.
+		almost(t, "end", end, math.Max(1.0, 0.4*float64(lane+1)))
+	}
+	almost(t, "makespan", c.Makespan(), 1.6)
+}
+
+// An engine with zero demand must not bound a run: a compute-only run
+// queued after copy-heavy ones ignores the DMA backlog.
+func TestLaneClockZeroDemandEngineIgnored(t *testing.T) {
+	c := NewLaneClock(2)
+	c.Run(0, EngineDemand{Standalone: 1, H2D: 0.9, D2H: 0.9})
+	c.Run(0, EngineDemand{Standalone: 1, H2D: 0.9, D2H: 0.9})
+	_, end := c.Run(1, EngineDemand{Standalone: 0.5, Compute: 0.5})
+	almost(t, "compute-only end", end, 0.5)
+}
+
+// A run is never faster than its standalone makespan, whatever the lane.
+func TestLaneClockStandaloneFloor(t *testing.T) {
+	c := NewLaneClock(8)
+	for lane := 0; lane < 8; lane++ {
+		start, end := c.Run(lane, EngineDemand{Standalone: 2, Compute: 0.01})
+		if end-start < 2 {
+			t.Errorf("lane %d: window %g shorter than standalone 2", lane, end-start)
+		}
+	}
+}
+
+func TestLaneClockBadLanePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range lane")
+		}
+	}()
+	NewLaneClock(2).Run(2, EngineDemand{Standalone: 1})
+}

@@ -152,7 +152,14 @@ func New(p sim.Params, mode Mode) *Device {
 // driver threads pinned to K contexts — while the algorithm's own serial
 // CPU work runs on a separate main-host timeline owned by the pool.
 func NewIndexed(p sim.Params, mode Mode, k int) *Device {
-	name := fmt.Sprintf("d%d", k)
+	return NewNamed(p, mode, fmt.Sprintf("d%d", k))
+}
+
+// NewNamed creates a device with an arbitrary lane-name prefix. The batch
+// throughput engine uses it to name fractional-lease lanes ("d0.l1", …)
+// so per-lane metric series and Chrome-trace rows identify the lane, not
+// just the physical device.
+func NewNamed(p sim.Params, mode Mode, name string) *Device {
 	return &Device{
 		Params:     p,
 		Mode:       mode,

@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 
 	"repro/internal/ft"
 	"repro/internal/ftsym"
@@ -64,6 +66,7 @@ func classify(err error) errClass {
 //	GET    /v1/jobs/{id}/result finished job's result (409 until done)
 //	GET    /v1/jobs/{id}/trace  per-job Chrome trace (409 until terminal)
 //	DELETE /v1/jobs/{id}        cancel (or forget a finished job)
+//	GET    /v1/version          build info (go version, VCS revision)
 //	GET    /metrics             Prometheus exposition (obs + serve_*)
 //	GET    /debug/events        FT flight-recorder dump (last N events)
 //	GET    /debug/pprof/        net/http/pprof (Config.EnablePprof only)
@@ -76,6 +79,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, Build())
+	})
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/events", s.handleEvents)
 	if s.cfg.EnablePprof {
@@ -98,6 +104,32 @@ func (s *Server) Handler() http.Handler {
 		_, _ = w.Write([]byte("ready\n"))
 	})
 	return mux
+}
+
+// retryAfter estimates how long a 429'd client should back off: the
+// work ahead of it (queue depth × the recent median job duration) spread
+// over the worker pool, clamped to [1, 30] seconds. Before any job has
+// finished there is no p50 and the floor applies.
+func (s *Server) retryAfter() int {
+	return retryAfterSeconds(s.queue.Len(), s.hSeconds.Snap().Quantile(0.5), s.cfg.Capacity)
+}
+
+// retryAfterSeconds is the pure estimator behind the Retry-After header.
+func retryAfterSeconds(depth int, p50 float64, capacity int) int {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if math.IsNaN(p50) || p50 < 0 {
+		p50 = 0
+	}
+	secs := int(math.Ceil(float64(depth) * p50 / float64(capacity)))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 30 {
+		return 30
+	}
+	return secs
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -127,11 +159,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrDeviceRequest):
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Code: "bad_device_request"})
 		return
+	case errors.Is(err, ErrBatchRequest):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Code: "bad_batch_request"})
+		return
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 		writeError(w, http.StatusTooManyRequests, err.Error())
 		return
 	case err != nil:

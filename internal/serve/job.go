@@ -137,6 +137,10 @@ type JobStatus struct {
 	LeaseWaitSeconds float64 `json:"lease_wait_seconds,omitempty"`
 	// Reliability is the per-job FT event summary (ObserveFull only).
 	Reliability *Reliability `json:"reliability,omitempty"`
+	// Build identifies the binary serving this job (also at
+	// GET /v1/version), so traces and artifacts record what produced
+	// them.
+	Build *BuildInfo `json:"build,omitempty"`
 }
 
 // reliability tallies the job's journal (live-safe: Events copies under
@@ -189,5 +193,7 @@ func (j *Job) statusLocked() JobStatus {
 		st.Finished = j.finished.UTC().Format(time.RFC3339Nano)
 	}
 	st.Reliability = j.reliability()
+	build := Build()
+	st.Build = &build
 	return st
 }

@@ -30,6 +30,15 @@ const (
 	// maxDevices caps the per-job device-lease request before the
 	// server-size check (Config.Devices) even runs.
 	maxDevices = 64
+	// maxBatchItems caps how many reductions one batched request may
+	// carry; each item is bounded by maxN besides.
+	maxBatchItems = 64
+)
+
+// Priority classes accepted on the wire (JobRequest.Priority).
+const (
+	PriorityInteractive = "interactive"
+	PriorityBatch       = "batch"
 )
 
 // FaultSpec is the wire form of one fault.Plan: a transient error
@@ -123,6 +132,29 @@ type JobRequest struct {
 	// MatrixMarket, when non-empty, is the input matrix as an inline
 	// Matrix Market document (array or coordinate format).
 	MatrixMarket string `json:"matrix_market,omitempty"`
+	// Priority is the fair-queue class: "interactive" (the default —
+	// weight 4) or "batch" (weight 1, for throughput traffic that
+	// tolerates latency). The weighted-fair scheduler keeps interactive
+	// latency bounded under batch saturation; aging keeps batch from
+	// starving under an interactive flood.
+	Priority string `json:"priority,omitempty"`
+	// Batch, when non-empty, makes this a batched job on the throughput
+	// engine (Config.DeviceLanes > 0): each item is an independent
+	// generated reduction, items sharing (n, nb) run back-to-back on one
+	// fractional device lane, distinct shapes run concurrently. A batched
+	// request must not set n, matrix_market, symmetric, devices,
+	// fail_stop, faults, or algorithm "cpu"; nb is the items' default
+	// block size.
+	Batch []BatchItemSpec `json:"batch,omitempty"`
+}
+
+// BatchItemSpec is one reduction of a batched job: a generated input of
+// order N from Seed, reduced at block size NB (the request-level nb, or
+// 32, when zero).
+type BatchItemSpec struct {
+	N    int    `json:"n"`
+	NB   int    `json:"nb,omitempty"`
+	Seed uint64 `json:"seed,omitempty"`
 }
 
 // DecodeJobRequest parses and validates a job request. The decoder is
@@ -152,7 +184,16 @@ func (r *JobRequest) validate(maxN int) error {
 	default:
 		return fmt.Errorf("unknown algorithm %q (want ft|baseline|cpu)", r.Algorithm)
 	}
-	if r.MatrixMarket == "" && r.N < 1 {
+	switch r.Priority {
+	case "", PriorityInteractive, PriorityBatch:
+	default:
+		return fmt.Errorf("unknown priority %q (want interactive|batch)", r.Priority)
+	}
+	if len(r.Batch) > 0 {
+		if err := r.validateBatch(maxN); err != nil {
+			return err
+		}
+	} else if r.MatrixMarket == "" && r.N < 1 {
 		return errors.New("n must be >= 1 (or upload a matrix_market document)")
 	}
 	if r.N > maxN {
@@ -236,10 +277,65 @@ func (r *JobRequest) validate(maxN int) error {
 	return nil
 }
 
+// validateBatch checks the batched-job shape: items bounded and well
+// formed, and none of the single-job features that have no batched
+// equivalent (uploads, whole-device leases, the symmetric path, fault
+// injection, fail-stop, the host-only algorithm).
+func (r *JobRequest) validateBatch(maxN int) error {
+	if len(r.Batch) > maxBatchItems {
+		return fmt.Errorf("%d batch items exceed the limit of %d", len(r.Batch), maxBatchItems)
+	}
+	if r.N != 0 {
+		return errors.New("n must not be set on a batched job (items carry their own n)")
+	}
+	if r.MatrixMarket != "" {
+		return errors.New("matrix_market is not supported on batched jobs")
+	}
+	if r.Symmetric {
+		return errors.New("symmetric is not supported on batched jobs")
+	}
+	if r.Devices > 0 {
+		return errors.New("devices (whole-device leases) cannot combine with batch (fractional lanes)")
+	}
+	if r.FailStop {
+		return errors.New("fail_stop is not supported on batched jobs")
+	}
+	if len(r.Faults) > 0 {
+		return errors.New("fault injection is not supported on batched jobs")
+	}
+	if r.Algorithm == AlgCPU {
+		return errors.New("algorithm \"cpu\" cannot run on device lanes")
+	}
+	for i, b := range r.Batch {
+		if b.N < 1 {
+			return fmt.Errorf("batch[%d]: n must be >= 1", i)
+		}
+		if b.N > maxN {
+			return fmt.Errorf("batch[%d]: n=%d exceeds this server's limit of %d", i, b.N, maxN)
+		}
+		if b.NB < 0 || b.NB > maxNB {
+			return fmt.Errorf("batch[%d]: nb=%d out of range [0,%d]", i, b.NB, maxNB)
+		}
+	}
+	return nil
+}
+
+// class maps the request's priority to its fair-queue class.
+func (r *JobRequest) class() string {
+	if r.Priority == PriorityBatch {
+		return PriorityBatch
+	}
+	return PriorityInteractive
+}
+
 // Matrix materializes the job's input: the uploaded Matrix Market
 // document if present (bounded by maxN×maxN elements before any
 // allocation), otherwise the deterministic generator at order N.
 func (r *JobRequest) Matrix(maxN int) (*matrix.Matrix, error) {
+	if len(r.Batch) > 0 {
+		// Batched jobs materialize per item on the engine lanes.
+		return nil, nil
+	}
 	if r.MatrixMarket != "" {
 		a, err := matrix.ReadMatrixMarketLimit(strings.NewReader(r.MatrixMarket), int64(maxN)*int64(maxN))
 		if err != nil {

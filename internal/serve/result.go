@@ -40,13 +40,95 @@ type JobResult struct {
 	// and ‖QQᵀ−I‖₁/N. NaN for cost-only runs, which skip the arithmetic.
 	Residual      obs.Float `json:"residual"`
 	Orthogonality obs.Float `json:"orthogonality"`
+
+	// ResultDigest is the canonical SHA-256 of the factorization (packed
+	// + tau, the `fthess -checksum` fingerprint) — the bit-identity the
+	// determinism contracts promise, checkable by clients. Empty for
+	// cost-only and symmetric runs.
+	ResultDigest string `json:"result_digest,omitempty"`
+	// Cached is true when this result was served from the digest-keyed
+	// result cache instead of being recomputed.
+	Cached bool `json:"cached,omitempty"`
+
+	// Items holds the per-reduction outcomes of a batched job, in request
+	// order. For batched jobs the top-level SimSeconds is the summed
+	// device-seconds of the items (their concurrency lives on the lane
+	// clocks; each item reports its modeled lane window).
+	Items []BatchItemResult `json:"items,omitempty"`
+}
+
+// BatchItemResult is one item of a batched job's result.
+type BatchItemResult struct {
+	Index int    `json:"index"`
+	N     int    `json:"n"`
+	NB    int    `json:"nb"`
+	Seed  uint64 `json:"seed"`
+
+	// Lane is the fractional lease that ran the item ("d0.l1"); LaneStart
+	// and LaneEnd are its modeled window on that device's virtual clock.
+	// Empty/zero for cache hits, which consume no device time.
+	Lane      string  `json:"lane,omitempty"`
+	LaneStart float64 `json:"lane_start_seconds,omitempty"`
+	LaneEnd   float64 `json:"lane_end_seconds,omitempty"`
+
+	SimSeconds  obs.Float `json:"sim_seconds"`
+	ModelGFLOPS obs.Float `json:"model_gflops"`
+
+	Residual      obs.Float `json:"residual"`
+	Orthogonality obs.Float `json:"orthogonality"`
+
+	ResultDigest string `json:"result_digest,omitempty"`
+	Cached       bool   `json:"cached,omitempty"`
+}
+
+// cachedRun is the immutable payload stored in the result cache: a
+// fully built result template (residuals included — they are a pure
+// function of the cached input/output pair, so a hit pays no O(N³)
+// verification either). The template is shared by every future hit and
+// must never be mutated; jobResult hands out copies.
+type cachedRun struct {
+	tpl JobResult
+}
+
+func newCachedRun(out *JobResult) *cachedRun {
+	tpl := *out
+	tpl.ID = ""
+	tpl.Cached = false
+	tpl.Items = nil // single-run payloads only; items cache individually
+	return &cachedRun{tpl: tpl}
+}
+
+// jobResult instantiates the cached template for one served job.
+func (c *cachedRun) jobResult(j *Job) *JobResult {
+	out := c.tpl
+	out.ID = j.ID
+	out.Cached = true
+	return &out
+}
+
+// itemResult instantiates the cached template as one batched item.
+func (c *cachedRun) itemResult(idx int, seed uint64, cached bool) BatchItemResult {
+	return BatchItemResult{
+		Index: idx, N: c.tpl.N, NB: c.tpl.NB, Seed: seed,
+		SimSeconds: c.tpl.SimSeconds, ModelGFLOPS: c.tpl.ModelGFLOPS,
+		Residual: c.tpl.Residual, Orthogonality: c.tpl.Orthogonality,
+		ResultDigest: c.tpl.ResultDigest, Cached: cached,
+	}
 }
 
 // generalResult builds the response for the Hessenberg paths.
 func generalResult(j *Job, res *core.Result) *JobResult {
+	out := buildResult(j.req, j.a, res)
+	out.ID = j.ID
+	return out
+}
+
+// buildResult assembles the wire result of one reduction (job ID left
+// for the caller — batched items build results without a job of their
+// own).
+func buildResult(req *JobRequest, a *matrix.Matrix, res *core.Result) *JobResult {
 	out := &JobResult{
-		ID:        j.ID,
-		Algorithm: j.req.algorithm(),
+		Algorithm: req.algorithm(),
 		N:         res.N,
 		NB:        res.NB,
 
@@ -64,9 +146,10 @@ func generalResult(j *Job, res *core.Result) *JobResult {
 		Residual:      obs.Float(math.NaN()),
 		Orthogonality: obs.Float(math.NaN()),
 	}
-	if !j.req.CostOnly {
-		out.Residual = obs.Float(res.Residual(j.a))
+	if !req.CostOnly {
+		out.Residual = obs.Float(res.Residual(a))
 		out.Orthogonality = obs.Float(res.Orthogonality())
+		out.ResultDigest = res.Digest()
 	}
 	return out
 }

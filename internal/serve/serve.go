@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/ft"
@@ -41,6 +42,10 @@ var (
 	// ever grant (no farm, or more than the farm holds) — a client error,
 	// surfaced as 400.
 	ErrDeviceRequest = errors.New("serve: invalid device request")
+	// ErrBatchRequest means the job carried a batch on a server whose
+	// throughput engine is disabled (Config.DeviceLanes == 0) — a client
+	// error, surfaced as 400.
+	ErrBatchRequest = errors.New("serve: invalid batch request")
 )
 
 // Observation levels (Config.Observe). Both keep the SLO metrics and
@@ -92,6 +97,22 @@ type Config struct {
 	// handler. Off by default: the profiler exposes internals and should
 	// only face operators.
 	EnablePprof bool
+	// DeviceLanes, when > 0, enables the batched throughput engine
+	// (DESIGN.md §15): each farm device exposes this many fractional
+	// lanes, and requests may carry a `batch` of small reductions that
+	// are packed by (N, nb) onto leased lanes with a virtual clock over
+	// the shared compute/DMA engines. The lane farm spans max(1, Devices)
+	// physical devices. 0 disables batched jobs (400 at submit).
+	DeviceLanes int
+	// CacheEntries, when > 0, bounds the digest-keyed result cache:
+	// deterministic fault-free runs are cached under their canonical
+	// input digest + result-affecting options, with single-flight
+	// coalescing of concurrent identical submissions. 0 disables caching.
+	CacheEntries int
+	// AgingAfter is the fair-queue starvation bound: a queued job whose
+	// class has been starved longer than this is served out of weighted
+	// order, at most once per interval (default 2s).
+	AgingAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +137,9 @@ func (c Config) withDefaults() Config {
 	if c.FlightRecorderSize <= 0 {
 		c.FlightRecorderSize = 256
 	}
+	if c.AgingAfter <= 0 {
+		c.AgingAfter = 2 * time.Second
+	}
 	return c
 }
 
@@ -128,9 +152,19 @@ type Server struct {
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	nextID   int
-	queue    chan *Job
+	queue    *batch.Queue[*Job]
 	inflight int
 	draining bool
+
+	// Throughput engine (nil when Config.DeviceLanes == 0) and result
+	// cache (nil when Config.CacheEntries == 0) — independent features:
+	// single jobs use the cache without the engine.
+	engine *batch.Engine
+	cache  *batch.Cache
+
+	cCacheHit      *obs.Counter
+	cCacheMiss     *obs.Counter
+	cCacheCoalesce *obs.Counter
 
 	wg        sync.WaitGroup
 	drainOnce sync.Once
@@ -168,10 +202,15 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:       cfg,
-		reg:       cfg.Registry,
-		jobs:      make(map[string]*Job),
-		queue:     make(chan *Job, cfg.QueueDepth),
+		cfg:  cfg,
+		reg:  cfg.Registry,
+		jobs: make(map[string]*Job),
+		// The fair queue replaces the FIFO channel: interactive traffic
+		// weighs 4× batch traffic, with the aging override bounding batch
+		// starvation (see batch.Queue).
+		queue: batch.NewQueue[*Job](cfg.QueueDepth,
+			map[string]float64{batch.ClassInteractive: 4, batch.ClassBatch: 1},
+			cfg.AgingAfter),
 		gQueue:    cfg.Registry.Gauge("serve_queue_depth"),
 		gInflight: cfg.Registry.Gauge("serve_inflight"),
 		hSeconds: cfg.Registry.Histogram("serve_job_seconds",
@@ -191,6 +230,19 @@ func New(cfg Config) *Server {
 		s.gLeased = cfg.Registry.Gauge("serve_devices_leased")
 		s.gFree = cfg.Registry.Gauge("serve_devices_free")
 		s.gFree.Set(float64(cfg.Devices))
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = batch.NewCache(cfg.CacheEntries)
+		s.cCacheHit = cfg.Registry.Counter("serve_cache_hits_total")
+		s.cCacheMiss = cfg.Registry.Counter("serve_cache_misses_total")
+		s.cCacheCoalesce = cfg.Registry.Counter("serve_cache_coalesced_total")
+	}
+	if cfg.DeviceLanes > 0 {
+		farmDevs := cfg.Devices
+		if farmDevs < 1 {
+			farmDevs = 1
+		}
+		s.engine = batch.NewEngine(batch.NewFarm(farmDevs, cfg.DeviceLanes), s.cache, cfg.Registry)
 	}
 	s.wg.Add(cfg.Capacity)
 	for i := 0; i < cfg.Capacity; i++ {
@@ -224,6 +276,10 @@ func (s *Server) Submit(req *JobRequest, a *matrix.Matrix) (*Job, error) {
 			return nil, fmt.Errorf("%w: devices=%d exceeds the farm size %d", ErrDeviceRequest, req.Devices, s.cfg.Devices)
 		}
 	}
+	if len(req.Batch) > 0 && s.engine == nil {
+		cancel()
+		return nil, fmt.Errorf("%w: this server has no throughput engine (device_lanes=0)", ErrBatchRequest)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -231,9 +287,14 @@ func (s *Server) Submit(req *JobRequest, a *matrix.Matrix) (*Job, error) {
 		s.jobCounter("rejected_draining").Inc()
 		return nil, ErrDraining
 	}
-	select {
-	case s.queue <- j:
-	default:
+	// Fairness is over work, not job count: a batched job's cost is its
+	// item count.
+	switch err := s.queue.Push(req.class(), float64(max(1, len(req.Batch))), j); {
+	case errors.Is(err, batch.ErrQueueClosed):
+		cancel()
+		s.jobCounter("rejected_draining").Inc()
+		return nil, ErrDraining
+	case err != nil:
 		cancel()
 		s.jobCounter("rejected_full").Inc()
 		return nil, ErrQueueFull
@@ -310,7 +371,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 				s.gQueue.Add(-1)
 			}
 		}
-		close(s.queue)
+		s.queue.Close()
 		s.mu.Unlock()
 	})
 	done := make(chan struct{})
@@ -343,7 +404,11 @@ func (s *Server) Draining() bool {
 
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
 		s.run(j)
 	}
 }
@@ -489,9 +554,47 @@ func (j *Job) traceContext() *obs.TraceContext {
 	return &obs.TraceContext{Job: j.ID, Tracer: j.tracer, Parent: j.spanRun}
 }
 
+// cacheKey builds the result-cache key for a request, reporting whether
+// the run is cacheable at all. Only deterministic, fault-free runs
+// qualify: cost-only runs have no numerics to cache, and injection /
+// fail-stop jobs are excluded outright so a faulted or killed run can
+// never be served from the cache. The key carries exactly the options
+// that change the result's bits (input digest, nb, algorithm, schedule
+// family) — device count, lookahead, and substrate are invariant by the
+// determinism contracts and deliberately absent.
+func (s *Server) cacheKey(req *JobRequest, a *matrix.Matrix, nb int) (batch.Key, bool) {
+	if s.cache == nil || req.Symmetric || req.CostOnly || req.FailStop || len(req.Faults) > 0 {
+		return batch.Key{}, false
+	}
+	if nb == 0 {
+		nb = 32 // core's default block size
+	}
+	return batch.Key{
+		Digest: core.MatrixDigest(a),
+		NB:     nb,
+		Alg:    req.algorithm(),
+		// The multi-device pool schedule is bit-identical at every K but
+		// not to the legacy single-device schedule, so the two families
+		// cache separately.
+		Pool: req.Devices > 0,
+	}, true
+}
+
+// cacheable reports whether a finished run may enter the cache: nothing
+// was detected, corrected, or lost. Requests that inject faults never
+// get here (cacheKey excludes them); this guards the residue — a run
+// that saw any FT event is never cached, however it finished.
+func cacheable(res *core.Result) bool {
+	return res.Detections == 0 && res.Recoveries == 0 && len(res.CorrectedH) == 0 &&
+		res.QCorrections == 0 && res.DeviceLosses == 0 && res.SubstrateDetections == 0
+}
+
 // execute runs the reduction for one job on the worker goroutine.
 func (s *Server) execute(j *Job) (*JobResult, error) {
 	req := j.req
+	if len(req.Batch) > 0 {
+		return s.executeBatch(j)
+	}
 	trace := j.traceContext()
 	mode := gpu.Real
 	if req.CostOnly {
@@ -523,6 +626,39 @@ func (s *Server) execute(j *Job) (*JobResult, error) {
 			return nil, err
 		}
 		return symResult(j, res), nil
+	}
+
+	// Result cache with single-flight coalescing: a hit skips the whole
+	// reduction; a concurrent identical submission waits on the leader
+	// instead of recomputing. A follower whose leader aborted (failed,
+	// cancelled, uncacheable run) computes locally without taking a new
+	// flight, so a chain of cancellations can never convoy.
+	var flight *batch.Flight
+	if key, ok := s.cacheKey(req, j.a, req.NB); ok {
+		val, fl, st := s.cache.Acquire(key)
+		switch st {
+		case batch.Hit:
+			s.cCacheHit.Inc()
+			return val.(*cachedRun).jobResult(j), nil
+		case batch.Follow:
+			s.cCacheCoalesce.Inc()
+			v, ok, err := fl.Wait(j.ctx)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				s.cCacheHit.Inc()
+				return v.(*cachedRun).jobResult(j), nil
+			}
+		case batch.Lead:
+			s.cCacheMiss.Inc()
+			flight = fl
+			defer func() {
+				if flight != nil {
+					s.cache.Abort(flight)
+				}
+			}()
+		}
 	}
 
 	opt := core.Options{
@@ -643,5 +779,10 @@ func (s *Server) execute(j *Job) (*JobResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return generalResult(j, res), nil
+	out := generalResult(j, res)
+	if flight != nil && cacheable(res) {
+		s.cache.Commit(flight, newCachedRun(out))
+		flight = nil // the deferred Abort must not fire after a Commit
+	}
+	return out, nil
 }

@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies what produced a response: the Go toolchain and
+// the VCS state baked into the binary by the linker. Served at
+// GET /v1/version, stamped into every job status, and recorded in BENCH
+// artifacts so a number can always be traced to the build that measured
+// it.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit (empty when the binary was built outside
+	// a checkout, e.g. straight `go test` of an exported tree); Dirty is
+	// true when the worktree had local modifications.
+	Revision  string `json:"revision,omitempty"`
+	BuildTime string `json:"build_time,omitempty"`
+	Dirty     bool   `json:"dirty,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build reads the binary's embedded build information once and caches
+// it (debug.ReadBuildInfo walks the whole module graph).
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.GoVersion = bi.GoVersion
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.time":
+				buildInfo.BuildTime = s.Value
+			case "vcs.modified":
+				buildInfo.Dirty = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}

@@ -43,7 +43,7 @@ done
 echo "docs_lint: $(echo "$pkgs" | wc -l) documented packages build"
 
 # --- experiment selectors named in the docs must exist in the harness --
-exps=$(grep -ho '\-exp [a-zA-Z0-9]*' $docs | awk '{print $2}' | sort -u)
+exps=$(grep -ho '\-exp [a-zA-Z0-9_]*' $docs | awk '{print $2}' | sort -u)
 for e in $exps; do
     if ! grep -rq "\"$e\"" cmd/experiments internal/bench; then
         echo "docs_lint: docs mention -exp $e but the harness does not" >&2
@@ -70,6 +70,17 @@ for a in $arts; do
     fi
 done
 echo "docs_lint: $(echo "$arts" | wc -l) referenced BENCH artifacts exist"
+
+# --- acceptance-gated artifacts must be committed ---------------------
+# These artifacts carry acceptance bars enforced by gating tests; a tree
+# without them has lost its measured evidence.
+for a in BENCH_throughput.json; do
+    if [ ! -f "$a" ]; then
+        echo "docs_lint: required artifact $a is not committed" >&2
+        fail=1
+    fi
+done
+echo "docs_lint: required BENCH artifacts committed"
 
 # --- numeric DESIGN § cross-references must resolve -------------------
 secs=$( (grep -rho 'DESIGN\(\.md\)\{0,1\} §[0-9][0-9]*' $docs;

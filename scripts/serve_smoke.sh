@@ -10,6 +10,10 @@
 #                          companion p50/p95/p99 _quantile gauges
 #   * /v1/jobs/{id}/trace  serves a non-empty Chrome trace
 #   * /debug/events        holds the job's flight-recorder events
+#   * /v1/version          reports the build
+#   * batched jobs         a 3-matrix batch runs on fractional lanes and
+#                          an identical resubmission is served entirely
+#                          from the result cache
 #
 # Needs only bash + curl (no jq): JSON fields are pulled with grep.
 set -euo pipefail
@@ -23,7 +27,7 @@ LOG="$(mktemp)"
 
 go build -o "$BIN" ./cmd/fthessd
 
-"$BIN" -addr "127.0.0.1:${PORT}" -capacity 1 &
+"$BIN" -addr "127.0.0.1:${PORT}" -capacity 2 -lanes 2 -cache 16 &
 DPID=$!
 trap 'kill "$DPID" 2>/dev/null || true; wait "$DPID" 2>/dev/null || true' EXIT
 
@@ -66,7 +70,9 @@ for want in \
   'serve_queue_wait_seconds' \
   'serve_queue_depth'
 do
-  echo "$METRICS" | grep -qF "$want" \
+  # grep without -q: -q exits at the first match, and if the metrics page
+  # outgrows the pipe buffer the writer dies with SIGPIPE under pipefail.
+  echo "$METRICS" | grep -F "$want" >/dev/null \
     || { echo "/metrics missing: $want" >&2; exit 1; }
 done
 echo "$METRICS" | grep -F 'serve_job_duration_seconds_quantile'
@@ -83,5 +89,49 @@ echo "== /debug/events"
 EVENTS=$(curl -fsS "$BASE/debug/events")
 echo "$EVENTS" | grep -q '"kind": "job:done"' || { echo "flight recorder missing job:done" >&2; exit 1; }
 echo "$EVENTS" | grep -q '"kind": "ft:' || { echo "flight recorder missing FT events" >&2; exit 1; }
+
+echo "== /v1/version"
+VER=$(curl -fsS "$BASE/v1/version")
+echo "$VER"
+echo "$VER" | grep -q '"go_version"' || { echo "version has no go_version" >&2; exit 1; }
+
+echo "== batched job (3 matrices on fractional lanes)"
+BATCH_BODY='{"priority":"batch","nb":8,"batch":[{"n":32,"seed":1},{"n":48,"seed":2},{"n":32,"seed":3}]}'
+poll_done() {
+  local id=$1 st=""
+  for i in $(seq 1 150); do
+    st=$(curl -fsS "$BASE/v1/jobs/$id")
+    case "$st" in
+      *'"state": "done"'*) echo "$st"; return 0 ;;
+      *'"state": "failed"'*|*'"state": "cancelled"'*)
+        echo "batched job ended badly: $st" >&2; return 1 ;;
+    esac
+    sleep 0.2
+  done
+  echo "timeout waiting for batched job: $st" >&2
+  return 1
+}
+BSUB=$(curl -fsS -X POST "$BASE/v1/jobs" -d "$BATCH_BODY")
+BID=$(echo "$BSUB" | grep -o '"id": *"[^"]*"' | head -1 | sed 's/.*"id": *"\([^"]*\)".*/\1/')
+[ -n "$BID" ] || { echo "no job id in batched submit response" >&2; exit 1; }
+poll_done "$BID" >/dev/null
+BRES=$(curl -fsS "$BASE/v1/jobs/$BID/result")
+ITEMS=$(echo "$BRES" | grep -c '"index":') || true
+[ "$ITEMS" = 3 ] || { echo "batched result has $ITEMS items, want 3" >&2; exit 1; }
+echo "$BRES" | grep -q '"lane": *"d0\.l' || { echo "batched result has no lane assignments" >&2; exit 1; }
+echo "$BRES" | grep -q '"result_digest"' || { echo "batched result has no digests" >&2; exit 1; }
+echo "batched: $ITEMS items on fractional lanes"
+
+echo "== identical resubmission is served from the cache"
+B2SUB=$(curl -fsS -X POST "$BASE/v1/jobs" -d "$BATCH_BODY")
+B2ID=$(echo "$B2SUB" | grep -o '"id": *"[^"]*"' | head -1 | sed 's/.*"id": *"\([^"]*\)".*/\1/')
+poll_done "$B2ID" >/dev/null
+B2RES=$(curl -fsS "$BASE/v1/jobs/$B2ID/result")
+CACHED=$(echo "$B2RES" | grep -c '"cached": *true') || true
+[ "$CACHED" = 3 ] || { echo "resubmitted batch: $CACHED/3 items cached" >&2; exit 1; }
+METRICS2=$(curl -fsS "$BASE/metrics")
+echo "$METRICS2" | grep '^serve_cache_hits_total [1-9]' >/dev/null \
+  || { echo "/metrics missing cache hits" >&2; exit 1; }
+echo "cache: all 3 items served from the result cache"
 
 echo "serve smoke: OK"
